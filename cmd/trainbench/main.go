@@ -1,0 +1,230 @@
+// Command trainbench reproduces the deferred training evaluation of the
+// paper (Alford & Kepner [15], experiment E9) and the §IV conjecture
+// experiment (E12) on synthetic data.
+//
+// Modes:
+//
+//	-mode train   compare RadiX-Net / dense / random X-Net / Bernoulli-prune
+//	              classifiers at matched layer sizes on a synthetic task
+//	-mode approx  fit sup-norm error decay exponents for dense vs RadiX-Net
+//	              families on C[0,1] targets (the conjecture, empirically)
+//
+// Usage:
+//
+//	trainbench -mode train [-task digits|gmm] [-epochs 12] [-samples 1200]
+//	trainbench -mode approx [-epochs 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/approx"
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/nn"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/topology"
+	"github.com/radix-net/radixnet/internal/xnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trainbench: ")
+	var (
+		mode    = flag.String("mode", "train", "train|approx")
+		task    = flag.String("task", "digits", "train mode task: digits|gmm")
+		epochs  = flag.Int("epochs", 12, "training epochs")
+		samples = flag.Int("samples", 1200, "dataset size (train mode)")
+		seed    = flag.Int64("seed", 1, "seed")
+		workers = flag.Int("workers", 0, "data-parallel workers (0 = GOMAXPROCS)")
+		avg     = flag.Int("avg", 1, "approx mode: seeds to average (geometric mean)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "train":
+		if err := runTrain(*task, *epochs, *samples, *seed, *workers); err != nil {
+			log.Fatal(err)
+		}
+	case "approx":
+		if err := runApprox(*epochs, *seed, *avg); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// contestant is one topology family entered into the comparison.
+type contestant struct {
+	name  string
+	build func(in, out int, rng *rand.Rand) (*nn.Network, error)
+}
+
+func runTrain(task string, epochs, samples int, seed int64, workers int) error {
+	var data *dataset.Dataset
+	var err error
+	switch task {
+	case "digits":
+		data, err = dataset.Digits(samples, 0.10, seed)
+	case "gmm":
+		data, err = dataset.Gaussians(samples, 32, 8, 3, seed)
+	default:
+		return fmt.Errorf("unknown task %q", task)
+	}
+	if err != nil {
+		return err
+	}
+	train, test, err := data.Split(0.8, seed)
+	if err != nil {
+		return err
+	}
+	targets, err := train.Targets()
+	if err != nil {
+		return err
+	}
+	in := train.X.Cols()
+	out := train.Classes
+
+	// The RadiX-Net hidden block: N′ = 256 from systems (16,16), two sparse
+	// hidden layers of width 256 with fan-out 16 (density 1/16).
+	radixCfg, err := core.NewConfig([]radix.System{radix.MustNew(16, 16)}, nil)
+	if err != nil {
+		return err
+	}
+	radixTopo, err := core.Build(radixCfg)
+	if err != nil {
+		return err
+	}
+	hidden := radixTopo.LayerSizes() // 256, 256, 256
+	degree := 16
+
+	contestants := []contestant{
+		{"radix-net", func(in, out int, rng *rand.Rand) (*nn.Network, error) {
+			return sandwich(in, out, radixTopo, rng)
+		}},
+		{"dense", func(in, out int, rng *rand.Rand) (*nn.Network, error) {
+			return nn.DenseNet(append(append([]int{in}, hidden...), out), nn.ReLU, rng)
+		}},
+		{"random-xnet", func(in, out int, rng *rand.Rand) (*nn.Network, error) {
+			g, err := xnet.RandomXNet(hidden, degree, rng)
+			if err != nil {
+				return nil, err
+			}
+			return sandwich(in, out, g, rng)
+		}},
+		{"bernoulli", func(in, out int, rng *rand.Rand) (*nn.Network, error) {
+			g, err := xnet.BernoulliNet(hidden, radixTopo.Density(), rng)
+			if err != nil {
+				return nil, err
+			}
+			return sandwich(in, out, g, rng)
+		}},
+	}
+
+	fmt.Printf("task=%s train=%d test=%d features=%d classes=%d epochs=%d\n",
+		task, train.X.Rows(), test.X.Rows(), in, out, epochs)
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "topology", "params", "train-acc", "test-acc", "time")
+	for _, c := range contestants {
+		rng := rand.New(rand.NewSource(seed + 17))
+		net, err := c.build(in, out, rng)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		tr := &nn.Trainer{
+			Net:       net,
+			Opt:       &nn.Adam{LR: 0.003},
+			Loss:      nn.SoftmaxCrossEntropy{},
+			BatchSize: 64,
+			Workers:   workers,
+			Seed:      seed,
+		}
+		start := time.Now()
+		if _, err := tr.Fit(train.X, targets, epochs); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		elapsed := time.Since(start)
+		trainAcc, err := tr.Evaluate(train.X, train.Labels)
+		if err != nil {
+			return err
+		}
+		testAcc, err := tr.Evaluate(test.X, test.Labels)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10d %10.3f %10.3f %12v\n",
+			c.name, net.NumParams(), trainAcc, testAcc, elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// sandwich wraps a hidden topology with dense input/output adapters, the
+// standard construction for applying structured hidden blocks to arbitrary
+// feature and class counts.
+func sandwich(in, out int, g *topology.FNNT, rng *rand.Rand) (*nn.Network, error) {
+	first, err := nn.NewDenseLinear(in, g.LayerSize(0), rng)
+	if err != nil {
+		return nil, err
+	}
+	layers := []nn.Layer{first, nn.ReLU()}
+	for i := 0; i < g.NumSubs(); i++ {
+		layers = append(layers, nn.NewSparseLinear(g.Sub(i), rng), nn.ReLU())
+	}
+	last, err := nn.NewDenseLinear(g.LayerSize(g.NumLayers()-1), out, rng)
+	if err != nil {
+		return nil, err
+	}
+	layers = append(layers, last)
+	return nn.NewNetwork(layers...)
+}
+
+func runApprox(epochs int, seed int64, avg int) error {
+	cfg := approx.DefaultRunConfig()
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	fmt.Printf("widths=%v hidden=%d epochs=%d samples=%d grid=%d seeds=%d\n",
+		cfg.Widths, cfg.Hidden, cfg.Epochs, cfg.Samples, cfg.Grid, avg)
+	fmt.Printf("%-10s %8s %22s %22s %8s %8s\n", "target", "family", "sup-errors", "params", "p", "R²")
+	for _, target := range approx.StandardTargets() {
+		res, err := approx.RunAveraged(target, cfg, avg)
+		if err != nil {
+			return err
+		}
+		for _, fam := range []struct {
+			name string
+			r    approx.FamilyResult
+		}{{"dense", res.Dense}, {"radix", res.Sparse}} {
+			fmt.Printf("%-10s %8s %22s %22s %8.3f %8.3f\n",
+				target.Name, fam.name, fmtErrs(fam.r.SupErr), fmtInts(fam.r.Params), fam.r.Decay, fam.r.Rsq)
+		}
+		gap := res.Dense.Decay - res.Sparse.Decay
+		fmt.Printf("%-10s decay gap p_dense−p_sparse = %+.3f (conjecture: same order)\n", target.Name, gap)
+	}
+	return nil
+}
+
+func fmtErrs(errs []float64) string {
+	s := ""
+	for i, e := range errs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.3g", e)
+	}
+	return s
+}
+
+func fmtInts(xs []int) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d", x)
+	}
+	return s
+}

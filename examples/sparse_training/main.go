@@ -1,0 +1,104 @@
+// Sparse training: the paper's motivating use case. Build a RadiX-Net
+// topology, attach trainable weights to its edges, and train it on a
+// synthetic digit-classification task next to a dense network of the same
+// layer sizes — reproducing the shape of the Alford & Kepner result the
+// paper cites: comparable accuracy at a fraction of the parameters.
+//
+// Run with:
+//
+//	go run ./examples/sparse_training
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/nn"
+	"github.com/radix-net/radixnet/internal/radix"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Synthetic stand-in for MNIST: procedural 16×16 digit glyphs.
+	data, err := dataset.Digits(1500, 0.10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := data.Split(0.8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets, err := train.Targets()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hidden block: RadiX-Net with N′ = 256 from systems (16,16) — two
+	// sparse 256→256 layers with 16 connections per neuron (density 1/16).
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(16, 16)}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := core.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hidden topology: %v\n", topo)
+
+	rng := rand.New(rand.NewSource(7))
+
+	// Sparse contestant: dense input adapter → RadiX-Net block → dense head.
+	firstS, err := nn.NewDenseLinear(dataset.DigitFeatures, 256, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lastS, err := nn.NewDenseLinear(256, 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sparseNet, err := nn.NewNetwork(
+		firstS, nn.ReLU(),
+		nn.NewSparseLinear(topo.Sub(0), rng), nn.ReLU(),
+		nn.NewSparseLinear(topo.Sub(1), rng), nn.ReLU(),
+		lastS,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dense contestant at identical layer sizes.
+	denseNet, err := nn.DenseNet([]int{dataset.DigitFeatures, 256, 256, 256, 10}, nn.ReLU, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name string
+		net  *nn.Network
+	}{{"radix-net", sparseNet}, {"dense", denseNet}} {
+		tr := &nn.Trainer{
+			Net:       c.net,
+			Opt:       &nn.Adam{LR: 0.002},
+			Loss:      nn.SoftmaxCrossEntropy{},
+			BatchSize: 64,
+			Seed:      1,
+		}
+		start := time.Now()
+		hist, err := tr.Fit(train.X, targets, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		testAcc, err := tr.Evaluate(test.X, test.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s params=%-8d final-loss=%.4f test-acc=%.3f time=%v\n",
+			c.name, c.net.NumParams(), hist.Last().MeanLoss, testAcc,
+			time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,81 @@
+package radixnet_test
+
+import (
+	"testing"
+
+	radixnet "github.com/radix-net/radixnet"
+)
+
+func TestFacadeSearchWorkflow(t *testing.T) {
+	cands, err := radixnet.Search(radixnet.SearchSpec{
+		Width:      64,
+		Density:    0.125,
+		EdgeLayers: 4,
+		Tolerance:  0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates for (8,8)-achievable target")
+	}
+	best := cands[0]
+	if best.Density != 0.125 {
+		t.Fatalf("best density = %g", best.Density)
+	}
+	net, err := radixnet.Build(best.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.Symmetric(); !ok {
+		t.Fatal("search candidate not symmetric")
+	}
+}
+
+func TestFacadeOrderedFactorizations(t *testing.T) {
+	fs := radixnet.OrderedFactorizations(12, 16)
+	// 12 = (12), (2,6), (6,2), (3,4), (4,3), (2,2,3), (2,3,2), (3,2,2).
+	if len(fs) != 8 {
+		t.Fatalf("factorizations of 12: got %d (%v)", len(fs), fs)
+	}
+}
+
+func TestFacadeIsomorphism(t *testing.T) {
+	a := radixnet.MixedRadix(radixnet.MustSystem(2, 2))
+	b := radixnet.MixedRadix(radixnet.MustSystem(2, 2))
+	if _, ok := radixnet.Isomorphic(a, b, 0); !ok {
+		t.Fatal("identical topologies not isomorphic")
+	}
+	c := radixnet.MixedRadix(radixnet.MustSystem(4))
+	if _, ok := radixnet.Isomorphic(a, c, 0); ok {
+		t.Fatal("different-depth topologies reported isomorphic")
+	}
+}
+
+// TestFacadeAnalysisOnChallengeNet exercises the analysis API on a
+// realistic network: receptive-field growth for a Graph Challenge block is
+// 1 → 32 → 1024 (radix-32 fan-out squared covers the layer).
+func TestFacadeAnalysisOnChallengeNet(t *testing.T) {
+	cfg, err := radixnet.GraphChallengeConfig(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := radixnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := net.ReachabilityProfile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 32, 1024, 1024, 1024}
+	for i, w := range want {
+		if profile[i] != w {
+			t.Fatalf("profile = %v, want %v", profile, want)
+		}
+	}
+	values, _ := net.PathSpectrum()
+	if len(values) != 1 {
+		t.Fatalf("challenge net spectrum has %d values; must be symmetric", len(values))
+	}
+}

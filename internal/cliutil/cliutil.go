@@ -1,0 +1,78 @@
+// Package cliutil holds flag-parsing helpers shared by the command-line
+// tools: a RadiX-Net configuration can be given either as semicolon-
+// separated systems plus a comma-separated shape, or as a JSON file in the
+// graphio wire format.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/radix"
+)
+
+// ParseSystems parses "(3,3,4);(3,3,4);(2,3)" into numeral systems.
+func ParseSystems(text string) ([]radix.System, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, errors.New("cliutil: empty systems specification")
+	}
+	parts := strings.Split(text, ";")
+	systems := make([]radix.System, 0, len(parts))
+	for i, p := range parts {
+		s, err := radix.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: system %d: %w", i, err)
+		}
+		systems = append(systems, s)
+	}
+	return systems, nil
+}
+
+// ParseShape parses "1,2,2,1" into a dense shape; empty means nil (all ones).
+func ParseShape(text string) ([]int, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(text, ",")
+	shape := make([]int, 0, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: shape entry %d: %w", i, err)
+		}
+		shape = append(shape, v)
+	}
+	return shape, nil
+}
+
+// LoadConfig resolves a configuration from either a JSON file path or a
+// systems/shape flag pair. Exactly one source must be provided.
+func LoadConfig(jsonPath, systemsFlag, shapeFlag string) (core.Config, error) {
+	switch {
+	case jsonPath != "" && systemsFlag != "":
+		return core.Config{}, errors.New("cliutil: provide either -config or -systems, not both")
+	case jsonPath != "":
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("cliutil: %w", err)
+		}
+		return graphio.UnmarshalConfig(data)
+	case systemsFlag != "":
+		systems, err := ParseSystems(systemsFlag)
+		if err != nil {
+			return core.Config{}, err
+		}
+		shape, err := ParseShape(shapeFlag)
+		if err != nil {
+			return core.Config{}, err
+		}
+		return core.NewConfig(systems, shape)
+	default:
+		return core.Config{}, errors.New("cliutil: provide -config FILE or -systems SPEC")
+	}
+}

@@ -1,0 +1,90 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSystems(t *testing.T) {
+	systems, err := ParseSystems("(3,3,4);(2,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 2 || systems[0].Product() != 36 || systems[1].Product() != 6 {
+		t.Fatalf("parsed %v", systems)
+	}
+	// Bare form without parentheses.
+	systems, err = ParseSystems("2,2;4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if systems[0].Product() != 4 || systems[1].Product() != 4 {
+		t.Fatalf("parsed %v", systems)
+	}
+	for _, bad := range []string{"", "   ", "(1,2)", "(2,x)"} {
+		if _, err := ParseSystems(bad); err == nil {
+			t.Fatalf("ParseSystems(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	shape, err := ParseShape("1, 2 ,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shape) != 3 || shape[1] != 2 {
+		t.Fatalf("shape = %v", shape)
+	}
+	empty, err := ParseShape("  ")
+	if err != nil || empty != nil {
+		t.Fatalf("empty shape: %v %v", empty, err)
+	}
+	if _, err := ParseShape("1,x"); err == nil {
+		t.Fatal("non-numeric shape accepted")
+	}
+}
+
+func TestLoadConfigFromFlags(t *testing.T) {
+	cfg, err := LoadConfig("", "(2,2);(4)", "1,2,1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NPrime() != 4 || cfg.TotalRadices() != 3 {
+		t.Fatalf("cfg = %s", cfg)
+	}
+}
+
+func TestLoadConfigFromJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"systems":[[2,2],[4]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NPrime() != 4 {
+		t.Fatalf("cfg = %s", cfg)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := LoadConfig("", "", ""); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := LoadConfig("x.json", "(2,2)", ""); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := LoadConfig("/nonexistent/cfg.json", "", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := LoadConfig("", "(2,2);(3)", ""); err == nil {
+		t.Fatal("invalid config (non-divisor) accepted")
+	}
+	if _, err := LoadConfig("", "(2,2)", "1,x"); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}

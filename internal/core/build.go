@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/radix-net/radixnet/internal/parallel"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/sparse"
+	"github.com/radix-net/radixnet/internal/topology"
+)
+
+// MixedRadix returns the mixed-radix topology induced by the numeral system
+// N (§III.A, Fig. 1): L+1 layers of N′ nodes where node j of layer i−1
+// connects to nodes j + n·νi (mod N′) for n ∈ {0, …, Ni−1}, with νi the
+// place value of digit i. Equivalently Wi = Σ_n P^{n·νi} (eq. 1–2).
+func MixedRadix(sys radix.System) *topology.FNNT {
+	g, err := mixedRadixOn(sys.Product(), sys)
+	if err != nil {
+		panic("core: mixed-radix construction cannot fail on its own product: " + err.Error())
+	}
+	return g
+}
+
+// mixedRadixOn builds the mixed-radix topology of sys on n nodes per layer.
+// The paper's generator (Fig. 6) always uses n = N′ even for the last
+// system, whose own product may be a proper divisor of N′; the shifts then
+// wrap modulo N′.
+func mixedRadixOn(n int, sys radix.System) (*topology.FNNT, error) {
+	if sys.Len() == 0 {
+		return nil, radix.ErrEmpty
+	}
+	if n < 1 || n%sys.Product() != 0 {
+		return nil, fmt.Errorf("core: system product %d must divide layer width %d", sys.Product(), n)
+	}
+	subs := make([]*sparse.Pattern, sys.Len())
+	parallel.BlocksGrain(sys.Len(), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := sys.Radix(i)
+			pv := sys.PlaceValue(i)
+			shifts := make([]int, r)
+			for j := 0; j < r; j++ {
+				shifts[j] = j * pv
+			}
+			subs[i] = sparse.SumOfShifts(n, shifts)
+		}
+	})
+	return topology.New(subs...)
+}
+
+// EMR returns the extended mixed-radix topology of the given systems: the
+// concatenation of their mixed-radix topologies with output layers
+// identified label-wise with the next input layer (§III.A, Fig. 2). This is
+// the RadiX-Net with all-ones dense shape (Lemma 2).
+func EMR(systems ...radix.System) (*topology.FNNT, error) {
+	cfg, err := NewConfig(systems, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Build(cfg)
+}
+
+// Build generates the RadiX-Net topology of cfg by the algorithm of Fig. 6:
+// for each system, accumulate Wi = Σ_j P^{j·pv} on N′ nodes with the place
+// value pv running within the system; then Kronecker-lift each Wi with the
+// all-ones Di−1×Di block of the dense shape (eq. 3).
+//
+// Layer submatrices are constructed in parallel; the Kronecker lift
+// parallelizes over row blocks.
+func Build(cfg Config) (*topology.FNNT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	np := cfg.NPrime()
+
+	// Pass 1: mixed-radix submatrices on N′ nodes, one per radix, across all
+	// systems (the W array of Fig. 6 before the Kronecker step).
+	type layerSpec struct {
+		radixVal   int
+		placeValue int
+	}
+	specs := make([]layerSpec, 0, cfg.TotalRadices())
+	for _, sys := range cfg.Systems {
+		for i := 0; i < sys.Len(); i++ {
+			specs = append(specs, layerSpec{radixVal: sys.Radix(i), placeValue: sys.PlaceValue(i)})
+		}
+	}
+	mrSubs := make([]*sparse.Pattern, len(specs))
+	parallel.BlocksGrain(len(specs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			shifts := make([]int, specs[i].radixVal)
+			for j := range shifts {
+				shifts[j] = j * specs[i].placeValue
+			}
+			mrSubs[i] = sparse.SumOfShifts(np, shifts)
+		}
+	})
+
+	// Pass 2: Kronecker lift with the dense shape (eq. 3).
+	shape := cfg.ShapeOrOnes()
+	subs := make([]*sparse.Pattern, len(mrSubs))
+	for i, w := range mrSubs {
+		if shape[i] == 1 && shape[i+1] == 1 {
+			subs[i] = w // 1⊗W = W; skip the copy
+			continue
+		}
+		subs[i] = sparse.Ones(shape[i], shape[i+1]).Kron(w)
+	}
+	return topology.New(subs...)
+}
+
+// BuildReference generates the same topology as Build but directly from the
+// definitions in §III.A — explicit edge enumeration j → j+n·νi (mod N′)
+// into a coordinate builder, followed by definitional block replication for
+// the Kronecker lift. It exists as an independent implementation against
+// which Build is property-tested (experiment E5) and is exported for the
+// verification command.
+func BuildReference(cfg Config) (*topology.FNNT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	np := cfg.NPrime()
+	shape := cfg.ShapeOrOnes()
+
+	subs := make([]*sparse.Pattern, 0, cfg.TotalRadices())
+	layer := 0
+	for _, sys := range cfg.Systems {
+		for i := 0; i < sys.Len(); i++ {
+			dPrev, dNext := shape[layer], shape[layer+1]
+			coo, err := sparse.NewCOO(dPrev*np, dNext*np)
+			if err != nil {
+				return nil, err
+			}
+			nu := sys.PlaceValue(i)
+			for a := 0; a < dPrev; a++ {
+				for b := 0; b < dNext; b++ {
+					for r := 0; r < np; r++ {
+						for n := 0; n < sys.Radix(i); n++ {
+							c := (r + n*nu) % np
+							if err := coo.Add(a*np+r, b*np+c); err != nil {
+								return nil, err
+							}
+						}
+					}
+				}
+			}
+			subs = append(subs, coo.Pattern())
+			layer++
+		}
+	}
+	return topology.New(subs...)
+}

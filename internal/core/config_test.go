@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/radix-net/radixnet/internal/radix"
+)
+
+func TestValidateConstraints(t *testing.T) {
+	s224 := radix.MustNew(2, 2, 4) // product 16
+	s44 := radix.MustNew(4, 4)     // product 16
+	s23 := radix.MustNew(2, 3)     // product 6
+
+	cases := []struct {
+		name    string
+		systems []radix.System
+		shape   []int
+		wantErr error
+	}{
+		{"no systems", nil, nil, ErrNoSystems},
+		{"single system", []radix.System{s224}, nil, nil},
+		{"equal products", []radix.System{s224, s44}, nil, nil},
+		{"product mismatch", []radix.System{s224, s23}, nil, ErrNotDivisor},
+		{"mismatch in middle", []radix.System{s224, s23, s44}, nil, ErrProductMismatch},
+		{"divisor last ok", []radix.System{s224, radix.MustNew(2, 4)}, nil, nil},
+		{"non-divisor last", []radix.System{s224, radix.MustNew(2, 3)}, nil, ErrNotDivisor},
+		{"good shape", []radix.System{s224}, []int{1, 2, 3, 1}, nil},
+		{"short shape", []radix.System{s224}, []int{1, 2, 3}, ErrBadShape},
+		{"long shape", []radix.System{s224}, []int{1, 2, 3, 4, 5}, ErrBadShape},
+		{"zero in shape", []radix.System{s224}, []int{1, 0, 3, 1}, ErrBadShape},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewConfig(tc.systems, tc.shape)
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateEmptySystem(t *testing.T) {
+	cfg := Config{Systems: []radix.System{{}}}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero-value system accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := radix.MustNew(3, 3, 4)
+	last := radix.MustNew(6, 2)
+	cfg, err := NewConfig([]radix.System{s, last}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NPrime() != 36 || cfg.LastProduct() != 12 {
+		t.Fatalf("N′=%d N″=%d", cfg.NPrime(), cfg.LastProduct())
+	}
+	if cfg.NumSystems() != 2 || cfg.TotalRadices() != 5 {
+		t.Fatalf("M=%d 𝕄=%d", cfg.NumSystems(), cfg.TotalRadices())
+	}
+	flat := cfg.FlatRadices()
+	want := []int{3, 3, 4, 6, 2}
+	for i, w := range want {
+		if flat[i] != w {
+			t.Fatalf("FlatRadices = %v, want %v", flat, want)
+		}
+	}
+	shape := cfg.ShapeOrOnes()
+	if len(shape) != 6 {
+		t.Fatalf("ShapeOrOnes len = %d, want 6", len(shape))
+	}
+	for _, d := range shape {
+		if d != 1 {
+			t.Fatalf("nil shape must expand to ones, got %v", shape)
+		}
+	}
+	widths := cfg.LayerWidths()
+	for _, w := range widths {
+		if w != 36 {
+			t.Fatalf("widths = %v", widths)
+		}
+	}
+}
+
+func TestNumEdgesMatchesBuiltProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		if cfg.NPrime() > 64 {
+			return true
+		}
+		g, err := Build(cfg)
+		if err != nil {
+			return false
+		}
+		return cfg.NumEdges().Int64() == int64(g.NumEdges()) &&
+			cfg.DenseEdges().Int64() == int64(g.DenseEdges()) &&
+			cfg.NumNodes().Int64() == int64(g.NumNodes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEq4DensityMatchesMeasuredProperty pins eq. (4): the closed-form
+// density equals the built topology's measured density exactly.
+func TestEq4DensityMatchesMeasuredProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		if cfg.NPrime() > 64 {
+			return true
+		}
+		g, err := Build(cfg)
+		if err != nil {
+			return false
+		}
+		exact := Density(cfg)
+		measured := g.Density()
+		diff := exact - measured
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEq5ShapeInsensitivity pins the paper's claim that for small radix
+// variance the dense shape {Di} has negligible effect on density: for a
+// zero-variance config the density is exactly µ/N′ for EVERY shape.
+func TestEq5ShapeInsensitivity(t *testing.T) {
+	sys := radix.MustNew(4, 4) // µ = 4, N′ = 16
+	base := DensityApproxMu(4, 16)
+	shapes := [][]int{
+		nil,
+		{1, 1, 1},
+		{3, 1, 2},
+		{5, 7, 2},
+		{1, 10, 1},
+	}
+	for _, shape := range shapes {
+		cfg, err := NewConfig([]radix.System{sys}, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := Density(cfg); d != base {
+			t.Fatalf("shape %v changed zero-variance density: %g vs %g", shape, d, base)
+		}
+	}
+	// With nonzero variance the shape moves density, but stays within the
+	// min/max radix bounds divided by N′.
+	sysVar := radix.MustNew(2, 8) // µ = 5, N′ = 16
+	for _, shape := range shapes {
+		cfg, err := NewConfig([]radix.System{sysVar}, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Density(cfg)
+		if d < 2.0/16 || d > 8.0/16 {
+			t.Fatalf("density %g outside radix bounds", d)
+		}
+	}
+}
+
+// TestEq6UniformExactness: at zero radix variance eq. (6) is exact.
+func TestEq6UniformExactness(t *testing.T) {
+	for mu := 2; mu <= 6; mu++ {
+		for d := 1; d <= 4; d++ {
+			cfg, err := UniformConfig(mu, d, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := Density(cfg)
+			approx := DensityApproxMuD(float64(mu), float64(d))
+			diff := exact - approx
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-12 {
+				t.Fatalf("µ=%d d=%d: exact %g vs approx %g", mu, d, exact, approx)
+			}
+		}
+	}
+}
+
+func TestDepthAndMeanRadix(t *testing.T) {
+	cfg, _ := NewConfig([]radix.System{radix.MustNew(4, 4, 4)}, nil)
+	if mu := cfg.MeanRadix(); mu != 4 {
+		t.Fatalf("µ = %g", mu)
+	}
+	if d := cfg.Depth(); d < 2.999 || d > 3.001 {
+		t.Fatalf("d = %g, want 3", d)
+	}
+	if v := cfg.RadixVariance(); v != 0 {
+		t.Fatalf("variance = %g", v)
+	}
+	mixed, _ := NewConfig([]radix.System{radix.MustNew(2, 8)}, nil)
+	if v := mixed.RadixVariance(); v != 9 {
+		t.Fatalf("variance = %g, want 9", v)
+	}
+}
+
+func TestDensityMapGrid(t *testing.T) {
+	cells := DensityMap(2, 4, 1, 3)
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d, want 9", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Valid {
+			t.Fatalf("cell µ=%d d=%d invalid on small grid", c.Mu, c.Depth)
+		}
+		// eq. (6) exactness at zero variance.
+		diff := c.Exact - c.Approx
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-12 {
+			t.Fatalf("µ=%d d=%d: exact %g vs approx %g", c.Mu, c.Depth, c.Exact, c.Approx)
+		}
+		// Monotone: density falls with both µ (for d>1) and d.
+		if c.Depth > 1 && c.Exact >= 1 {
+			t.Fatalf("µ=%d d=%d: density %g not < 1", c.Mu, c.Depth, c.Exact)
+		}
+	}
+}
+
+func TestDensityMapOverflowCells(t *testing.T) {
+	cells := DensityMap(2, 2, 62, 65)
+	overflowed := false
+	for _, c := range cells {
+		if c.Overfl {
+			overflowed = true
+			if c.Valid {
+				t.Fatal("overflowed cell marked valid")
+			}
+		}
+	}
+	if !overflowed {
+		t.Fatal("2^64-scale cells must be flagged as overflow")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cfg, _ := NewConfig([]radix.System{radix.MustNew(3, 3, 4), radix.MustNew(2, 3)}, nil)
+	s := cfg.String()
+	if !strings.Contains(s, "(3,3,4)") || !strings.Contains(s, "(2,3)") {
+		t.Fatalf("String = %q", s)
+	}
+	withShape, _ := NewConfig([]radix.System{radix.MustNew(2, 2)}, []int{1, 2, 1})
+	if !strings.Contains(withShape.String(), "D=(1,2,1)") {
+		t.Fatalf("String = %q", withShape.String())
+	}
+}
+
+func TestNewConfigCopiesInputs(t *testing.T) {
+	systems := []radix.System{radix.MustNew(2, 2)}
+	shape := []int{1, 2, 1}
+	cfg, err := NewConfig(systems, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape[1] = 99
+	if cfg.Shape[1] != 2 {
+		t.Fatal("NewConfig must copy the shape slice")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "math"
+
+// Density returns the exact density ΔG of the RadiX-Net defined by cfg in
+// closed form, eq. (4) of the paper:
+//
+//	ΔG = (1/N′) · (Σ N̄i·Di−1·Di) / (Σ Di−1·Di)
+//
+// It equals the built topology's measured density (edges / dense edges)
+// exactly; a property test pins the identity.
+func Density(cfg Config) float64 {
+	shape := cfg.ShapeOrOnes()
+	radices := cfg.FlatRadices()
+	var num, den float64
+	for i, r := range radices {
+		dd := float64(shape[i]) * float64(shape[i+1])
+		num += float64(r) * dd
+		den += dd
+	}
+	return num / den / float64(cfg.NPrime())
+}
+
+// DensityApproxMu returns the small-variance approximation of eq. (5),
+// ΔG ≈ µ/N′, which shows the dense shape {Di} has negligible effect on
+// density when the radices are nearly uniform.
+func DensityApproxMu(mu float64, nprime int) float64 {
+	return mu / float64(nprime)
+}
+
+// DensityApproxMuD returns the approximation of eq. (6), ΔG ≈ µ^{−(d−1)},
+// where µ is the mean radix and d = log_µ N′ the per-system depth. Fig. 7
+// of the paper plots exactly this surface.
+func DensityApproxMuD(mu, d float64) float64 {
+	return math.Pow(mu, -(d - 1))
+}
+
+// DensityCell is one (µ, d) cell of the Fig. 7 density map.
+type DensityCell struct {
+	Mu      int     // average (here: uniform) radix µ
+	Depth   int     // number of radices d per system
+	NPrime  int     // µ^d
+	Approx  float64 // eq. (6): µ^{−(d−1)}
+	Exact   float64 // eq. (4) on the uniform config (coincides for zero variance)
+	Valid   bool    // false when µ^d overflows or is otherwise unusable
+	Overfl  bool    // true when µ^d does not fit in int
+	EdgesLg float64 // log10 of the per-layer edge count N′·µ at D=1
+}
+
+// DensityMap evaluates the Fig. 7 surface on the grid µ ∈ [muMin, muMax],
+// d ∈ [dMin, dMax] using uniform systems (zero radix variance, where
+// approximation (6) is exact). Cells whose N′ = µ^d overflows int are
+// marked invalid rather than silently dropped.
+func DensityMap(muMin, muMax, dMin, dMax int) []DensityCell {
+	var cells []DensityCell
+	for mu := muMin; mu <= muMax; mu++ {
+		for d := dMin; d <= dMax; d++ {
+			cell := DensityCell{Mu: mu, Depth: d}
+			np := 1
+			for i := 0; i < d; i++ {
+				if np > math.MaxInt/mu {
+					cell.Overfl = true
+					break
+				}
+				np *= mu
+			}
+			if cell.Overfl {
+				cells = append(cells, cell)
+				continue
+			}
+			cell.NPrime = np
+			cell.Approx = DensityApproxMuD(float64(mu), float64(d))
+			cell.Exact = float64(mu) / float64(np) // eq. (4) with uniform radices, any shape
+			cell.Valid = true
+			cell.EdgesLg = math.Log10(float64(np) * float64(mu))
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}

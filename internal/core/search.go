@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/radix-net/radixnet/internal/radix"
+)
+
+// Candidate is one configuration proposed by Search, with its exact
+// properties precomputed for ranking.
+type Candidate struct {
+	Config     Config
+	Width      int     // nodes per (unlifted) layer, N′
+	Density    float64 // exact, eq. (4)
+	MeanRadix  float64
+	Depth      int     // radices per system
+	DensityErr float64 // |density − target| / target
+}
+
+// SearchSpec describes what a downstream user wants from a topology:
+// a layer width, a density, and how deep the network should be.
+type SearchSpec struct {
+	// Width is the desired nodes per layer (N′ when Lift == 1).
+	Width int
+	// Density is the target fraction of dense edges, in (0, 1].
+	Density float64
+	// EdgeLayers is the desired number of weight layers; candidates use as
+	// many whole systems as needed (each contributes its depth in layers).
+	EdgeLayers int
+	// Tolerance is the acceptable relative density error (default 0.25).
+	Tolerance float64
+	// MaxResults bounds the number of returned candidates (default 10).
+	MaxResults int
+}
+
+// Search enumerates mixed-radix factorizations of the requested width and
+// returns the RadiX-Net configurations whose exact density (eq. 4) lands
+// within tolerance of the target, ranked by density error then by radix
+// variance (lower variance ⇒ the paper's approximations are tighter).
+//
+// This is the "I want a 256-wide, ~1/16-dense, 8-layer sparse block" entry
+// point: the caller picks a candidate and feeds Candidate.Config to Build.
+func Search(spec SearchSpec) ([]Candidate, error) {
+	if spec.Width < 2 {
+		return nil, fmt.Errorf("core: search width %d must be ≥ 2", spec.Width)
+	}
+	if spec.Density <= 0 || spec.Density > 1 {
+		return nil, fmt.Errorf("core: search density %g out of (0,1]", spec.Density)
+	}
+	if spec.EdgeLayers < 1 {
+		return nil, fmt.Errorf("core: search needs ≥ 1 edge layer, got %d", spec.EdgeLayers)
+	}
+	tol := spec.Tolerance
+	if tol <= 0 {
+		tol = 0.25
+	}
+	maxResults := spec.MaxResults
+	if maxResults <= 0 {
+		maxResults = 10
+	}
+
+	var out []Candidate
+	for _, radices := range OrderedFactorizations(spec.Width, 16) {
+		sys, err := radix.New(radices...)
+		if err != nil {
+			continue
+		}
+		depth := sys.Len()
+		// Tile whole systems to reach ≥ EdgeLayers, trimming the tail with
+		// a shorter final system whose product divides N′ when the layer
+		// count does not divide evenly.
+		numSystems := spec.EdgeLayers / depth
+		rem := spec.EdgeLayers % depth
+		if numSystems == 0 {
+			continue // system deeper than the requested network
+		}
+		systems := make([]radix.System, numSystems)
+		for i := range systems {
+			systems[i] = sys
+		}
+		if rem > 0 {
+			tail, err := radix.New(radices[:rem]...)
+			if err != nil {
+				continue
+			}
+			systems = append(systems, tail)
+		}
+		cfg, err := NewConfig(systems, nil)
+		if err != nil {
+			continue
+		}
+		d := Density(cfg)
+		relErr := math.Abs(d-spec.Density) / spec.Density
+		if relErr > tol {
+			continue
+		}
+		out = append(out, Candidate{
+			Config:     cfg,
+			Width:      spec.Width,
+			Density:    d,
+			MeanRadix:  cfg.MeanRadix(),
+			Depth:      depth,
+			DensityErr: relErr,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DensityErr != out[j].DensityErr {
+			return out[i].DensityErr < out[j].DensityErr
+		}
+		vi := out[i].Config.RadixVariance()
+		vj := out[j].Config.RadixVariance()
+		if vi != vj {
+			return vi < vj
+		}
+		return out[i].Config.String() < out[j].Config.String()
+	})
+	if len(out) > maxResults {
+		out = out[:maxResults]
+	}
+	return out, nil
+}
+
+// OrderedFactorizations enumerates every ordered factorization of n into
+// factors ≥ 2 (n itself included as the length-1 factorization), capped at
+// maxLen factors. Order matters because radix order changes the topology
+// (though not its density): (2,8) and (8,2) wire different shift strides.
+func OrderedFactorizations(n, maxLen int) [][]int {
+	if n < 2 {
+		return nil
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	var out [][]int
+	var rec func(rem int, prefix []int)
+	rec = func(rem int, prefix []int) {
+		if rem == 1 {
+			if len(prefix) > 0 {
+				out = append(out, append([]int(nil), prefix...))
+			}
+			return
+		}
+		if len(prefix) == maxLen {
+			return
+		}
+		for f := 2; f <= rem; f++ {
+			if rem%f == 0 {
+				rec(rem/f, append(prefix, f))
+			}
+		}
+	}
+	rec(n, nil)
+	return out
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestOrderedFactorizationsSmall(t *testing.T) {
+	got := OrderedFactorizations(8, 16)
+	want := [][]int{{2, 2, 2}, {2, 4}, {4, 2}, {8}}
+	sortFactorizations(got)
+	sortFactorizations(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("factorizations of 8 = %v, want %v", got, want)
+	}
+}
+
+func TestOrderedFactorizationsPrime(t *testing.T) {
+	got := OrderedFactorizations(7, 16)
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != 7 {
+		t.Fatalf("factorizations of 7 = %v", got)
+	}
+}
+
+func TestOrderedFactorizationsProductsInvariant(t *testing.T) {
+	for _, n := range []int{12, 36, 64, 100} {
+		for _, f := range OrderedFactorizations(n, 16) {
+			prod := 1
+			for _, v := range f {
+				if v < 2 {
+					t.Fatalf("factor %d < 2 in %v", v, f)
+				}
+				prod *= v
+			}
+			if prod != n {
+				t.Fatalf("factorization %v of %d multiplies to %d", f, n, prod)
+			}
+		}
+	}
+}
+
+func TestOrderedFactorizationsLengthCap(t *testing.T) {
+	got := OrderedFactorizations(64, 2)
+	for _, f := range got {
+		if len(f) > 2 {
+			t.Fatalf("factorization %v exceeds cap", f)
+		}
+	}
+	// 64 = 2^6 has factorizations of length ≤ 2: (64), (2,32), (32,2),
+	// (4,16), (16,4), (8,8).
+	if len(got) != 6 {
+		t.Fatalf("got %d capped factorizations, want 6: %v", len(got), got)
+	}
+}
+
+func TestOrderedFactorizationsInvalid(t *testing.T) {
+	if f := OrderedFactorizations(1, 4); f != nil {
+		t.Fatalf("factorizations of 1 = %v", f)
+	}
+	if f := OrderedFactorizations(0, 4); f != nil {
+		t.Fatalf("factorizations of 0 = %v", f)
+	}
+}
+
+func sortFactorizations(fs [][]int) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func TestSearchFindsExactTarget(t *testing.T) {
+	// Width 256, density 1/16, 4 layers → systems (16,16) tiled twice.
+	cands, err := Search(SearchSpec{Width: 256, Density: 1.0 / 16, EdgeLayers: 4, Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates for an exactly-achievable target")
+	}
+	best := cands[0]
+	if best.DensityErr > 1e-9 {
+		t.Fatalf("best candidate density %g, want exactly 1/16", best.Density)
+	}
+	if best.Config.TotalRadices() != 4 {
+		t.Fatalf("best candidate has %d layers, want 4", best.Config.TotalRadices())
+	}
+	// The winning candidate must actually build and verify.
+	g, err := Build(best.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Symmetric(); !ok {
+		t.Fatal("search returned a non-symmetric candidate")
+	}
+	if math.Abs(g.Density()-1.0/16) > 1e-12 {
+		t.Fatalf("built density %g", g.Density())
+	}
+}
+
+func TestSearchRanksLowVarianceFirst(t *testing.T) {
+	// At density 1/8 and width 64 both (8,8) (var 0) and mixes like (4,16)
+	// can come close; the zero-variance one must rank first among equal
+	// errors.
+	cands, err := Search(SearchSpec{Width: 64, Density: 0.125, EdgeLayers: 2, Tolerance: 0.5, MaxResults: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("expected multiple candidates, got %d", len(cands))
+	}
+	best := cands[0]
+	if best.Config.RadixVariance() != 0 || best.DensityErr > 1e-9 {
+		t.Fatalf("best candidate should be the exact zero-variance (8,8): got %s (err %g)",
+			best.Config, best.DensityErr)
+	}
+}
+
+func TestSearchHandlesUnevenLayerCounts(t *testing.T) {
+	// 5 layers with depth-2 systems → two full systems + a 1-radix tail
+	// whose product divides N′.
+	cands, err := Search(SearchSpec{Width: 64, Density: 0.125, EdgeLayers: 5, Tolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Config.TotalRadices() != 5 {
+			t.Fatalf("candidate %s has %d layers, want 5", c.Config, c.Config.TotalRadices())
+		}
+		if err := c.Config.Validate(); err != nil {
+			t.Fatalf("candidate %s invalid: %v", c.Config, err)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(SearchSpec{Width: 1, Density: 0.5, EdgeLayers: 2}); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+	if _, err := Search(SearchSpec{Width: 64, Density: 0, EdgeLayers: 2}); err == nil {
+		t.Fatal("zero density accepted")
+	}
+	if _, err := Search(SearchSpec{Width: 64, Density: 2, EdgeLayers: 2}); err == nil {
+		t.Fatal("density > 1 accepted")
+	}
+	if _, err := Search(SearchSpec{Width: 64, Density: 0.5, EdgeLayers: 0}); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+}
+
+func TestSearchImpossibleTargetEmpty(t *testing.T) {
+	// Width 7 (prime) admits only the dense (7) system with density 1; a
+	// 0.01 target within 25% is unreachable.
+	cands, err := Search(SearchSpec{Width: 7, Density: 0.01, EdgeLayers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Fatalf("impossible target returned %d candidates", len(cands))
+	}
+}
+
+func TestSearchRespectsMaxResults(t *testing.T) {
+	cands, err := Search(SearchSpec{Width: 64, Density: 0.2, EdgeLayers: 2, Tolerance: 1, MaxResults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 3 {
+		t.Fatalf("got %d candidates, cap was 3", len(cands))
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// StreamLayerEdges enumerates the edges of one edge layer of the RadiX-Net
+// defined by cfg without materializing any matrix, calling fn(u, v) for
+// every edge from node u of layer `layer` to node v of layer `layer+1`
+// (node indices local to their layers, in [0, Di·N′)). Enumeration stops
+// early when fn returns false. This is the generation path for
+// configurations whose edge counts exceed memory (experiment E11).
+//
+// Edges are produced in deterministic order: lift block row a, then source
+// node r, then digit n, then lift block column b.
+func StreamLayerEdges(cfg Config, layer int, fn func(u, v int64) bool) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if layer < 0 || layer >= cfg.TotalRadices() {
+		return fmt.Errorf("core: layer %d out of range [0,%d)", layer, cfg.TotalRadices())
+	}
+	np := cfg.NPrime()
+	shape := cfg.ShapeOrOnes()
+
+	// Locate the system and digit index owning this edge layer.
+	sysIdx, digit := 0, layer
+	for digit >= cfg.Systems[sysIdx].Len() {
+		digit -= cfg.Systems[sysIdx].Len()
+		sysIdx++
+	}
+	sys := cfg.Systems[sysIdx]
+	r0 := sys.Radix(digit)
+	pv := sys.PlaceValue(digit)
+
+	dPrev, dNext := shape[layer], shape[layer+1]
+	for a := 0; a < dPrev; a++ {
+		base := int64(a) * int64(np)
+		for r := 0; r < np; r++ {
+			u := base + int64(r)
+			for n := 0; n < r0; n++ {
+				c := (r + n*pv) % np
+				for b := 0; b < dNext; b++ {
+					v := int64(b)*int64(np) + int64(c)
+					if !fn(u, v) {
+						return nil
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StreamEdges enumerates every edge of the topology layer by layer, calling
+// fn(layer, u, v) with layer-local node indices. Enumeration stops early
+// when fn returns false.
+func StreamEdges(cfg Config, fn func(layer int, u, v int64) bool) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	for l := 0; l < cfg.TotalRadices(); l++ {
+		stopped := false
+		err := StreamLayerEdges(cfg, l, func(u, v int64) bool {
+			if !fn(l, u, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// EdgesInLayer returns the exact edge count of one edge layer in closed
+// form: N̄·N′·Dprev·Dnext.
+func EdgesInLayer(cfg Config, layer int) (*big.Int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if layer < 0 || layer >= cfg.TotalRadices() {
+		return nil, fmt.Errorf("core: layer %d out of range [0,%d)", layer, cfg.TotalRadices())
+	}
+	radices := cfg.FlatRadices()
+	shape := cfg.ShapeOrOnes()
+	out := big.NewInt(int64(radices[layer]))
+	out.Mul(out, big.NewInt(int64(cfg.NPrime())))
+	out.Mul(out, big.NewInt(int64(shape[layer])))
+	out.Mul(out, big.NewInt(int64(shape[layer+1])))
+	return out, nil
+}

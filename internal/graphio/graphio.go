@@ -1,0 +1,317 @@
+// Package graphio serializes RadiX-Net topologies and configurations to the
+// interchange formats used around the paper's ecosystem: Graph Challenge
+// style TSV edge lists, Matrix Market pattern files, Graphviz DOT for
+// inspection, and JSON for configurations.
+package graphio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/sparse"
+	"github.com/radix-net/radixnet/internal/topology"
+)
+
+// ErrFormat is returned when parsing malformed input.
+var ErrFormat = errors.New("graphio: malformed input")
+
+// WriteTSV writes the whole topology as tab-separated `layer src dst` lines,
+// 0-indexed, in layer order. It is the library's native interchange format.
+func WriteTSV(w io.Writer, g *topology.FNNT) error {
+	bw := bufio.NewWriter(w)
+	for l := 0; l < g.NumSubs(); l++ {
+		sub := g.Sub(l)
+		for r := 0; r < sub.Rows(); r++ {
+			for _, c := range sub.Row(r) {
+				if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", l, r, c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the WriteTSV format back into an FNNT. Layer sizes are
+// inferred as one plus the largest index seen in each role; the edge list
+// must produce a valid FNNT (no dangling nodes).
+func ReadTSV(r io.Reader) (*topology.FNNT, error) {
+	type edge struct{ l, u, v int }
+	var edges []edge
+	maxLayer := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: want 3 fields, got %d", ErrFormat, lineNo, len(fields))
+		}
+		l, err1 := strconv.Atoi(fields[0])
+		u, err2 := strconv.Atoi(fields[1])
+		v, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil || l < 0 || u < 0 || v < 0 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineNo, line)
+		}
+		edges = append(edges, edge{l, u, v})
+		if l > maxLayer {
+			maxLayer = l
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxLayer < 0 {
+		return nil, fmt.Errorf("%w: no edges", ErrFormat)
+	}
+	rows := make([]int, maxLayer+1)
+	cols := make([]int, maxLayer+1)
+	for _, e := range edges {
+		if e.u+1 > rows[e.l] {
+			rows[e.l] = e.u + 1
+		}
+		if e.v+1 > cols[e.l] {
+			cols[e.l] = e.v + 1
+		}
+	}
+	// Adjacent layers share node sets: reconcile cols of layer l with rows
+	// of layer l+1.
+	for l := 0; l+1 <= maxLayer; l++ {
+		if rows[l+1] > cols[l] {
+			cols[l] = rows[l+1]
+		} else {
+			rows[l+1] = cols[l]
+		}
+	}
+	builders := make([]*sparse.COO, maxLayer+1)
+	for l := range builders {
+		b, err := sparse.NewCOO(rows[l], cols[l])
+		if err != nil {
+			return nil, fmt.Errorf("%w: layer %d: %v", ErrFormat, l, err)
+		}
+		builders[l] = b
+	}
+	for _, e := range edges {
+		if err := builders[e.l].Add(e.u, e.v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	subs := make([]*sparse.Pattern, len(builders))
+	for l, b := range builders {
+		subs[l] = b.Pattern()
+	}
+	return topology.New(subs...)
+}
+
+// WriteChallengeTSV writes one layer in the Graph Challenge convention:
+// 1-indexed `src dst weight` lines with a constant weight.
+func WriteChallengeTSV(w io.Writer, p *sparse.Pattern, weight float64) error {
+	bw := bufio.NewWriter(w)
+	for r := 0; r < p.Rows(); r++ {
+		for _, c := range p.Row(r) {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", r+1, c+1, weight); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadChallengeTSV parses a Graph Challenge layer file into a pattern and a
+// parallel weight slice aligned with the pattern's stored entries.
+func ReadChallengeTSV(r io.Reader, rows, cols int) (*sparse.Matrix, error) {
+	coo, err := sparse.NewCOO(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	type key struct{ r, c int }
+	weights := make(map[key]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: want 3 fields", ErrFormat, lineNo)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		wt, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineNo, line)
+		}
+		if err := coo.Add(u-1, v-1); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+		}
+		weights[key{u - 1, v - 1}] += wt
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	pat := coo.Pattern()
+	vals := make([]float64, 0, pat.NNZ())
+	for r := 0; r < pat.Rows(); r++ {
+		for _, c := range pat.Row(r) {
+			vals = append(vals, weights[key{r, c}])
+		}
+	}
+	return sparse.NewMatrix(pat, vals)
+}
+
+// WriteMatrixMarket writes a pattern in Matrix Market coordinate pattern
+// format (1-indexed).
+func WriteMatrixMarket(w io.Writer, p *sparse.Pattern) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern general\n%d %d %d\n",
+		p.Rows(), p.Cols(), p.NNZ()); err != nil {
+		return err
+	}
+	for r := 0; r < p.Rows(); r++ {
+		for _, c := range p.Row(r) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", r+1, c+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a Matrix Market coordinate pattern file.
+func ReadMatrixMarket(r io.Reader) (*sparse.Pattern, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "%%MatrixMarket") || !strings.Contains(header, "coordinate") {
+		return nil, fmt.Errorf("%w: bad header %q", ErrFormat, header)
+	}
+	var rows, cols, nnz int
+	sized := false
+	var coo *sparse.COO
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !sized {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: bad size line %q", ErrFormat, line)
+			}
+			var err error
+			if rows, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if cols, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if nnz, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			if coo, err = sparse.NewCOO(rows, cols); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			sized = true
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: bad entry %q", ErrFormat, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: bad entry %q", ErrFormat, line)
+		}
+		if err := coo.Add(u-1, v-1); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sized {
+		return nil, fmt.Errorf("%w: missing size line", ErrFormat)
+	}
+	if coo.Len() != nnz {
+		return nil, fmt.Errorf("%w: declared %d entries, got %d", ErrFormat, nnz, coo.Len())
+	}
+	return coo.Pattern(), nil
+}
+
+// WriteDOT renders the topology as a layered Graphviz digraph, suitable for
+// visual inspection of small networks (Fig. 1–5 scale).
+func WriteDOT(w io.Writer, g *topology.FNNT, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "fnnt"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n", name)
+	for i, size := range g.LayerSizes() {
+		fmt.Fprintf(bw, "  subgraph cluster_%d { label=\"U%d\"; rank=same;", i, i)
+		for v := 0; v < size; v++ {
+			fmt.Fprintf(bw, " L%dN%d [label=%d];", i, v, v)
+		}
+		fmt.Fprintf(bw, " }\n")
+	}
+	for l := 0; l < g.NumSubs(); l++ {
+		sub := g.Sub(l)
+		for r := 0; r < sub.Rows(); r++ {
+			for _, c := range sub.Row(r) {
+				fmt.Fprintf(bw, "  L%dN%d -> L%dN%d;\n", l, r, l+1, c)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// ConfigJSON is the JSON wire form of a core.Config.
+type ConfigJSON struct {
+	Systems [][]int `json:"systems"`
+	Shape   []int   `json:"shape,omitempty"`
+}
+
+// MarshalConfig encodes a core.Config as JSON.
+func MarshalConfig(cfg core.Config) ([]byte, error) {
+	cj := ConfigJSON{Shape: cfg.Shape}
+	for _, s := range cfg.Systems {
+		cj.Systems = append(cj.Systems, s.Radices())
+	}
+	return json.MarshalIndent(cj, "", "  ")
+}
+
+// UnmarshalConfig decodes and validates a core.Config from JSON.
+func UnmarshalConfig(data []byte) (core.Config, error) {
+	var cj ConfigJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return core.Config{}, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	systems := make([]radix.System, 0, len(cj.Systems))
+	for i, radices := range cj.Systems {
+		s, err := radix.New(radices...)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("%w: system %d: %v", ErrFormat, i, err)
+		}
+		systems = append(systems, s)
+	}
+	return core.NewConfig(systems, cj.Shape)
+}

@@ -1,0 +1,215 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+func smallEngine(t *testing.T) *Engine {
+	t.Helper()
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := FromTopology(g, 0.5, -0.05, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, 0); err == nil {
+		t.Fatal("empty engine accepted")
+	}
+	m := sparse.MatrixFromPattern(sparse.Ones(4, 4), 1)
+	if _, err := New([]*sparse.Matrix{m}, []float64{0, 0}, 0); err == nil {
+		t.Fatal("bias-count mismatch accepted")
+	}
+	bad := sparse.MatrixFromPattern(sparse.Ones(5, 4), 1)
+	if _, err := New([]*sparse.Matrix{m, bad}, []float64{0, 0}, 0); err == nil {
+		t.Fatal("nonconforming layers accepted")
+	}
+}
+
+func TestInferMatchesReferenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := &Engine{}
+		width := 4 + rng.Intn(6)
+		layers := 1 + rng.Intn(4)
+		for i := 0; i < layers; i++ {
+			pat := sparse.SumOfShifts(width, []int{0, 1 + rng.Intn(width-1)})
+			m := sparse.MatrixFromPattern(pat, 0.1+rng.Float64())
+			e.layers = append(e.layers, m)
+			e.bias = append(e.bias, rng.Float64()*0.4-0.2)
+		}
+		e.cap = 2
+		batch, err := dataset.SparseBatch(3+rng.Intn(5), width, 1+rng.Intn(width), seed)
+		if err != nil {
+			return false
+		}
+		fast, err := e.Infer(batch)
+		if err != nil {
+			return false
+		}
+		slow, err := e.ReferenceInfer(batch)
+		if err != nil {
+			return false
+		}
+		diff, err := fast.MaxAbsDiff(slow)
+		return err == nil && diff < 1e-10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferWidthError(t *testing.T) {
+	e := smallEngine(t)
+	bad, _ := sparse.NewDense(2, 7)
+	if _, err := e.Infer(bad); err == nil {
+		t.Fatal("wrong batch width accepted")
+	}
+	if _, err := e.ReferenceInfer(bad); err == nil {
+		t.Fatal("wrong batch width accepted by reference")
+	}
+}
+
+func TestReLUAndCapSemantics(t *testing.T) {
+	// Single layer, identity pattern, weight 1: y = clamp(relu(x + bias)).
+	m := sparse.MatrixFromPattern(sparse.Identity(3), 1)
+	e, err := New([]*sparse.Matrix{m}, []float64{-1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := sparse.DenseFromSlice(1, 3, []float64{0.5, 1.5, 10})
+	y, err := e.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 2} // relu(-0.5)=0, relu(0.5)=0.5, min(9,2)=2
+	for i, w := range want {
+		if y.At(0, i) != w {
+			t.Fatalf("y[%d] = %g, want %g", i, y.At(0, i), w)
+		}
+	}
+}
+
+func TestZeroCapDisablesClamp(t *testing.T) {
+	m := sparse.MatrixFromPattern(sparse.Identity(2), 1)
+	e, err := New([]*sparse.Matrix{m}, []float64{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := sparse.DenseFromSlice(1, 2, []float64{100, 1})
+	y, err := e.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(0, 0) != 100 {
+		t.Fatalf("cap=0 should not clamp; got %g", y.At(0, 0))
+	}
+}
+
+func TestFromConfigGraphChallengeShape(t *testing.T) {
+	cfg, err := core.GraphChallengeConfig(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumLayers() != 4 {
+		t.Fatalf("layers = %d", e.NumLayers())
+	}
+	if e.TotalNNZ() != 4*1024*32 {
+		t.Fatalf("nnz = %d, want %d", e.TotalNNZ(), 4*1024*32)
+	}
+	batch, err := dataset.SparseBatch(8, 1024, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := e.Infer(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows() != 8 || y.Cols() != 1024 {
+		t.Fatal("output shape wrong")
+	}
+}
+
+func TestInferCategories(t *testing.T) {
+	e := smallEngine(t)
+	batch, err := dataset.SparseBatch(6, 16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, argmax, err := e.InferCategories(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(active) != 6 || len(argmax) != 6 {
+		t.Fatal("category output length wrong")
+	}
+	for i, a := range argmax {
+		if a < 0 || a >= 16 {
+			t.Fatalf("argmax[%d] = %d out of range", i, a)
+		}
+	}
+}
+
+func TestPerturbWeightsChangesOutput(t *testing.T) {
+	e := smallEngine(t)
+	batch, _ := dataset.SparseBatch(4, 16, 4, 3)
+	before, err := e.Infer(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.PerturbWeights(0.05, 7)
+	after, err := e.Infer(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := before.MaxAbsDiff(after)
+	if diff == 0 {
+		t.Fatal("perturbation had no effect")
+	}
+}
+
+func TestDeepInferenceStability(t *testing.T) {
+	// 120 layers at Graph Challenge weighting must neither explode nor die
+	// for typical sparse inputs: some activation must survive to the end.
+	cfg, err := core.GraphChallengeConfig(1024, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := dataset.SparseBatch(2, 1024, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, _, err := e.InferCategories(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range active {
+		if !a {
+			t.Fatalf("row %d died across 120 layers; weighting is miscalibrated", i)
+		}
+	}
+}

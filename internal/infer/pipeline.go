@@ -1,0 +1,112 @@
+package infer
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// manifest is the metadata file accompanying an exported network directory.
+type manifest struct {
+	Layers []layerMeta `json:"layers"`
+	Bias   []float64   `json:"bias"`
+	Cap    float64     `json:"cap"`
+}
+
+type layerMeta struct {
+	File string `json:"file"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	NNZ  int    `json:"nnz"`
+}
+
+// SaveDir writes the engine to a directory in the Graph Challenge file
+// convention: one 1-indexed `src dst weight` TSV per layer
+// (layer-0001.tsv, …) plus a manifest.json recording shapes, biases and
+// the activation cap. The directory is created if needed; existing files
+// with the same names are overwritten.
+func (e *Engine) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("infer: %w", err)
+	}
+	m := manifest{Bias: append([]float64(nil), e.bias...), Cap: e.cap}
+	for i, l := range e.layers {
+		name := fmt.Sprintf("layer-%04d.tsv", i+1)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("infer: %w", err)
+		}
+		err = writeWeightedTSV(f, l)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("infer: layer %d: %w", i, err)
+		}
+		m.Layers = append(m.Layers, layerMeta{File: name, Rows: l.Rows(), Cols: l.Cols(), NNZ: l.NNZ()})
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("infer: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+}
+
+// writeWeightedTSV emits per-entry weights (unlike graphio.WriteChallengeTSV
+// which writes a constant weight).
+func writeWeightedTSV(f *os.File, m *sparse.Matrix) error {
+	for r := 0; r < m.Rows(); r++ {
+		var rowErr error
+		m.RowEntries(r, func(c int, v float64) {
+			if rowErr != nil {
+				return
+			}
+			_, rowErr = fmt.Fprintf(f, "%d\t%d\t%g\n", r+1, c+1, v)
+		})
+		if rowErr != nil {
+			return rowErr
+		}
+	}
+	return nil
+}
+
+// LoadDir reads a directory written by SaveDir back into an Engine,
+// validating every layer against the manifest (shape and nnz must match;
+// mismatches indicate corruption and error out rather than silently
+// producing a different network).
+func LoadDir(dir string) (*Engine, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("infer: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("infer: malformed manifest: %w", err)
+	}
+	if len(m.Layers) == 0 || len(m.Bias) != len(m.Layers) {
+		return nil, fmt.Errorf("infer: manifest lists %d layers with %d biases", len(m.Layers), len(m.Bias))
+	}
+	layers := make([]*sparse.Matrix, len(m.Layers))
+	for i, lm := range m.Layers {
+		f, err := os.Open(filepath.Join(dir, lm.File))
+		if err != nil {
+			return nil, fmt.Errorf("infer: %w", err)
+		}
+		mat, err := graphio.ReadChallengeTSV(f, lm.Rows, lm.Cols)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("infer: layer %d: %w", i, err)
+		}
+		if mat.NNZ() != lm.NNZ {
+			return nil, fmt.Errorf("infer: layer %d has %d entries, manifest says %d", i, mat.NNZ(), lm.NNZ)
+		}
+		layers[i] = mat
+	}
+	return New(layers, m.Bias, m.Cap)
+}

@@ -1,0 +1,116 @@
+package infer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/radix-net/radixnet/internal/dataset"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	e := smallEngine(t)
+	e.PerturbWeights(0.03, 5) // per-entry weights exercise the weighted writer
+	dir := t.TempDir()
+	if err := e.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumLayers() != e.NumLayers() || back.TotalNNZ() != e.TotalNNZ() {
+		t.Fatal("round trip changed the network shape")
+	}
+	// Behavioral equality: identical outputs on a batch.
+	batch, err := dataset.SparseBatch(6, 16, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Infer(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Infer(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := a.MaxAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-9 {
+		t.Fatalf("reloaded engine diverges by %g", diff)
+	}
+}
+
+func TestSaveDirLayout(t *testing.T) {
+	e := smallEngine(t)
+	dir := t.TempDir()
+	if err := e.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal("manifest missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "layer-0001.tsv")); err != nil {
+		t.Fatal("layer file missing")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != e.NumLayers()+1 {
+		t.Fatalf("directory has %d entries, want %d", len(entries), e.NumLayers()+1)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	// Manifest/bias mismatch.
+	dir2 := t.TempDir()
+	bad := `{"layers":[{"file":"layer-0001.tsv","rows":2,"cols":2,"nnz":1}],"bias":[],"cap":0}`
+	if err := os.WriteFile(filepath.Join(dir2, "manifest.json"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir2); err == nil {
+		t.Fatal("bias-count mismatch accepted")
+	}
+}
+
+func TestLoadDirDetectsTamperedLayer(t *testing.T) {
+	e := smallEngine(t)
+	dir := t.TempDir()
+	if err := e.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Drop an edge from the first layer: nnz no longer matches the manifest.
+	path := filepath.Join(dir, "layer-0001.tsv")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, b := range data {
+		if b == '\n' {
+			idx = i
+			break
+		}
+	}
+	if err := os.WriteFile(path, data[idx+1:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("tampered layer accepted")
+	}
+}

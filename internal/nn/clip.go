@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"errors"
+	"math"
+)
+
+// GradNorm returns the global L2 norm of all accumulated gradients — the
+// quantity gradient clipping rescales and a useful training diagnostic
+// (exploding gradients in deep sparse stacks show up here first).
+func GradNorm(params []Param) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G {
+			sq += g * g
+		}
+	}
+	return math.Sqrt(sq)
+}
+
+// ClipGradients rescales all gradients in place so their global L2 norm is
+// at most maxNorm, returning the pre-clip norm. It is a no-op when the norm
+// is already within bounds. maxNorm must be positive.
+func ClipGradients(params []Param, maxNorm float64) (float64, error) {
+	if maxNorm <= 0 {
+		return 0, errors.New("nn: clip norm must be positive")
+	}
+	norm := GradNorm(params)
+	if norm <= maxNorm || norm == 0 {
+		return norm, nil
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+	return norm, nil
+}

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGradNorm(t *testing.T) {
+	params := []Param{
+		{W: []float64{0, 0}, G: []float64{3, 0}},
+		{W: []float64{0}, G: []float64{4}},
+	}
+	if n := GradNorm(params); n != 5 {
+		t.Fatalf("norm = %g, want 5", n)
+	}
+	if n := GradNorm(nil); n != 0 {
+		t.Fatalf("empty norm = %g", n)
+	}
+}
+
+func TestClipGradientsRescales(t *testing.T) {
+	params := []Param{{W: []float64{0, 0}, G: []float64{3, 4}}}
+	pre, err := ClipGradients(params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre != 5 {
+		t.Fatalf("pre-clip norm = %g", pre)
+	}
+	if post := GradNorm(params); math.Abs(post-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %g, want 1", post)
+	}
+	// Direction preserved.
+	if math.Abs(params[0].G[0]/params[0].G[1]-0.75) > 1e-12 {
+		t.Fatal("clipping changed gradient direction")
+	}
+}
+
+func TestClipGradientsNoOpWithinBound(t *testing.T) {
+	params := []Param{{W: []float64{0}, G: []float64{0.5}}}
+	if _, err := ClipGradients(params, 1); err != nil {
+		t.Fatal(err)
+	}
+	if params[0].G[0] != 0.5 {
+		t.Fatal("in-bound gradient was modified")
+	}
+}
+
+func TestClipGradientsValidation(t *testing.T) {
+	if _, err := ClipGradients(nil, 0); err == nil {
+		t.Fatal("zero max norm accepted")
+	}
+	if _, err := ClipGradients(nil, -1); err == nil {
+		t.Fatal("negative max norm accepted")
+	}
+}
+
+func TestClipZeroGradientsStable(t *testing.T) {
+	params := []Param{{W: []float64{1}, G: []float64{0}}}
+	if _, err := ClipGradients(params, 1); err != nil {
+		t.Fatal(err)
+	}
+	if params[0].G[0] != 0 {
+		t.Fatal("zero gradient perturbed")
+	}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// Dropout is inverted dropout (Srivastava et al., the paper's reference
+// [5]): during training each activation is zeroed independently with
+// probability p and survivors are scaled by 1/(1−p), so evaluation needs no
+// rescaling. Dropout is the classic *stochastic* sparsification the paper
+// contrasts with RadiX-Nets' *structural* sparsity; having it in the
+// substrate lets the benchmarks compare the two regimes.
+type Dropout struct {
+	p        float64
+	rng      *rand.Rand
+	training bool
+	mask     []float64
+}
+
+// NewDropout returns a dropout layer with drop probability p ∈ [0, 1) in
+// training mode.
+func NewDropout(p float64, rng *rand.Rand) (*Dropout, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("nn: dropout probability %g out of [0,1)", p)
+	}
+	if rng == nil {
+		return nil, errors.New("nn: dropout needs a random source")
+	}
+	return &Dropout{p: p, rng: rng, training: true}, nil
+}
+
+// SetTraining toggles between training (masking) and evaluation (identity).
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Training reports whether the layer currently masks activations.
+func (d *Dropout) Training() bool { return d.training }
+
+// InSize returns 0: dropout accepts any width.
+func (d *Dropout) InSize() int { return 0 }
+
+// OutSize returns 0: dropout preserves width.
+func (d *Dropout) OutSize() int { return 0 }
+
+// Forward applies the mask in training mode and is the identity otherwise.
+func (d *Dropout) Forward(x *sparse.Dense) (*sparse.Dense, error) {
+	if !d.training || d.p == 0 {
+		d.mask = nil
+		return x, nil
+	}
+	out := x.Clone()
+	data := out.Data()
+	d.mask = make([]float64, len(data))
+	scale := 1 / (1 - d.p)
+	for i := range data {
+		if d.rng.Float64() < d.p {
+			d.mask[i] = 0
+			data[i] = 0
+		} else {
+			d.mask[i] = scale
+			data[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// Backward routes gradients through the surviving units only.
+func (d *Dropout) Backward(dOut *sparse.Dense) (*sparse.Dense, error) {
+	if d.mask == nil {
+		return dOut, nil
+	}
+	if len(d.mask) != len(dOut.Data()) {
+		return nil, ErrShape
+	}
+	dX := dOut.Clone()
+	data := dX.Data()
+	for i := range data {
+		data[i] *= d.mask[i]
+	}
+	return dX, nil
+}
+
+// Params returns nil: dropout is parameter-free.
+func (d *Dropout) Params() []Param { return nil }
+
+// CloneShared returns an independent dropout layer with its own stream,
+// seeded from the parent's stream so replicas decorrelate.
+func (d *Dropout) CloneShared() Layer {
+	return &Dropout{p: d.p, rng: rand.New(rand.NewSource(d.rng.Int63())), training: d.training}
+}
+
+// SetTrainingMode walks a network and flips every Dropout layer, returning
+// how many layers were toggled.
+func SetTrainingMode(n *Network, training bool) int {
+	count := 0
+	for _, l := range n.Layers() {
+		if d, ok := l.(*Dropout); ok {
+			d.SetTraining(training)
+			count++
+		}
+	}
+	return count
+}

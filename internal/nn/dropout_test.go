@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+func TestNewDropoutValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDropout(-0.1, rng); err == nil {
+		t.Fatal("negative p accepted")
+	}
+	if _, err := NewDropout(1, rng); err == nil {
+		t.Fatal("p = 1 accepted")
+	}
+	if _, err := NewDropout(0.5, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := NewDropout(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetTraining(false)
+	x := randBatch(rng, 4, 6)
+	out, err := d.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := x.MaxAbsDiff(out)
+	if diff != 0 {
+		t.Fatal("eval-mode dropout altered activations")
+	}
+	g := randBatch(rng, 4, 6)
+	back, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, _ = g.MaxAbsDiff(back)
+	if diff != 0 {
+		t.Fatal("eval-mode dropout altered gradients")
+	}
+}
+
+func TestDropoutMaskStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := 0.3
+	d, err := NewDropout(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := sparse.NewDense(100, 100)
+	x.Fill(1)
+	out, err := d.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros, scaled := 0, 0
+	scale := 1 / (1 - p)
+	for _, v := range out.Data() {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-scale) < 1e-12:
+			scaled++
+		default:
+			t.Fatalf("unexpected activation %g", v)
+		}
+	}
+	frac := float64(zeros) / 10000
+	if frac < p-0.05 || frac > p+0.05 {
+		t.Fatalf("drop fraction %g far from p=%g", frac, p)
+	}
+	// Inverted dropout preserves expected activation: mean ≈ 1.
+	mean := float64(scaled) * scale / 10000
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("expected activation %g, want ≈ 1", mean)
+	}
+}
+
+func TestDropoutBackwardUsesSameMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, _ := NewDropout(0.5, rng)
+	x, _ := sparse.NewDense(2, 8)
+	x.Fill(1)
+	out, _ := d.Forward(x)
+	g, _ := sparse.NewDense(2, 8)
+	g.Fill(1)
+	back, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data() {
+		// Gradient passes exactly where the activation survived, with the
+		// same scale factor.
+		if (v == 0) != (back.Data()[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutInNetworkGradcheck(t *testing.T) {
+	// With dropout forced to eval mode the network must remain exactly
+	// differentiable end to end.
+	rng := rand.New(rand.NewSource(5))
+	dl, _ := NewDenseLinear(3, 4, rng)
+	dp, _ := NewDropout(0.4, rng)
+	dl2, _ := NewDenseLinear(4, 2, rng)
+	net, err := NewNetwork(dl, Tanh(), dp, dl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := SetTrainingMode(net, false); n != 1 {
+		t.Fatalf("toggled %d dropout layers, want 1", n)
+	}
+	checkGrads(t, net, MSE{}, randBatch(rng, 4, 3), randBatch(rng, 4, 2), 1e-5)
+}
+
+func TestDropoutCloneSharedDecorrelates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, _ := NewDropout(0.5, rng)
+	c := d.CloneShared().(*Dropout)
+	if c.Training() != d.Training() {
+		t.Fatal("clone lost training mode")
+	}
+	x, _ := sparse.NewDense(10, 10)
+	x.Fill(1)
+	a, _ := d.Forward(x)
+	b, _ := c.Forward(x)
+	diff, _ := a.MaxAbsDiff(b)
+	if diff == 0 {
+		t.Fatal("clone produced an identical mask; streams not decorrelated")
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.5, Every: 2}
+	want := []float64{1, 1, 0.5, 0.5, 0.25}
+	for e, w := range want {
+		if got := s.LR(e); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("epoch %d: lr = %g, want %g", e, got, w)
+		}
+	}
+	zero := StepLR{Base: 1, Gamma: 0.5, Every: 0}
+	if zero.LR(5) != 1 {
+		t.Fatal("Every=0 must hold the base rate")
+	}
+}
+
+func TestCosineLRSchedule(t *testing.T) {
+	c := CosineLR{Base: 1, Floor: 0.1, Span: 10}
+	if got := c.LR(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("epoch 0: %g", got)
+	}
+	if got := c.LR(10); got != 0.1 {
+		t.Fatalf("past span: %g", got)
+	}
+	mid := c.LR(5)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("mid-anneal rate %g out of (floor, base)", mid)
+	}
+	// Monotone non-increasing across the span.
+	prev := c.LR(0)
+	for e := 1; e <= 10; e++ {
+		cur := c.LR(e)
+		if cur > prev+1e-12 {
+			t.Fatalf("cosine rate rose at epoch %d", e)
+		}
+		prev = cur
+	}
+}
+
+func TestWarmupLRSchedule(t *testing.T) {
+	w := WarmupLR{Warm: 4, Inner: ConstantLR{Rate: 1}}
+	prev := 0.0
+	for e := 0; e < 4; e++ {
+		cur := w.LR(e)
+		if cur <= prev || cur >= 1 {
+			t.Fatalf("warmup not ramping: epoch %d rate %g", e, cur)
+		}
+		prev = cur
+	}
+	if w.LR(4) != 1 {
+		t.Fatalf("post-warmup rate %g", w.LR(4))
+	}
+	if w.Name() != "warmup+constant" {
+		t.Fatalf("name %q", w.Name())
+	}
+}
+
+func TestApplySchedule(t *testing.T) {
+	sgd := &SGD{LR: 0.5}
+	if err := ApplySchedule(sgd, StepLR{Base: 1, Gamma: 0.1, Every: 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sgd.LR-0.01) > 1e-12 {
+		t.Fatalf("sgd lr = %g", sgd.LR)
+	}
+	adam := &Adam{LR: 0.5}
+	if err := ApplySchedule(adam, ConstantLR{Rate: 0.2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if adam.LR != 0.2 {
+		t.Fatalf("adam lr = %g", adam.LR)
+	}
+	if err := ApplySchedule(nil, ConstantLR{Rate: 1}, 0); err == nil {
+		t.Fatal("nil optimizer accepted")
+	}
+	if err := ApplySchedule(sgd, CosineLR{Base: 0, Floor: 0, Span: 1}, 5); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestFitScheduledDecaysRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dl, _ := NewDenseLinear(2, 2, rng)
+	net, _ := NewNetwork(dl)
+	opt := &SGD{LR: 1}
+	tr := &Trainer{Net: net, Opt: opt, Loss: MSE{}, BatchSize: 8, Workers: 1, Seed: 1}
+	x := randBatch(rng, 8, 2)
+	y := randBatch(rng, 8, 2)
+	if _, err := tr.FitScheduled(x, y, 6, StepLR{Base: 0.1, Gamma: 0.5, Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt.LR-0.025) > 1e-12 { // epoch 5 → 0.1·0.5² = 0.025
+		t.Fatalf("final scheduled lr = %g, want 0.025", opt.LR)
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// ConfusionMatrix counts prediction outcomes per class: entry (i, j) is the
+// number of samples with true label i predicted as j.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int
+}
+
+// Confusion builds the confusion matrix of a prediction batch against
+// integer labels.
+func Confusion(pred *sparse.Dense, labels []int, classes int) (*ConfusionMatrix, error) {
+	if pred.Rows() != len(labels) {
+		return nil, fmt.Errorf("%w: %d predictions vs %d labels", ErrShape, pred.Rows(), len(labels))
+	}
+	if classes < 1 || pred.Cols() != classes {
+		return nil, fmt.Errorf("%w: %d output columns for %d classes", ErrShape, pred.Cols(), classes)
+	}
+	cm := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, classes)
+	}
+	for i, p := range Argmax(pred) {
+		l := labels[i]
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("nn: label %d out of range [0,%d)", l, classes)
+		}
+		cm.Counts[l][p]++
+	}
+	return cm, nil
+}
+
+// Accuracy returns the trace fraction: correct predictions over total.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for i, row := range cm.Counts {
+		for j, n := range row {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns, per true class, the fraction of its samples
+// predicted correctly (NaN-free: classes with no samples report 0).
+func (cm *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, cm.Classes)
+	for i, row := range cm.Counts {
+		total := 0
+		for _, n := range row {
+			total += n
+		}
+		if total > 0 {
+			out[i] = float64(row[i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// PerClassPrecision returns, per predicted class, the fraction of its
+// predictions that were correct (classes never predicted report 0).
+func (cm *ConfusionMatrix) PerClassPrecision() []float64 {
+	out := make([]float64, cm.Classes)
+	for j := 0; j < cm.Classes; j++ {
+		total := 0
+		for i := 0; i < cm.Classes; i++ {
+			total += cm.Counts[i][j]
+		}
+		if total > 0 {
+			out[j] = float64(cm.Counts[j][j]) / float64(total)
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores, the balanced
+// summary metric for multiclass tasks.
+func (cm *ConfusionMatrix) MacroF1() float64 {
+	rec := cm.PerClassRecall()
+	prec := cm.PerClassPrecision()
+	var sum float64
+	for i := 0; i < cm.Classes; i++ {
+		if p, r := prec[i], rec[i]; p+r > 0 {
+			sum += 2 * p * r / (p + r)
+		}
+	}
+	return sum / float64(cm.Classes)
+}
+
+// String renders the matrix compactly, rows = true labels.
+func (cm *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, acc %.3f):\n", cm.Classes, cm.Accuracy())
+	for i, row := range cm.Counts {
+		fmt.Fprintf(&b, "  %2d |", i)
+		for _, n := range row {
+			fmt.Fprintf(&b, " %4d", n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

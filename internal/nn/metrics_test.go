@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+func confusionFixture(t *testing.T) *ConfusionMatrix {
+	t.Helper()
+	// Predictions: argmax per row. 3 classes, 6 samples.
+	pred, _ := sparse.DenseFromSlice(6, 3, []float64{
+		0.9, 0.1, 0.0, // → 0, true 0 ✓
+		0.8, 0.2, 0.0, // → 0, true 0 ✓
+		0.1, 0.7, 0.2, // → 1, true 1 ✓
+		0.6, 0.3, 0.1, // → 0, true 1 ✗
+		0.0, 0.1, 0.9, // → 2, true 2 ✓
+		0.1, 0.8, 0.1, // → 1, true 2 ✗
+	})
+	labels := []int{0, 0, 1, 1, 2, 2}
+	cm, err := Confusion(pred, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestConfusionCounts(t *testing.T) {
+	cm := confusionFixture(t)
+	want := [][]int{
+		{2, 0, 0},
+		{1, 1, 0},
+		{0, 1, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if cm.Counts[i][j] != want[i][j] {
+				t.Fatalf("counts = %v, want %v", cm.Counts, want)
+			}
+		}
+	}
+}
+
+func TestConfusionAccuracyAgreesWithAccuracy(t *testing.T) {
+	cm := confusionFixture(t)
+	if got := cm.Accuracy(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Fatalf("accuracy = %g, want 2/3", got)
+	}
+}
+
+func TestPerClassRecallPrecision(t *testing.T) {
+	cm := confusionFixture(t)
+	rec := cm.PerClassRecall()
+	wantRec := []float64{1, 0.5, 0.5}
+	for i, w := range wantRec {
+		if math.Abs(rec[i]-w) > 1e-12 {
+			t.Fatalf("recall = %v, want %v", rec, wantRec)
+		}
+	}
+	prec := cm.PerClassPrecision()
+	// Class 0 predicted 3× (2 correct), class 1 predicted 2× (1 correct),
+	// class 2 predicted 1× (1 correct).
+	wantPrec := []float64{2.0 / 3, 0.5, 1}
+	for i, w := range wantPrec {
+		if math.Abs(prec[i]-w) > 1e-12 {
+			t.Fatalf("precision = %v, want %v", prec, wantPrec)
+		}
+	}
+}
+
+func TestMacroF1Bounds(t *testing.T) {
+	cm := confusionFixture(t)
+	f1 := cm.MacroF1()
+	if f1 <= 0 || f1 >= 1 {
+		t.Fatalf("macro F1 = %g out of (0,1) for an imperfect classifier", f1)
+	}
+	// A perfect classifier scores exactly 1.
+	pred, _ := sparse.DenseFromSlice(2, 2, []float64{1, 0, 0, 1})
+	perfect, err := Confusion(pred, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.MacroF1() != 1 {
+		t.Fatalf("perfect F1 = %g", perfect.MacroF1())
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	pred, _ := sparse.NewDense(2, 3)
+	if _, err := Confusion(pred, []int{0}, 3); err == nil {
+		t.Fatal("label-count mismatch accepted")
+	}
+	if _, err := Confusion(pred, []int{0, 1}, 4); err == nil {
+		t.Fatal("class-count mismatch accepted")
+	}
+	if _, err := Confusion(pred, []int{0, 5}, 3); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	cm := confusionFixture(t)
+	s := cm.String()
+	if !strings.Contains(s, "acc 0.667") {
+		t.Fatalf("rendering missing accuracy: %q", s)
+	}
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+	"github.com/radix-net/radixnet/internal/topology"
+)
+
+// Network is an ordered stack of layers trained end-to-end.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork validates that consecutive layers conform (activation layers
+// report size 0 and match anything) and returns the stack.
+func NewNetwork(layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, errors.New("nn: a network needs at least one layer")
+	}
+	prevOut := 0
+	for i, l := range layers {
+		in := l.InSize()
+		if prevOut != 0 && in != 0 && prevOut != in {
+			return nil, fmt.Errorf("%w: layer %d expects %d inputs but receives %d", ErrShape, i, in, prevOut)
+		}
+		if out := l.OutSize(); out != 0 {
+			prevOut = out
+		}
+	}
+	return &Network{layers: append([]Layer(nil), layers...)}, nil
+}
+
+// Layers returns the layer stack as a shared view.
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(x *sparse.Dense) (*sparse.Dense, error) {
+	var err error
+	for i, l := range n.layers {
+		if x, err = l.Forward(x); err != nil {
+			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates the loss gradient through every layer in reverse,
+// accumulating parameter gradients.
+func (n *Network) Backward(grad *sparse.Dense) error {
+	var err error
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		if grad, err = n.layers[i].Backward(grad); err != nil {
+			return fmt.Errorf("nn: layer %d backward: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Params collects every trainable parameter across layers.
+func (n *Network) Params() []Param {
+	var params []Param
+	for _, l := range n.layers {
+		params = append(params, l.Params()...)
+	}
+	return params
+}
+
+// NumParams returns the total number of trainable scalars — the storage
+// cost sparse-vs-dense comparisons report.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// ZeroGrads clears every gradient accumulator.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+}
+
+// CloneShared returns a replica whose layers share weight storage with n
+// but own fresh gradient buffers and activation caches — safe for
+// concurrent forward/backward as long as weights are only written by the
+// coordinating trainer between passes.
+func (n *Network) CloneShared() *Network {
+	layers := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		layers[i] = l.CloneShared()
+	}
+	return &Network{layers: layers}
+}
+
+// FromTopology builds a trainable network from an FNNT: one SparseLinear
+// per adjacency submatrix with the given hidden activation between layers
+// (the final layer stays linear so it can feed either a regression loss or
+// a fused softmax). This is the bridge from RadiX-Net topologies to
+// trainable sparse DNNs.
+func FromTopology(g *topology.FNNT, hidden func() *Activation, rng *rand.Rand) (*Network, error) {
+	var layers []Layer
+	for i := 0; i < g.NumSubs(); i++ {
+		layers = append(layers, NewSparseLinear(g.Sub(i), rng))
+		if i+1 < g.NumSubs() && hidden != nil {
+			layers = append(layers, hidden())
+		}
+	}
+	return NewNetwork(layers...)
+}
+
+// DenseNet builds a fully-connected network on the given layer sizes with
+// the given hidden activation — the dense baseline of the paper's
+// comparisons.
+func DenseNet(sizes []int, hidden func() *Activation, rng *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("nn: a network needs at least two layer sizes")
+	}
+	var layers []Layer
+	for i := 0; i+1 < len(sizes); i++ {
+		dl, err := NewDenseLinear(sizes[i], sizes[i+1], rng)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, dl)
+		if i+2 < len(sizes) && hidden != nil {
+			layers = append(layers, hidden())
+		}
+	}
+	return NewNetwork(layers...)
+}

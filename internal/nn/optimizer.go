@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"errors"
+	"math"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+// Step is called once per minibatch after gradients have been accumulated;
+// implementations must tolerate the parameter list being identical across
+// calls (they key internal state by parameter index).
+type Optimizer interface {
+	Step(params []Param) error
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    [][]float64
+}
+
+// Name returns "sgd".
+func (o *SGD) Name() string { return "sgd" }
+
+// Step applies one SGD update.
+func (o *SGD) Step(params []Param) error {
+	if o.LR <= 0 {
+		return errors.New("nn: SGD learning rate must be positive")
+	}
+	if o.Momentum != 0 && o.velocity == nil {
+		o.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			o.velocity[i] = make([]float64, len(p.W))
+		}
+	}
+	if o.velocity != nil && len(o.velocity) != len(params) {
+		return errors.New("nn: SGD reused across different parameter lists")
+	}
+	for i, p := range params {
+		if len(p.W) != len(p.G) {
+			return ErrShape
+		}
+		for j := range p.W {
+			g := p.G[j] + o.WeightDecay*p.W[j]
+			if o.Momentum != 0 {
+				v := o.Momentum*o.velocity[i][j] - o.LR*g
+				o.velocity[i][j] = v
+				p.W[j] += v
+			} else {
+				p.W[j] -= o.LR * g
+			}
+		}
+	}
+	return nil
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64 // default 0.9 when zero
+	Beta2   float64 // default 0.999 when zero
+	Epsilon float64 // default 1e-8 when zero
+	t       int
+	m, v    [][]float64
+}
+
+// Name returns "adam".
+func (o *Adam) Name() string { return "adam" }
+
+// Step applies one Adam update.
+func (o *Adam) Step(params []Param) error {
+	if o.LR <= 0 {
+		return errors.New("nn: Adam learning rate must be positive")
+	}
+	b1, b2, eps := o.Beta1, o.Beta2, o.Epsilon
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if o.m == nil {
+		o.m = make([][]float64, len(params))
+		o.v = make([][]float64, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float64, len(p.W))
+			o.v[i] = make([]float64, len(p.W))
+		}
+	}
+	if len(o.m) != len(params) {
+		return errors.New("nn: Adam reused across different parameter lists")
+	}
+	o.t++
+	c1 := 1 - math.Pow(b1, float64(o.t))
+	c2 := 1 - math.Pow(b2, float64(o.t))
+	for i, p := range params {
+		if len(p.W) != len(p.G) {
+			return ErrShape
+		}
+		m, v := o.m[i], o.v[i]
+		for j := range p.W {
+			g := p.G[j]
+			m[j] = b1*m[j] + (1-b1)*g
+			v[j] = b2*v[j] + (1-b2)*g*g
+			p.W[j] -= o.LR * (m[j] / c1) / (math.Sqrt(v[j]/c2) + eps)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Schedule maps an epoch index (0-based) to a learning rate. Schedules
+// compose with any optimizer through ApplySchedule.
+type Schedule interface {
+	LR(epoch int) float64
+	Name() string
+}
+
+// ConstantLR returns the same rate every epoch.
+type ConstantLR struct{ Rate float64 }
+
+// Name returns "constant".
+func (c ConstantLR) Name() string { return "constant" }
+
+// LR returns the constant rate.
+func (c ConstantLR) LR(int) float64 { return c.Rate }
+
+// StepLR multiplies the base rate by Gamma every Every epochs — the classic
+// staircase decay.
+type StepLR struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// Name returns "step".
+func (s StepLR) Name() string { return "step" }
+
+// LR returns Base·Gamma^⌊epoch/Every⌋.
+func (s StepLR) LR(epoch int) float64 {
+	if s.Every < 1 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(epoch/s.Every))
+}
+
+// CosineLR anneals from Base to Floor over Span epochs following a half
+// cosine, then stays at Floor.
+type CosineLR struct {
+	Base  float64
+	Floor float64
+	Span  int
+}
+
+// Name returns "cosine".
+func (c CosineLR) Name() string { return "cosine" }
+
+// LR returns the annealed rate at the given epoch.
+func (c CosineLR) LR(epoch int) float64 {
+	if c.Span < 1 || epoch >= c.Span {
+		return c.Floor
+	}
+	t := float64(epoch) / float64(c.Span)
+	return c.Floor + (c.Base-c.Floor)*0.5*(1+math.Cos(math.Pi*t))
+}
+
+// WarmupLR ramps linearly from near zero to the inner schedule's rate over
+// Warm epochs, then defers to it.
+type WarmupLR struct {
+	Warm  int
+	Inner Schedule
+}
+
+// Name returns "warmup+<inner>".
+func (w WarmupLR) Name() string { return "warmup+" + w.Inner.Name() }
+
+// LR returns the warmed-up rate.
+func (w WarmupLR) LR(epoch int) float64 {
+	base := w.Inner.LR(epoch)
+	if w.Warm < 1 || epoch >= w.Warm {
+		return base
+	}
+	return base * float64(epoch+1) / float64(w.Warm+1)
+}
+
+// ApplySchedule sets the optimizer's learning rate for the given epoch.
+// It supports the optimizers of this package; unknown optimizers error so
+// a silent no-op cannot corrupt an experiment.
+func ApplySchedule(opt Optimizer, sched Schedule, epoch int) error {
+	if opt == nil || sched == nil {
+		return errors.New("nn: ApplySchedule needs an optimizer and a schedule")
+	}
+	lr := sched.LR(epoch)
+	if lr <= 0 {
+		return fmt.Errorf("nn: schedule %s produced non-positive rate %g at epoch %d", sched.Name(), lr, epoch)
+	}
+	switch o := opt.(type) {
+	case *SGD:
+		o.LR = lr
+	case *Adam:
+		o.LR = lr
+	default:
+		return fmt.Errorf("nn: cannot schedule optimizer %q", opt.Name())
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package radix implements mixed-radix numeral systems as defined in §II of
+// Robinett & Kepner, "RadiX-Net: Structured Sparse Matrices for Deep Neural
+// Networks" (2019).
+//
+// A mixed-radix numeral system is an ordered set N = (N1, …, NL) of integers
+// greater than 1. Writing N′ = ∏ Ni, the system represents every integer in
+// {0, …, N′−1} uniquely as a tuple (n1, …, nL) with ni ∈ {0, …, Ni−1} via
+//
+//	value = Σ_i ni · νi,   νi = ∏_{j<i} Nj   (the place value of digit i).
+//
+// The bijectivity of this representation is what gives mixed-radix
+// topologies exactly one path between any input/output pair (Lemma 1 of the
+// paper); the package therefore exposes encoding, decoding and place values
+// directly so higher layers can build on the proof structure.
+package radix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrEmpty is returned when a numeral system has no radices.
+var ErrEmpty = errors.New("radix: numeral system must contain at least one radix")
+
+// ErrRadixTooSmall is returned when a radix is not an integer greater than 1.
+var ErrRadixTooSmall = errors.New("radix: every radix must be an integer greater than 1")
+
+// ErrOverflow is returned when the product of the radices does not fit in an int.
+var ErrOverflow = errors.New("radix: product of radices overflows int")
+
+// System is a mixed-radix numeral system: an ordered list of radices, each
+// greater than 1. The zero value is invalid; construct with New.
+type System struct {
+	radices []int
+	place   []int // place[i] = ∏_{j<i} radices[j]; len = len(radices)+1, place[L] = N′
+}
+
+// New validates the given radices and returns the corresponding system.
+// The slice is copied; the caller keeps ownership of its argument.
+func New(radices ...int) (System, error) {
+	if len(radices) == 0 {
+		return System{}, ErrEmpty
+	}
+	place := make([]int, len(radices)+1)
+	place[0] = 1
+	for i, r := range radices {
+		if r < 2 {
+			return System{}, fmt.Errorf("%w (radix %d at position %d)", ErrRadixTooSmall, r, i)
+		}
+		if place[i] > math.MaxInt/r {
+			return System{}, ErrOverflow
+		}
+		place[i+1] = place[i] * r
+	}
+	return System{radices: append([]int(nil), radices...), place: place}, nil
+}
+
+// MustNew is New but panics on invalid input. Intended for tests, examples
+// and package-level presets with compile-time-known radices.
+func MustNew(radices ...int) System {
+	s, err := New(radices...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of radices L in the system.
+func (s System) Len() int { return len(s.radices) }
+
+// Radix returns the i-th radix Ni (0-based).
+func (s System) Radix(i int) int { return s.radices[i] }
+
+// Radices returns a copy of the radix list.
+func (s System) Radices() []int { return append([]int(nil), s.radices...) }
+
+// Product returns N′ = ∏ Ni, the number of values the system represents.
+func (s System) Product() int { return s.place[len(s.radices)] }
+
+// PlaceValue returns νi = ∏_{j<i} Nj, the weight of digit i (0-based).
+// PlaceValue(0) is always 1, and PlaceValue(Len()) equals Product().
+func (s System) PlaceValue(i int) int { return s.place[i] }
+
+// Decode returns the digit tuple (n1, …, nL) of value v, least-significant
+// digit first, matching the paper's (n1, …, nL) ordering. It reports an
+// error if v is outside {0, …, N′−1}.
+func (s System) Decode(v int) ([]int, error) {
+	if len(s.radices) == 0 {
+		return nil, ErrEmpty
+	}
+	if v < 0 || v >= s.Product() {
+		return nil, fmt.Errorf("radix: value %d out of range [0,%d)", v, s.Product())
+	}
+	digits := make([]int, len(s.radices))
+	for i, r := range s.radices {
+		digits[i] = v % r
+		v /= r
+	}
+	return digits, nil
+}
+
+// Encode is the inverse of Decode: it maps a digit tuple back to its value.
+// It reports an error if the tuple has the wrong length or a digit is out of
+// range for its radix.
+func (s System) Encode(digits []int) (int, error) {
+	if len(s.radices) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(digits) != len(s.radices) {
+		return 0, fmt.Errorf("radix: got %d digits, system has %d radices", len(digits), len(s.radices))
+	}
+	v := 0
+	for i, d := range digits {
+		if d < 0 || d >= s.radices[i] {
+			return 0, fmt.Errorf("radix: digit %d at position %d out of range [0,%d)", d, i, s.radices[i])
+		}
+		v += d * s.place[i]
+	}
+	return v, nil
+}
+
+// Mean returns the arithmetic mean µ of the radices, the quantity that
+// drives the density approximation Δ ≈ µ^{−(d−1)} (eq. 5–6 of the paper).
+func (s System) Mean() float64 {
+	sum := 0
+	for _, r := range s.radices {
+		sum += r
+	}
+	return float64(sum) / float64(len(s.radices))
+}
+
+// Variance returns the population variance of the radices. The paper's
+// density approximations assume this is "sufficiently small".
+func (s System) Variance() float64 {
+	mu := s.Mean()
+	var acc float64
+	for _, r := range s.radices {
+		d := float64(r) - mu
+		acc += d * d
+	}
+	return acc / float64(len(s.radices))
+}
+
+// Equal reports whether two systems have identical radix lists.
+func (s System) Equal(t System) bool {
+	if len(s.radices) != len(t.radices) {
+		return false
+	}
+	for i, r := range s.radices {
+		if r != t.radices[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the system in the paper's notation, e.g. "(3,3,4)".
+func (s System) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, r := range s.radices {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Parse parses the String representation, accepting "(3,3,4)", "3,3,4" and
+// surrounding whitespace.
+func Parse(text string) (System, error) {
+	t := strings.TrimSpace(text)
+	t = strings.TrimPrefix(t, "(")
+	t = strings.TrimSuffix(t, ")")
+	if strings.TrimSpace(t) == "" {
+		return System{}, ErrEmpty
+	}
+	parts := strings.Split(t, ",")
+	radices := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return System{}, fmt.Errorf("radix: parsing %q: %w", text, err)
+		}
+		radices = append(radices, v)
+	}
+	return New(radices...)
+}
+
+// Uniform returns the system (base, base, …, base) with depth digits, i.e.
+// the ordinary base-`base` positional system. It is the zero-variance case
+// for which the paper's density approximation (6) is exact.
+func Uniform(base, depth int) (System, error) {
+	if depth < 1 {
+		return System{}, ErrEmpty
+	}
+	radices := make([]int, depth)
+	for i := range radices {
+		radices[i] = base
+	}
+	return New(radices...)
+}
+
+// Factorize returns a mixed-radix system whose radices multiply to n, built
+// greedily from the prime factorization of n (smallest primes first).
+// It errors if n < 2. This is a convenience for constructing last-stage
+// systems whose product must divide N′.
+func Factorize(n int) (System, error) {
+	if n < 2 {
+		return System{}, fmt.Errorf("radix: cannot factorize %d into radices > 1", n)
+	}
+	var radices []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			radices = append(radices, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		radices = append(radices, n)
+	}
+	return New(radices...)
+}

@@ -1,0 +1,296 @@
+package radix
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		radices []int
+		wantErr error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"zero radix", []int{2, 0, 3}, ErrRadixTooSmall},
+		{"one radix", []int{1}, ErrRadixTooSmall},
+		{"negative", []int{-2}, ErrRadixTooSmall},
+		{"valid single", []int{2}, nil},
+		{"valid multi", []int{3, 3, 4}, nil},
+		{"valid large", []int{1024}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.radices...)
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("New(%v) unexpected error: %v", tc.radices, err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("New(%v) error = %v, want %v", tc.radices, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewOverflow(t *testing.T) {
+	// 2^63 overflows int64 (our int on this platform).
+	radices := make([]int, 64)
+	for i := range radices {
+		radices[i] = 2
+	}
+	if _, err := New(radices...); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("expected overflow error, got %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on invalid input should panic")
+		}
+	}()
+	MustNew(1)
+}
+
+func TestProductAndPlaceValues(t *testing.T) {
+	s := MustNew(3, 3, 4)
+	if got := s.Product(); got != 36 {
+		t.Fatalf("Product = %d, want 36", got)
+	}
+	wantPV := []int{1, 3, 9, 36}
+	for i, want := range wantPV {
+		if got := s.PlaceValue(i); got != want {
+			t.Fatalf("PlaceValue(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Radix(2) != 4 {
+		t.Fatalf("Radix(2) = %d, want 4", s.Radix(2))
+	}
+}
+
+func TestDecodeKnownValues(t *testing.T) {
+	// The paper's Fig. 2 system (3,3,4): value 2+3 means digits (2,1,0)? No:
+	// 5 = 2·1 + 1·3 → digits (2,1,0).
+	s := MustNew(3, 3, 4)
+	cases := map[int][]int{
+		0:  {0, 0, 0},
+		1:  {1, 0, 0},
+		3:  {0, 1, 0},
+		9:  {0, 0, 1},
+		5:  {2, 1, 0},
+		35: {2, 2, 3},
+	}
+	for v, want := range cases {
+		got, err := s.Decode(v)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Decode(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestDecodeRangeErrors(t *testing.T) {
+	s := MustNew(2, 2)
+	for _, v := range []int{-1, 4, 100} {
+		if _, err := s.Decode(v); err == nil {
+			t.Fatalf("Decode(%d) should fail", v)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := MustNew(2, 3)
+	if _, err := s.Encode([]int{1}); err == nil {
+		t.Fatal("Encode with wrong digit count should fail")
+	}
+	if _, err := s.Encode([]int{2, 0}); err == nil {
+		t.Fatal("Encode with out-of-range digit should fail")
+	}
+	if _, err := s.Encode([]int{-1, 0}); err == nil {
+		t.Fatal("Encode with negative digit should fail")
+	}
+}
+
+// randomSystem draws a small random numeral system for property tests.
+func randomSystem(rng *rand.Rand) System {
+	l := 1 + rng.Intn(4)
+	radices := make([]int, l)
+	for i := range radices {
+		radices[i] = 2 + rng.Intn(5)
+	}
+	return MustNew(radices...)
+}
+
+func TestEncodeDecodeBijectionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSystem(rng)
+		seen := make(map[int]bool, s.Product())
+		for v := 0; v < s.Product(); v++ {
+			digits, err := s.Decode(v)
+			if err != nil {
+				return false
+			}
+			back, err := s.Encode(digits)
+			if err != nil || back != v {
+				return false
+			}
+			if seen[back] {
+				return false
+			}
+			seen[back] = true
+		}
+		return len(seen) == s.Product()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigitRangesProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSystem(rng)
+		for v := 0; v < s.Product(); v++ {
+			digits, _ := s.Decode(v)
+			for i, d := range digits {
+				if d < 0 || d >= s.Radix(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	s := MustNew(2, 4)
+	if got := s.Mean(); got != 3 {
+		t.Fatalf("Mean = %g, want 3", got)
+	}
+	if got := s.Variance(); got != 1 {
+		t.Fatalf("Variance = %g, want 1", got)
+	}
+	u := MustNew(5, 5, 5)
+	if got := u.Variance(); got != 0 {
+		t.Fatalf("uniform Variance = %g, want 0", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustNew(2, 3)
+	b := MustNew(2, 3)
+	c := MustNew(3, 2)
+	d := MustNew(2, 3, 2)
+	if !a.Equal(b) {
+		t.Fatal("identical systems should be Equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("order matters: (2,3) != (3,2)")
+	}
+	if a.Equal(d) {
+		t.Fatal("length matters")
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, radices := range [][]int{{2}, {2, 2, 2}, {3, 3, 4}, {10, 7}} {
+		s := MustNew(radices...)
+		parsed, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if !s.Equal(parsed) {
+			t.Fatalf("round trip %q lost information", s.String())
+		}
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	for _, text := range []string{"(3,3,4)", "3,3,4", "  ( 3 , 3 , 4 ) "} {
+		s, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if s.Product() != 36 {
+			t.Fatalf("Parse(%q).Product = %d, want 36", text, s.Product())
+		}
+	}
+	for _, bad := range []string{"", "()", "(a,b)", "(2,,3)", "(1,2)"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	s, err := Uniform(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Product() != 64 || s.Len() != 3 {
+		t.Fatalf("Uniform(4,3) = %v", s)
+	}
+	if s.Variance() != 0 {
+		t.Fatal("uniform system must have zero variance")
+	}
+	if _, err := Uniform(4, 0); err == nil {
+		t.Fatal("Uniform with zero depth should fail")
+	}
+	if _, err := Uniform(1, 3); err == nil {
+		t.Fatal("Uniform with base 1 should fail")
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	cases := map[int][]int{
+		8:   {2, 2, 2},
+		36:  {2, 2, 3, 3},
+		7:   {7},
+		12:  {2, 2, 3},
+		100: {2, 2, 5, 5},
+	}
+	for n, want := range cases {
+		s, err := Factorize(n)
+		if err != nil {
+			t.Fatalf("Factorize(%d): %v", n, err)
+		}
+		if !reflect.DeepEqual(s.Radices(), want) {
+			t.Fatalf("Factorize(%d) = %v, want %v", n, s.Radices(), want)
+		}
+		if s.Product() != n {
+			t.Fatalf("Factorize(%d).Product = %d", n, s.Product())
+		}
+	}
+	for _, bad := range []int{0, 1, -4} {
+		if _, err := Factorize(bad); err == nil {
+			t.Fatalf("Factorize(%d) should fail", bad)
+		}
+	}
+}
+
+func TestRadicesCopyIsolation(t *testing.T) {
+	input := []int{2, 3, 4}
+	s := MustNew(input...)
+	input[0] = 99
+	if s.Radix(0) != 2 {
+		t.Fatal("System must copy its input slice")
+	}
+	out := s.Radices()
+	out[1] = 99
+	if s.Radix(1) != 3 {
+		t.Fatal("Radices must return a copy")
+	}
+}

@@ -1,0 +1,77 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a mutable coordinate-format builder for sparsity patterns. Entries
+// may be added in any order; duplicates collapse when converting to a
+// Pattern. COO is the natural target for streaming generators and file
+// readers; all algebra happens on the immutable CSR forms.
+type COO struct {
+	rows, cols int
+	r, c       []int
+}
+
+// NewCOO returns an empty builder with the given shape.
+func NewCOO(rows, cols int) (*COO, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrDims, rows, cols)
+	}
+	return &COO{rows: rows, cols: cols}, nil
+}
+
+// Rows returns the number of rows.
+func (m *COO) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *COO) Cols() int { return m.cols }
+
+// Len returns the number of entries added so far (including duplicates).
+func (m *COO) Len() int { return len(m.r) }
+
+// Add records entry (r, c). It errors if the indices are out of range.
+func (m *COO) Add(r, c int) error {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return fmt.Errorf("sparse: entry (%d,%d) out of range %dx%d", r, c, m.rows, m.cols)
+	}
+	m.r = append(m.r, r)
+	m.c = append(m.c, c)
+	return nil
+}
+
+// Pattern converts the accumulated entries into an immutable CSR Pattern,
+// sorting rows and collapsing duplicates.
+func (m *COO) Pattern() *Pattern {
+	counts := make([]int, m.rows+1)
+	for _, r := range m.r {
+		counts[r+1]++
+	}
+	for i := 0; i < m.rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int, len(m.c))
+	next := append([]int(nil), counts[:m.rows]...)
+	for i, r := range m.r {
+		colIdx[next[r]] = m.c[i]
+		next[r]++
+	}
+	// Sort and dedupe within each row, compacting in place.
+	p := &Pattern{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	out := colIdx[:0]
+	for r := 0; r < m.rows; r++ {
+		row := colIdx[counts[r]:counts[r+1]]
+		sort.Ints(row)
+		prev := -1
+		for _, c := range row {
+			if c != prev {
+				out = append(out, c)
+				prev = c
+			}
+		}
+		p.rowPtr[r+1] = len(out)
+	}
+	p.colIdx = append([]int(nil), out...)
+	return p
+}

@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCOOValidation(t *testing.T) {
+	if _, err := NewCOO(0, 2); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewCOO(2, 0); err == nil {
+		t.Fatal("zero cols accepted")
+	}
+}
+
+func TestCOOAddRangeErrors(t *testing.T) {
+	coo, _ := NewCOO(2, 2)
+	for _, e := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		if err := coo.Add(e[0], e[1]); err == nil {
+			t.Fatalf("out-of-range entry %v accepted", e)
+		}
+	}
+}
+
+func TestCOODedupAndSort(t *testing.T) {
+	coo, _ := NewCOO(2, 4)
+	for _, e := range [][2]int{{1, 3}, {0, 2}, {0, 0}, {0, 2}, {1, 3}, {1, 0}} {
+		if err := coo.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := coo.Pattern()
+	if p.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", p.NNZ())
+	}
+	r0 := p.Row(0)
+	if len(r0) != 2 || r0[0] != 0 || r0[1] != 2 {
+		t.Fatalf("row 0 = %v", r0)
+	}
+	r1 := p.Row(1)
+	if len(r1) != 2 || r1[0] != 0 || r1[1] != 3 {
+		t.Fatalf("row 1 = %v", r1)
+	}
+}
+
+func TestCOOMatchesNewPatternProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		coo, _ := NewCOO(rows, cols)
+		rowCols := make([][]int, rows)
+		for k := 0; k < rng.Intn(60); k++ {
+			r, c := rng.Intn(rows), rng.Intn(cols)
+			if err := coo.Add(r, c); err != nil {
+				return false
+			}
+			rowCols[r] = append(rowCols[r], c)
+		}
+		viaCOO := coo.Pattern()
+		viaNew, err := NewPattern(rows, cols, rowCols)
+		if err != nil {
+			return false
+		}
+		return viaCOO.Equal(viaNew)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCOOEmptyPattern(t *testing.T) {
+	coo, _ := NewCOO(3, 3)
+	p := coo.Pattern()
+	if p.NNZ() != 0 || p.Rows() != 3 || p.Cols() != 3 {
+		t.Fatal("empty COO should give empty pattern of same shape")
+	}
+}
+
+func TestCOOLenCountsDuplicates(t *testing.T) {
+	coo, _ := NewCOO(1, 1)
+	_ = coo.Add(0, 0)
+	_ = coo.Add(0, 0)
+	if coo.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (pre-dedup)", coo.Len())
+	}
+	if coo.Pattern().NNZ() != 1 {
+		t.Fatal("Pattern must dedup")
+	}
+}

@@ -1,0 +1,150 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/radix-net/radixnet/internal/parallel"
+)
+
+// Dense is a row-major dense float64 matrix. It backs the training
+// substrate's activations and serves as the reference implementation that
+// sparse kernels are tested against.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len rows*cols, row-major
+}
+
+// NewDense returns a zeroed rows×cols dense matrix.
+func NewDense(rows, cols int) (*Dense, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrDims, rows, cols)
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}, nil
+}
+
+// DenseFromSlice wraps a row-major slice of length rows*cols without copying.
+func DenseFromSlice(rows, cols int, data []float64) (*Dense, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrDims, rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("sparse: slice length %d, want %d", len(data), rows*cols)
+	}
+	return &Dense{rows: rows, cols: cols, data: data}, nil
+}
+
+// Rows returns the number of rows.
+func (d *Dense) Rows() int { return d.rows }
+
+// Cols returns the number of columns.
+func (d *Dense) Cols() int { return d.cols }
+
+// At returns element (r, c).
+func (d *Dense) At(r, c int) float64 { return d.data[r*d.cols+c] }
+
+// Set assigns element (r, c).
+func (d *Dense) Set(r, c int, v float64) { d.data[r*d.cols+c] = v }
+
+// RowSlice returns row r as a shared view.
+func (d *Dense) RowSlice(r int) []float64 { return d.data[r*d.cols : (r+1)*d.cols] }
+
+// Data returns the backing row-major slice as a shared view.
+func (d *Dense) Data() []float64 { return d.data }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	return &Dense{rows: d.rows, cols: d.cols, data: append([]float64(nil), d.data...)}
+}
+
+// RowsView returns rows [lo, hi) as a matrix sharing the same backing
+// storage — the zero-copy shard view used by data-parallel training.
+func (d *Dense) RowsView(lo, hi int) (*Dense, error) {
+	if lo < 0 || hi > d.rows || lo >= hi {
+		return nil, fmt.Errorf("%w: rows [%d,%d) of %d", ErrDims, lo, hi, d.rows)
+	}
+	return &Dense{rows: hi - lo, cols: d.cols, data: d.data[lo*d.cols : hi*d.cols]}, nil
+}
+
+// Fill sets every element to v.
+func (d *Dense) Fill(v float64) {
+	for i := range d.data {
+		d.data[i] = v
+	}
+}
+
+// Apply replaces every element x with fn(x).
+func (d *Dense) Apply(fn func(float64) float64) {
+	for i, v := range d.data {
+		d.data[i] = fn(v)
+	}
+}
+
+// AddInPlace adds o elementwise into d. Shapes must match.
+func (d *Dense) AddInPlace(o *Dense) error {
+	if d.rows != o.rows || d.cols != o.cols {
+		return fmt.Errorf("%w: add %dx%d += %dx%d", ErrDims, d.rows, d.cols, o.rows, o.cols)
+	}
+	for i, v := range o.data {
+		d.data[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every element by a.
+func (d *Dense) Scale(a float64) {
+	for i := range d.data {
+		d.data[i] *= a
+	}
+}
+
+// MatMul returns d·o using a cache-friendly ikj loop, parallelized over row
+// blocks of d when profitable.
+func (d *Dense) MatMul(o *Dense) (*Dense, error) {
+	if d.cols != o.rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrDims, d.rows, d.cols, o.rows, o.cols)
+	}
+	out := &Dense{rows: d.rows, cols: o.cols, data: make([]float64, d.rows*o.cols)}
+	parallel.BlocksGrain(d.rows, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outRow := out.data[i*o.cols : (i+1)*o.cols]
+			for k := 0; k < d.cols; k++ {
+				a := d.data[i*d.cols+k]
+				if a == 0 {
+					continue
+				}
+				oRow := o.data[k*o.cols : (k+1)*o.cols]
+				for j, b := range oRow {
+					outRow[j] += a * b
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Transpose returns the transposed matrix.
+func (d *Dense) Transpose() *Dense {
+	t := &Dense{rows: d.cols, cols: d.rows, data: make([]float64, len(d.data))}
+	for r := 0; r < d.rows; r++ {
+		for c := 0; c < d.cols; c++ {
+			t.data[c*d.rows+r] = d.data[r*d.cols+c]
+		}
+	}
+	return t
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// equally-shaped matrices, or an error on shape mismatch.
+func (d *Dense) MaxAbsDiff(o *Dense) (float64, error) {
+	if d.rows != o.rows || d.cols != o.cols {
+		return 0, fmt.Errorf("%w: compare %dx%d vs %dx%d", ErrDims, d.rows, d.cols, o.rows, o.cols)
+	}
+	var m float64
+	for i, v := range d.data {
+		if diff := math.Abs(v - o.data[i]); diff > m {
+			m = diff
+		}
+	}
+	return m, nil
+}

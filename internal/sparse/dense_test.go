@@ -1,0 +1,161 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseValidation(t *testing.T) {
+	if _, err := NewDense(0, 3); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewDense(3, -1); err == nil {
+		t.Fatal("negative cols accepted")
+	}
+}
+
+func TestDenseFromSlice(t *testing.T) {
+	d, err := DenseFromSlice(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g", d.At(1, 0))
+	}
+	if _, err := DenseFromSlice(2, 2, []float64{1}); err == nil {
+		t.Fatal("short slice accepted")
+	}
+}
+
+func TestDenseMatMulAgainstNaiveProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a, _ := NewDense(m, k)
+		b, _ := NewDense(k, n)
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		for i := range b.Data() {
+			b.Data()[i] = rng.NormFloat64()
+		}
+		got, err := a.MatMul(b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want float64
+				for l := 0; l < k; l++ {
+					want += a.At(i, l) * b.At(l, j)
+				}
+				if math.Abs(got.At(i, j)-want) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseMatMulShapeError(t *testing.T) {
+	a, _ := NewDense(2, 3)
+	b, _ := NewDense(4, 2)
+	if _, err := a.MatMul(b); err == nil {
+		t.Fatal("nonconforming MatMul accepted")
+	}
+}
+
+func TestDenseTranspose(t *testing.T) {
+	d, _ := DenseFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := d.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatal("transpose shape wrong")
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if d.At(r, c) != tr.At(c, r) {
+				t.Fatalf("transpose wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestDenseCloneIsolation(t *testing.T) {
+	d, _ := NewDense(2, 2)
+	d.Set(0, 0, 1)
+	c := d.Clone()
+	c.Set(0, 0, 99)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRowsView(t *testing.T) {
+	d, _ := DenseFromSlice(4, 2, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	v, err := d.RowsView(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rows() != 2 || v.At(0, 0) != 3 || v.At(1, 1) != 6 {
+		t.Fatal("view content wrong")
+	}
+	v.Set(0, 0, 42)
+	if d.At(1, 0) != 42 {
+		t.Fatal("RowsView must share storage")
+	}
+	if _, err := d.RowsView(3, 3); err == nil {
+		t.Fatal("empty view accepted")
+	}
+	if _, err := d.RowsView(-1, 2); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if _, err := d.RowsView(0, 5); err == nil {
+		t.Fatal("hi out of range accepted")
+	}
+}
+
+func TestApplyFillScaleAdd(t *testing.T) {
+	d, _ := NewDense(2, 2)
+	d.Fill(2)
+	d.Apply(func(x float64) float64 { return x * x })
+	d.Scale(0.25)
+	for _, v := range d.Data() {
+		if v != 1 {
+			t.Fatalf("value = %g, want 1", v)
+		}
+	}
+	o, _ := NewDense(2, 2)
+	o.Fill(3)
+	if err := d.AddInPlace(o); err != nil {
+		t.Fatal(err)
+	}
+	if d.At(1, 1) != 4 {
+		t.Fatalf("AddInPlace = %g, want 4", d.At(1, 1))
+	}
+	bad, _ := NewDense(3, 2)
+	if err := d.AddInPlace(bad); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := DenseFromSlice(1, 3, []float64{1, 2, 3})
+	b, _ := DenseFromSlice(1, 3, []float64{1, 2.5, 2})
+	d, err := a.MaxAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("MaxAbsDiff = %g, want 1", d)
+	}
+	c, _ := NewDense(2, 3)
+	if _, err := a.MaxAbsDiff(c); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// ReachabilityProfile returns, for input node u, how many nodes of each
+// layer are reachable from u — the growth curve of u's "receptive field".
+// For a path-connected FNNT the final entry equals the output layer size;
+// for mixed-radix topologies the profile grows exactly by the layer radix
+// (∏ of radices seen so far), which tests pin.
+func (g *FNNT) ReachabilityProfile(u int) ([]int, error) {
+	if u < 0 || u >= g.LayerSize(0) {
+		return nil, fmt.Errorf("topology: input node %d out of range [0,%d)", u, g.LayerSize(0))
+	}
+	profile := make([]int, g.NumLayers())
+	frontier := make([]bool, g.LayerSize(0))
+	frontier[u] = true
+	profile[0] = 1
+	for l := 0; l < g.NumSubs(); l++ {
+		w := g.Sub(l)
+		next := make([]bool, w.Cols())
+		count := 0
+		for r, in := range frontier {
+			if !in {
+				continue
+			}
+			for _, c := range w.Row(r) {
+				if !next[c] {
+					next[c] = true
+					count++
+				}
+			}
+		}
+		profile[l+1] = count
+		frontier = next
+	}
+	return profile, nil
+}
+
+// DependenceProfile returns, for output node v, how many nodes of each
+// layer can reach v — the mirror image of ReachabilityProfile, indexed
+// from the input layer (entry 0) to the output layer (entry n, always 1).
+func (g *FNNT) DependenceProfile(v int) ([]int, error) {
+	out := g.LayerSize(g.NumLayers() - 1)
+	if v < 0 || v >= out {
+		return nil, fmt.Errorf("topology: output node %d out of range [0,%d)", v, out)
+	}
+	profile := make([]int, g.NumLayers())
+	frontier := make([]bool, out)
+	frontier[v] = true
+	profile[g.NumLayers()-1] = 1
+	for l := g.NumSubs() - 1; l >= 0; l-- {
+		w := g.Sub(l)
+		prev := make([]bool, w.Rows())
+		count := 0
+		for r := 0; r < w.Rows(); r++ {
+			for _, c := range w.Row(r) {
+				if frontier[c] {
+					if !prev[r] {
+						prev[r] = true
+						count++
+					}
+					break
+				}
+			}
+		}
+		profile[l] = count
+		frontier = prev
+	}
+	return profile, nil
+}
+
+// Bottleneck returns the smallest per-layer reachable-set size over all
+// input nodes at each layer — a diagnostic for information flow: a
+// path-connected topology must end with every bottleneck entry equal to
+// the full layer width at the output.
+func (g *FNNT) Bottleneck() ([]int, error) {
+	n0 := g.LayerSize(0)
+	var minProfile []int
+	for u := 0; u < n0; u++ {
+		p, err := g.ReachabilityProfile(u)
+		if err != nil {
+			return nil, err
+		}
+		if minProfile == nil {
+			minProfile = p
+			continue
+		}
+		for i, v := range p {
+			if v < minProfile[i] {
+				minProfile[i] = v
+			}
+		}
+	}
+	return minProfile, nil
+}
+
+// SymmetricViaAdjacencyPower verifies the symmetry criterion exactly as §II
+// prints it: assemble the full adjacency matrix A (eq. 11), raise it to the
+// n-th power with exact big-integer arithmetic, and check that the only
+// nonzero block is a constant m·1 block in rows U0 × columns Un. It is the
+// slow, definition-literal cross-check for Symmetric(), which works on the
+// factored submatrices instead; a property test pins their agreement.
+func (g *FNNT) SymmetricViaAdjacencyPower() (*big.Int, bool) {
+	a := g.Assemble()
+	power := sparse.BigFromPattern(a)
+	for i := 1; i < g.NumSubs(); i++ {
+		next, err := power.MulPattern(a)
+		if err != nil {
+			panic("topology: assembled matrix is square by construction: " + err.Error())
+		}
+		power = next
+	}
+	// Offsets of the input rows and output columns within A's node order.
+	inputEnd := g.LayerSize(0)
+	outputStart := g.NumNodes() - g.LayerSize(g.NumLayers()-1)
+	var m *big.Int
+	for r := 0; r < power.Rows(); r++ {
+		for c := 0; c < power.Cols(); c++ {
+			v := power.At(r, c)
+			inBlock := r < inputEnd && c >= outputStart
+			if !inBlock {
+				if v.Sign() != 0 {
+					return nil, false
+				}
+				continue
+			}
+			if m == nil {
+				m = new(big.Int).Set(v)
+			} else if m.Cmp(v) != 0 {
+				return nil, false
+			}
+		}
+	}
+	if m == nil || m.Sign() <= 0 {
+		return nil, false
+	}
+	return m, true
+}
+
+// PathSpectrum returns the multiset of distinct path-count values appearing
+// in the exact path-count matrix, sorted ascending, together with their
+// multiplicities. A symmetric topology has a one-element spectrum; the
+// spectrum's spread quantifies *how far* an arbitrary FNNT is from
+// symmetry, which the X-Net comparisons report.
+func (g *FNNT) PathSpectrum() ([]*big.Int, []int) {
+	counts := g.PathCounts()
+	freq := make(map[string]*struct {
+		v *big.Int
+		n int
+	})
+	for r := 0; r < counts.Rows(); r++ {
+		for c := 0; c < counts.Cols(); c++ {
+			v := counts.At(r, c)
+			k := v.String()
+			if e, ok := freq[k]; ok {
+				e.n++
+			} else {
+				freq[k] = &struct {
+					v *big.Int
+					n int
+				}{v: new(big.Int).Set(v), n: 1}
+			}
+		}
+	}
+	values := make([]*big.Int, 0, len(freq))
+	for _, e := range freq {
+		values = append(values, e.v)
+	}
+	// Sort ascending by big.Int comparison (insertion sort; spectra are small).
+	for i := 1; i < len(values); i++ {
+		for j := i; j > 0 && values[j].Cmp(values[j-1]) < 0; j-- {
+			values[j], values[j-1] = values[j-1], values[j]
+		}
+	}
+	mult := make([]int, len(values))
+	for i, v := range values {
+		mult[i] = freq[v.String()].n
+	}
+	return values, mult
+}

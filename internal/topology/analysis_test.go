@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// mixedRadix8 builds the Fig. 1 topology (N = (2,2,2) on 8 nodes) locally
+// to avoid an import cycle with core.
+func mixedRadix8(t *testing.T) *FNNT {
+	t.Helper()
+	g, err := New(
+		sparse.SumOfShifts(8, []int{0, 1}),
+		sparse.SumOfShifts(8, []int{0, 2}),
+		sparse.SumOfShifts(8, []int{0, 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReachabilityProfileMixedRadix(t *testing.T) {
+	// A mixed-radix topology's receptive field grows exactly by the product
+	// of radices seen so far: 1 → 2 → 4 → 8.
+	g := mixedRadix8(t)
+	for u := 0; u < 8; u++ {
+		p, err := g.ReachabilityProfile(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{1, 2, 4, 8}
+		for i, w := range want {
+			if p[i] != w {
+				t.Fatalf("u=%d profile = %v, want %v", u, p, want)
+			}
+		}
+	}
+	if _, err := g.ReachabilityProfile(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := g.ReachabilityProfile(8); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestDependenceProfileMirrorsReachability(t *testing.T) {
+	// Mixed-radix topologies are degree-regular both ways; the dependence
+	// profile of any output is 8 → 4 → 2 → 1 reversed.
+	g := mixedRadix8(t)
+	for v := 0; v < 8; v++ {
+		p, err := g.DependenceProfile(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{8, 4, 2, 1}
+		for i, w := range want {
+			if p[i] != w {
+				t.Fatalf("v=%d profile = %v, want %v", v, p, want)
+			}
+		}
+	}
+	if _, err := g.DependenceProfile(99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestReachabilityConsistentWithPathCountsProperty(t *testing.T) {
+	// A node is reachable iff its exact path count is positive.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randFNNT(rng)
+		for u := 0; u < g.LayerSize(0); u++ {
+			counts, err := g.PathsFrom(u)
+			if err != nil {
+				return false
+			}
+			reach := 0
+			for _, c := range counts {
+				if c.Sign() > 0 {
+					reach++
+				}
+			}
+			p, err := g.ReachabilityProfile(u)
+			if err != nil {
+				return false
+			}
+			if p[len(p)-1] != reach {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBottleneckFullAtOutputIffPathConnected(t *testing.T) {
+	g := mixedRadix8(t)
+	b, err := g.Bottleneck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(b)-1] != 8 {
+		t.Fatalf("bottleneck = %v; path-connected net must end full", b)
+	}
+	// Disconnected identity chains bottleneck at 1.
+	iso, _ := New(sparse.Identity(3), sparse.Identity(3))
+	b, err = iso.Bottleneck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(b)-1] != 1 {
+		t.Fatalf("identity-chain bottleneck = %v", b)
+	}
+}
+
+func TestBottleneckMatchesPathConnectedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randFNNT(rng)
+		b, err := g.Bottleneck()
+		if err != nil {
+			return false
+		}
+		full := b[len(b)-1] == g.LayerSize(g.NumLayers()-1)
+		return full == g.PathConnected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathSpectrumSymmetricSingleton(t *testing.T) {
+	g := mixedRadix8(t)
+	values, mult := g.PathSpectrum()
+	if len(values) != 1 || values[0].Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("spectrum = %v", values)
+	}
+	if mult[0] != 64 {
+		t.Fatalf("multiplicity = %d, want 64 pairs", mult[0])
+	}
+}
+
+func TestPathSpectrumDetectsAsymmetry(t *testing.T) {
+	g := fig4FNNT(t)
+	values, mult := g.PathSpectrum()
+	if len(values) < 2 {
+		t.Fatalf("asymmetric net should have a spread spectrum, got %v", values)
+	}
+	// Sorted ascending.
+	for i := 1; i < len(values); i++ {
+		if values[i].Cmp(values[i-1]) <= 0 {
+			t.Fatalf("spectrum not ascending: %v", values)
+		}
+	}
+	total := 0
+	for _, m := range mult {
+		total += m
+	}
+	if total != g.LayerSize(0)*g.LayerSize(g.NumLayers()-1) {
+		t.Fatalf("multiplicities sum to %d", total)
+	}
+}
+
+func TestSymmetricViaAdjacencyPowerMatchesFactored(t *testing.T) {
+	// The definition-literal A^n criterion (§II as printed) must agree with
+	// the factored-product verifier on both symmetric and asymmetric nets.
+	g := mixedRadix8(t)
+	mA, okA := g.SymmetricViaAdjacencyPower()
+	mF, okF := g.Symmetric()
+	if !okA || !okF || mA.Cmp(mF) != 0 {
+		t.Fatalf("criteria disagree: A^n (%v,%v) vs factored (%v,%v)", mA, okA, mF, okF)
+	}
+	asym := fig4FNNT(t)
+	if _, ok := asym.SymmetricViaAdjacencyPower(); ok {
+		t.Fatal("A^n criterion accepted an asymmetric net")
+	}
+}
+
+func TestSymmetricViaAdjacencyPowerProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randFNNT(rng)
+		mA, okA := g.SymmetricViaAdjacencyPower()
+		mF, okF := g.Symmetric()
+		if okA != okF {
+			return false
+		}
+		return !okA || mA.Cmp(mF) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathSpectrumSingletonIffSymmetricProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randFNNT(rng)
+		values, _ := g.PathSpectrum()
+		_, sym := g.Symmetric()
+		return (len(values) == 1 && values[0].Sign() > 0) == sym
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package topology implements feedforward neural network topologies (FNNTs)
+// as defined in §II of the RadiX-Net paper: layered directed graphs
+// represented by their ordered lists of adjacency submatrices
+// W = (W1, …, Wn), together with the properties the paper reasons about —
+// density, path-connectedness, and symmetry (equal path counts between every
+// input/output pair, verified with exact big-integer arithmetic).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// ErrNoLayers is returned when constructing an FNNT with no adjacency
+// submatrices.
+var ErrNoLayers = errors.New("topology: an FNNT needs at least one adjacency submatrix")
+
+// ErrShape is returned when consecutive submatrices do not conform
+// (cols of Wi must equal rows of Wi+1).
+var ErrShape = errors.New("topology: adjacent submatrices do not conform")
+
+// ErrDangling is returned when a submatrix violates the FNNT conditions:
+// a zero row means a non-output node with out-degree zero, and a zero
+// column means the converse construction of §II does not apply.
+var ErrDangling = errors.New("topology: zero row or column in adjacency submatrix")
+
+// FNNT is an immutable feedforward neural network topology with n+1 layers
+// of nodes, determined by its n adjacency submatrices. Layer i−1 nodes index
+// the rows of Wi; layer i nodes index its columns.
+type FNNT struct {
+	subs []*sparse.Pattern
+}
+
+// New validates the submatrix chain and returns the FNNT it defines.
+// Per §II it requires: at least one submatrix, conforming shapes, and no
+// zero row or zero column in any Wi (every non-output node has outgoing
+// edges and every non-input node has incoming edges).
+func New(subs ...*sparse.Pattern) (*FNNT, error) {
+	if len(subs) == 0 {
+		return nil, ErrNoLayers
+	}
+	for i, w := range subs {
+		if i > 0 && subs[i-1].Cols() != w.Rows() {
+			return nil, fmt.Errorf("%w: W%d is %dx%d but W%d has %d rows",
+				ErrShape, i, subs[i-1].Rows(), subs[i-1].Cols(), i+1, w.Rows())
+		}
+		if w.HasZeroRow() || w.HasZeroCol() {
+			return nil, fmt.Errorf("%w: W%d", ErrDangling, i+1)
+		}
+	}
+	return &FNNT{subs: append([]*sparse.Pattern(nil), subs...)}, nil
+}
+
+// NumSubs returns n, the number of adjacency submatrices (edge layers).
+func (g *FNNT) NumSubs() int { return len(g.subs) }
+
+// NumLayers returns n+1, the number of node layers including input and
+// output.
+func (g *FNNT) NumLayers() int { return len(g.subs) + 1 }
+
+// Sub returns the i-th adjacency submatrix Wi (0-based, shared view).
+func (g *FNNT) Sub(i int) *sparse.Pattern { return g.subs[i] }
+
+// LayerSize returns |Ui|, the number of nodes in layer i ∈ [0, NumLayers()).
+func (g *FNNT) LayerSize(i int) int {
+	if i == 0 {
+		return g.subs[0].Rows()
+	}
+	return g.subs[i-1].Cols()
+}
+
+// LayerSizes returns (|U0|, …, |Un|).
+func (g *FNNT) LayerSizes() []int {
+	sizes := make([]int, g.NumLayers())
+	for i := range sizes {
+		sizes[i] = g.LayerSize(i)
+	}
+	return sizes
+}
+
+// NumNodes returns the total node count Σ|Ui|.
+func (g *FNNT) NumNodes() int {
+	total := 0
+	for i := 0; i < g.NumLayers(); i++ {
+		total += g.LayerSize(i)
+	}
+	return total
+}
+
+// NumEdges returns the total edge count Σ nnz(Wi).
+func (g *FNNT) NumEdges() int {
+	total := 0
+	for _, w := range g.subs {
+		total += w.NNZ()
+	}
+	return total
+}
+
+// DenseEdges returns the edge count of the fully-connected FNNT on the same
+// layer sizes, Σ|Ui−1||Ui|.
+func (g *FNNT) DenseEdges() int {
+	total := 0
+	for _, w := range g.subs {
+		total += w.Rows() * w.Cols()
+	}
+	return total
+}
+
+// Density returns NumEdges/DenseEdges, the paper's density of an FNNT (§II).
+// It lies in (0, 1], with 1 attained exactly by fully-connected topologies.
+func (g *FNNT) Density() float64 {
+	return float64(g.NumEdges()) / float64(g.DenseEdges())
+}
+
+// MinDensity returns the lowest possible density for the layer sizes of g,
+// Σ|Ui−1| / Σ|Ui−1||Ui| (§II): each non-output node keeps a single edge.
+func (g *FNNT) MinDensity() float64 {
+	num := 0
+	for _, w := range g.subs {
+		num += w.Rows()
+	}
+	return float64(num) / float64(g.DenseEdges())
+}
+
+// Concat identifies g's output layer with h's input layer and returns the
+// combined FNNT, the operation that assembles extended mixed-radix
+// topologies (§III.A). The layers must have equal size.
+func Concat(g, h *FNNT) (*FNNT, error) {
+	if g.LayerSize(g.NumLayers()-1) != h.LayerSize(0) {
+		return nil, fmt.Errorf("%w: output layer has %d nodes, next input layer has %d",
+			ErrShape, g.LayerSize(g.NumLayers()-1), h.LayerSize(0))
+	}
+	subs := make([]*sparse.Pattern, 0, len(g.subs)+len(h.subs))
+	subs = append(subs, g.subs...)
+	subs = append(subs, h.subs...)
+	return New(subs...)
+}
+
+// KronLift applies eq. (3) of the paper: given a dense shape
+// D = (D0, …, Dn) with one entry per node layer, it returns the FNNT with
+// submatrices W*i ⊗ Wi where W*i is the Di−1×Di all-ones matrix.
+func (g *FNNT) KronLift(shape []int) (*FNNT, error) {
+	if len(shape) != g.NumLayers() {
+		return nil, fmt.Errorf("topology: shape has %d entries, want %d (one per node layer)",
+			len(shape), g.NumLayers())
+	}
+	for i, d := range shape {
+		if d < 1 {
+			return nil, fmt.Errorf("topology: shape entry D%d = %d must be positive", i, d)
+		}
+	}
+	subs := make([]*sparse.Pattern, len(g.subs))
+	for i, w := range g.subs {
+		subs[i] = sparse.Ones(shape[i], shape[i+1]).Kron(w)
+	}
+	return New(subs...)
+}
+
+// PathCounts returns the exact |U0|×|Un| matrix of path counts between every
+// input and output node: the big-integer product W1·W2·…·Wn.
+func (g *FNNT) PathCounts() *sparse.BigDense {
+	acc := sparse.BigFromPattern(g.subs[0])
+	for _, w := range g.subs[1:] {
+		next, err := acc.MulPattern(w)
+		if err != nil {
+			panic("topology: internal shape invariant violated: " + err.Error())
+		}
+		acc = next
+	}
+	return acc
+}
+
+// Symmetric reports whether the topology satisfies the paper's symmetry
+// property — the same number m of paths between every input/output pair —
+// and returns m when it does. Symmetry implies path-connectedness.
+func (g *FNNT) Symmetric() (*big.Int, bool) {
+	return g.PathCounts().AllEqual()
+}
+
+// SymmetricStreaming verifies symmetry one source at a time using
+// O(maxWidth) big-integer memory instead of the O(|U0|·width) of
+// PathCounts. It propagates a basis vector from each input node and checks
+// that every propagation ends all-equal to the same constant.
+func (g *FNNT) SymmetricStreaming() (*big.Int, bool) {
+	var m *big.Int
+	n0 := g.LayerSize(0)
+	for u := 0; u < n0; u++ {
+		counts, err := g.PathsFrom(u)
+		if err != nil {
+			return nil, false
+		}
+		v, ok := counts.AllEqual()
+		if !ok {
+			return nil, false
+		}
+		if m == nil {
+			m = v
+		} else if m.Cmp(v) != 0 {
+			return nil, false
+		}
+	}
+	return m, m != nil && m.Sign() > 0
+}
+
+// PathsFrom returns the exact path counts from input node u to every output
+// node, as a big-integer vector over Un.
+func (g *FNNT) PathsFrom(u int) (sparse.BigVec, error) {
+	if u < 0 || u >= g.LayerSize(0) {
+		return nil, fmt.Errorf("topology: input node %d out of range [0,%d)", u, g.LayerSize(0))
+	}
+	vec := sparse.E(g.LayerSize(0), u)
+	for _, w := range g.subs {
+		next, err := vec.MulPattern(w)
+		if err != nil {
+			return nil, err
+		}
+		vec = next
+	}
+	return vec, nil
+}
+
+// PathsBetween returns the exact number of paths from input node u to output
+// node v.
+func (g *FNNT) PathsBetween(u, v int) (*big.Int, error) {
+	vec, err := g.PathsFrom(u)
+	if err != nil {
+		return nil, err
+	}
+	if v < 0 || v >= len(vec) {
+		return nil, fmt.Errorf("topology: output node %d out of range [0,%d)", v, len(vec))
+	}
+	return new(big.Int).Set(vec[v]), nil
+}
+
+// PathConnected reports whether every output depends on every input: for
+// all u ∈ U0 and v ∈ Un there is a path from u to v. It uses boolean
+// reachability (pattern products), which never overflows.
+func (g *FNNT) PathConnected() bool {
+	acc := g.subs[0]
+	for _, w := range g.subs[1:] {
+		next, err := acc.Mul(w)
+		if err != nil {
+			panic("topology: internal shape invariant violated: " + err.Error())
+		}
+		acc = next
+	}
+	return acc.NNZ() == acc.Rows()*acc.Cols()
+}
+
+// Assemble builds the full adjacency matrix A of the FNNT (eq. 11): an
+// M×M pattern, M = Σ|Ui|, with Wi placed on the block superdiagonal in
+// layer order. Nodes are numbered layer by layer.
+func (g *FNNT) Assemble() *sparse.Pattern {
+	offsets := make([]int, g.NumLayers()+1)
+	for i := 0; i < g.NumLayers(); i++ {
+		offsets[i+1] = offsets[i] + g.LayerSize(i)
+	}
+	m := offsets[g.NumLayers()]
+	coo, err := sparse.NewCOO(m, m)
+	if err != nil {
+		panic("topology: " + err.Error())
+	}
+	for i, w := range g.subs {
+		rowOff, colOff := offsets[i], offsets[i+1]
+		for r := 0; r < w.Rows(); r++ {
+			for _, c := range w.Row(r) {
+				if err := coo.Add(rowOff+r, colOff+c); err != nil {
+					panic("topology: " + err.Error())
+				}
+			}
+		}
+	}
+	return coo.Pattern()
+}
+
+// Equal reports whether two FNNTs have identical submatrix chains.
+func (g *FNNT) Equal(h *FNNT) bool {
+	if len(g.subs) != len(h.subs) {
+		return false
+	}
+	for i, w := range g.subs {
+		if !w.Equal(h.subs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeStats summarizes the out-degree distribution of one edge layer.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// OutDegrees returns per-layer out-degree statistics, one entry per
+// adjacency submatrix.
+func (g *FNNT) OutDegrees() []DegreeStats {
+	stats := make([]DegreeStats, len(g.subs))
+	for i, w := range g.subs {
+		s := DegreeStats{Min: w.Cols() + 1}
+		total := 0
+		for r := 0; r < w.Rows(); r++ {
+			d := w.RowDegree(r)
+			total += d
+			if d < s.Min {
+				s.Min = d
+			}
+			if d > s.Max {
+				s.Max = d
+			}
+		}
+		s.Mean = float64(total) / float64(w.Rows())
+		stats[i] = s
+	}
+	return stats
+}
+
+// String summarizes the topology as layer sizes, edge count and density.
+func (g *FNNT) String() string {
+	var b strings.Builder
+	b.WriteString("FNNT[")
+	for i, s := range g.LayerSizes() {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	fmt.Fprintf(&b, "] edges=%d density=%.4g", g.NumEdges(), g.Density())
+	return b.String()
+}

@@ -1,0 +1,206 @@
+// Package xnet implements the baseline sparse-topology families RadiX-Net
+// is compared against in §I of the paper: the X-Nets of Prabhu, Varma &
+// Namboodiri ("Deep Expander Networks", 2017) in both their random and
+// explicit (Cayley-graph) forms, plus uniform-Bernoulli pruning and fully
+// dense topologies.
+//
+// The package exists so that the comparison claims of the paper are
+// executable: explicit X-Linear layers require equal adjacent layer widths
+// (a Cayley-graph artifact RadiX-Nets remove), random X-Linear layers are
+// only probabilistically path-connected, and neither family is symmetric in
+// the paper's path-count sense.
+package xnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+	"github.com/radix-net/radixnet/internal/topology"
+)
+
+// ErrDegree is returned when a requested per-node degree is not realizable.
+var ErrDegree = errors.New("xnet: degree out of range")
+
+// Dense returns the fully-connected FNNT on the given layer sizes — the
+// unique density-1 topology of §II.
+func Dense(layerSizes ...int) (*topology.FNNT, error) {
+	if len(layerSizes) < 2 {
+		return nil, errors.New("xnet: a topology needs at least two layers")
+	}
+	subs := make([]*sparse.Pattern, len(layerSizes)-1)
+	for i := range subs {
+		if layerSizes[i] < 1 || layerSizes[i+1] < 1 {
+			return nil, fmt.Errorf("xnet: layer size must be positive, got %d→%d", layerSizes[i], layerSizes[i+1])
+		}
+		subs[i] = sparse.Ones(layerSizes[i], layerSizes[i+1])
+	}
+	return topology.New(subs...)
+}
+
+// RandomXLinear returns a random X-Linear adjacency submatrix: each of the
+// `rows` source nodes gets exactly `degree` distinct outgoing edges chosen
+// uniformly at random, and any column left empty is patched with one extra
+// edge moved from the highest-in-degree column so the FNNT conditions hold.
+// This mirrors the random expander construction of the X-Net paper, which
+// achieves path-connectedness only probabilistically.
+func RandomXLinear(rows, cols, degree int, rng *rand.Rand) (*sparse.Pattern, error) {
+	if degree < 1 || degree > cols {
+		return nil, fmt.Errorf("%w: degree %d for %d columns", ErrDegree, degree, cols)
+	}
+	rowCols := make([][]int, rows)
+	colDeg := make([]int, cols)
+	perm := make([]int, cols)
+	for i := range perm {
+		perm[i] = i
+	}
+	for r := range rowCols {
+		// Partial Fisher–Yates: the first `degree` entries of perm become a
+		// uniform random degree-subset of the columns.
+		for i := 0; i < degree; i++ {
+			j := i + rng.Intn(cols-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		row := append([]int(nil), perm[:degree]...)
+		for _, c := range row {
+			colDeg[c]++
+		}
+		rowCols[r] = row
+	}
+	// Patch zero-in-degree columns so the result is a valid FNNT submatrix:
+	// steal an edge endpoint from the most-loaded column of some row that
+	// does not already cover the empty column.
+	for c := 0; c < cols; c++ {
+		if colDeg[c] > 0 {
+			continue
+		}
+		patched := false
+		for r := 0; r < rows && !patched; r++ {
+			best, bestIdx := -1, -1
+			covers := false
+			for i, cc := range rowCols[r] {
+				if cc == c {
+					covers = true
+					break
+				}
+				if colDeg[cc] > best {
+					best, bestIdx = colDeg[cc], i
+				}
+			}
+			if covers || bestIdx < 0 || best < 2 {
+				continue
+			}
+			colDeg[rowCols[r][bestIdx]]--
+			rowCols[r][bestIdx] = c
+			colDeg[c]++
+			patched = true
+		}
+		if !patched {
+			return nil, fmt.Errorf("xnet: cannot realize degree %d on %dx%d without empty columns", degree, rows, cols)
+		}
+	}
+	return sparse.NewPattern(rows, cols, rowCols)
+}
+
+// RandomXNet stacks random X-Linear layers into an FNNT with the given layer
+// sizes and uniform out-degree.
+func RandomXNet(layerSizes []int, degree int, rng *rand.Rand) (*topology.FNNT, error) {
+	if len(layerSizes) < 2 {
+		return nil, errors.New("xnet: a topology needs at least two layers")
+	}
+	subs := make([]*sparse.Pattern, len(layerSizes)-1)
+	for i := range subs {
+		w, err := RandomXLinear(layerSizes[i], layerSizes[i+1], degree, rng)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = w
+	}
+	return topology.New(subs...)
+}
+
+// CayleyXLinear returns an explicit X-Linear adjacency submatrix built from
+// the Cayley graph of Z_n with the given generator set: node j connects to
+// j+g (mod n) for every generator g. As the paper notes (§I), this
+// construction forces adjacent layers to have the same number of nodes —
+// the constraint RadiX-Nets remove. Duplicate generators (mod n) collapse.
+func CayleyXLinear(n int, generators []int) (*sparse.Pattern, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("xnet: group order %d must be positive", n)
+	}
+	if len(generators) == 0 {
+		return nil, errors.New("xnet: need at least one generator")
+	}
+	return sparse.SumOfShifts(n, generators), nil
+}
+
+// CayleyXNet stacks identical Cayley X-Linear layers into an FNNT of
+// `layers` edge layers on n nodes per layer.
+func CayleyXNet(n, layers int, generators []int) (*topology.FNNT, error) {
+	if layers < 1 {
+		return nil, errors.New("xnet: need at least one layer")
+	}
+	w, err := CayleyXLinear(n, generators)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]*sparse.Pattern, layers)
+	for i := range subs {
+		subs[i] = w
+	}
+	return topology.New(subs...)
+}
+
+// BernoulliPrune returns a random subpattern of the dense rows×cols
+// submatrix keeping each edge independently with probability keep, then
+// patching empty rows and columns with one edge each so the FNNT conditions
+// hold. This models magnitude-free random pruning, the simplest member of
+// the prune-after-training family the paper contrasts with de novo sparsity.
+func BernoulliPrune(rows, cols int, keep float64, rng *rand.Rand) (*sparse.Pattern, error) {
+	if keep <= 0 || keep > 1 {
+		return nil, fmt.Errorf("xnet: keep probability %g out of (0,1]", keep)
+	}
+	rowCols := make([][]int, rows)
+	colDeg := make([]int, cols)
+	for r := range rowCols {
+		var row []int
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < keep {
+				row = append(row, c)
+				colDeg[c]++
+			}
+		}
+		if len(row) == 0 {
+			c := rng.Intn(cols)
+			row = append(row, c)
+			colDeg[c]++
+		}
+		rowCols[r] = row
+	}
+	for c := 0; c < cols; c++ {
+		if colDeg[c] == 0 {
+			r := rng.Intn(rows)
+			rowCols[r] = append(rowCols[r], c)
+			colDeg[c]++
+		}
+	}
+	return sparse.NewPattern(rows, cols, rowCols)
+}
+
+// BernoulliNet stacks BernoulliPrune layers into an FNNT with the given
+// layer sizes and keep probability.
+func BernoulliNet(layerSizes []int, keep float64, rng *rand.Rand) (*topology.FNNT, error) {
+	if len(layerSizes) < 2 {
+		return nil, errors.New("xnet: a topology needs at least two layers")
+	}
+	subs := make([]*sparse.Pattern, len(layerSizes)-1)
+	for i := range subs {
+		w, err := BernoulliPrune(layerSizes[i], layerSizes[i+1], keep, rng)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = w
+	}
+	return topology.New(subs...)
+}

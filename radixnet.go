@@ -1,0 +1,185 @@
+// Package radixnet is the public API of a from-scratch Go implementation of
+// RadiX-Nets — the deterministically sparse, symmetric, path-connected deep
+// neural network topologies of Robinett & Kepner, "RadiX-Net: Structured
+// Sparse Matrices for Deep Neural Networks" (2019, arXiv:1905.00416).
+//
+// A RadiX-Net is defined by an ordered set N* of mixed-radix numeral
+// systems plus a dense "shape" D, and is built in two steps: the mixed-radix
+// topologies of the systems are concatenated, then each adjacency submatrix
+// is Kronecker-lifted by the all-ones blocks of D. The result provably has
+// the same number of paths between every input/output pair (symmetry),
+// hence every output depends on every input (path-connectedness), at
+// density ≈ µ^{−(d−1)} for mean radix µ and per-system depth d.
+//
+// Quick start:
+//
+//	sys := radixnet.MustSystem(2, 2, 2)          // N = (2,2,2), N′ = 8
+//	cfg, _ := radixnet.NewConfig([]radixnet.System{sys}, nil)
+//	net, _ := radixnet.Build(cfg)                // the Fig. 1 topology
+//	m, ok := net.Symmetric()                     // ok, m = 1
+//
+// The facade re-exports the layered internals:
+//
+//   - mixed-radix numeral systems (internal/radix)
+//   - sparse matrix algebra (internal/sparse)
+//   - FNNT topology algebra with exact big-integer path counting
+//     (internal/topology)
+//   - the RadiX-Net generator, density theory and presets (internal/core)
+//   - X-Net / dense / random-prune baselines (internal/xnet)
+//   - a training substrate with sparse layers (internal/nn)
+//   - a Graph Challenge–style sparse inference engine (internal/infer)
+//   - serialization (internal/graphio)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every figure and claim in the paper.
+package radixnet
+
+import (
+	"io"
+	"math/big"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/sparse"
+	"github.com/radix-net/radixnet/internal/topology"
+)
+
+// System is a mixed-radix numeral system N = (N1, …, NL), Ni ≥ 2.
+type System = radix.System
+
+// Config is a full RadiX-Net parameterization: systems N* plus dense shape D.
+type Config = core.Config
+
+// Topology is a feedforward neural network topology (FNNT): a layered graph
+// represented by its adjacency submatrices.
+type Topology = topology.FNNT
+
+// Pattern is a binary CSR sparsity pattern, the representation of one
+// adjacency submatrix.
+type Pattern = sparse.Pattern
+
+// PathMatrix is an exact big-integer matrix of input→output path counts.
+type PathMatrix = sparse.BigDense
+
+// BrainStats summarizes a brain-scale preset against biological targets.
+type BrainStats = core.BrainStats
+
+// DensityCell is one (µ, d) cell of the Fig. 7 density surface.
+type DensityCell = core.DensityCell
+
+// NewSystem validates radices (each ≥ 2) and returns the numeral system.
+func NewSystem(radices ...int) (System, error) { return radix.New(radices...) }
+
+// MustSystem is NewSystem but panics on invalid input; for literals.
+func MustSystem(radices ...int) System { return radix.MustNew(radices...) }
+
+// ParseSystem parses "(3,3,4)" or "3,3,4".
+func ParseSystem(text string) (System, error) { return radix.Parse(text) }
+
+// UniformSystem returns (base, …, base) with depth digits.
+func UniformSystem(base, depth int) (System, error) { return radix.Uniform(base, depth) }
+
+// FactorizeSystem returns a system whose radices multiply to n, from n's
+// prime factorization.
+func FactorizeSystem(n int) (System, error) { return radix.Factorize(n) }
+
+// NewConfig assembles and validates a RadiX-Net configuration. A nil shape
+// selects the all-ones dense shape (a pure extended mixed-radix topology).
+func NewConfig(systems []System, shape []int) (Config, error) {
+	return core.NewConfig(systems, shape)
+}
+
+// Build generates the RadiX-Net topology of cfg by the paper's Fig. 6
+// algorithm.
+func Build(cfg Config) (*Topology, error) { return core.Build(cfg) }
+
+// MixedRadix returns the mixed-radix topology induced by one numeral system
+// (Fig. 1 of the paper).
+func MixedRadix(sys System) *Topology { return core.MixedRadix(sys) }
+
+// EMR returns the extended mixed-radix topology: the concatenation of the
+// systems' mixed-radix topologies (Lemma 2 of the paper).
+func EMR(systems ...System) (*Topology, error) { return core.EMR(systems...) }
+
+// Density returns the exact density of the configured topology in closed
+// form (eq. 4 of the paper) without building it.
+func Density(cfg Config) float64 { return core.Density(cfg) }
+
+// DensityApproxMu returns the eq. (5) approximation ΔG ≈ µ/N′.
+func DensityApproxMu(mu float64, nprime int) float64 { return core.DensityApproxMu(mu, nprime) }
+
+// DensityApproxMuD returns the eq. (6) approximation ΔG ≈ µ^{−(d−1)}.
+func DensityApproxMuD(mu, d float64) float64 { return core.DensityApproxMuD(mu, d) }
+
+// DensityMap evaluates the Fig. 7 density surface on a (µ, d) grid.
+func DensityMap(muMin, muMax, dMin, dMax int) []DensityCell {
+	return core.DensityMap(muMin, muMax, dMin, dMax)
+}
+
+// TheoreticalPaths returns the exact input→output path count of the
+// configured topology (generalized Theorem 1; see DESIGN.md erratum E-b).
+func TheoreticalPaths(cfg Config) *big.Int { return cfg.TheoreticalPaths() }
+
+// GraphChallengeConfig returns a configuration emulating the Graph
+// Challenge synthetic sparse DNNs at the given width and layer count.
+func GraphChallengeConfig(width, layers int) (Config, error) {
+	return core.GraphChallengeConfig(width, layers)
+}
+
+// UniformConfig returns the zero-variance family: numSystems copies of the
+// uniform (base, …, base) system with a constant interior lift.
+func UniformConfig(base, depth, numSystems, lift int) (Config, error) {
+	return core.UniformConfig(base, depth, numSystems, lift)
+}
+
+// BrainConfig builds a configuration whose size and sparsity approximate
+// the human brain at the given scale (experiment E11).
+func BrainConfig(scale float64, layerCount int) (BrainStats, error) {
+	return core.BrainConfig(scale, layerCount)
+}
+
+// StreamEdges enumerates every edge of the configured topology without
+// materializing it, calling fn(layer, u, v) until it returns false.
+func StreamEdges(cfg Config, fn func(layer int, u, v int64) bool) error {
+	return core.StreamEdges(cfg, fn)
+}
+
+// SearchSpec describes a desired topology: width, density, depth.
+type SearchSpec = core.SearchSpec
+
+// Candidate is one configuration proposed by Search.
+type Candidate = core.Candidate
+
+// Search enumerates mixed-radix factorizations of the requested width and
+// returns configurations whose exact density lands within tolerance of the
+// target, ranked by density error then radix variance.
+func Search(spec SearchSpec) ([]Candidate, error) { return core.Search(spec) }
+
+// OrderedFactorizations enumerates every ordered factorization of n into
+// factors ≥ 2, capped at maxLen factors.
+func OrderedFactorizations(n, maxLen int) [][]int {
+	return core.OrderedFactorizations(n, maxLen)
+}
+
+// Isomorphic reports whether two topologies are isomorphic as layered
+// graphs (related by per-layer node relabelings), returning witnessing
+// permutations. maxNodes bounds the search (0 = unbounded).
+func Isomorphic(g, h *Topology, maxNodes int) ([][]int, bool) {
+	return topology.IsomorphicByLayerPermutation(g, h, maxNodes)
+}
+
+// WriteTSV writes the topology as `layer src dst` lines.
+func WriteTSV(w io.Writer, g *Topology) error { return graphio.WriteTSV(w, g) }
+
+// ReadTSV parses the WriteTSV format.
+func ReadTSV(r io.Reader) (*Topology, error) { return graphio.ReadTSV(r) }
+
+// WriteDOT renders the topology as a Graphviz digraph.
+func WriteDOT(w io.Writer, g *Topology, name string) error { return graphio.WriteDOT(w, g, name) }
+
+// MarshalConfig encodes a configuration as JSON.
+func MarshalConfig(cfg Config) ([]byte, error) { return graphio.MarshalConfig(cfg) }
+
+// UnmarshalConfig decodes and validates a configuration from JSON.
+func UnmarshalConfig(data []byte) (Config, error) { return graphio.UnmarshalConfig(data) }
