@@ -318,6 +318,54 @@ func BenchmarkGCInference(b *testing.B) {
 	}
 }
 
+// BenchmarkE10_Infer pits the fused CSC-gather kernel stack (ping-pong
+// buffers, fused epilogue, active-row tracking) against the unfused
+// scatter baseline (per-layer DenseMul allocation + separate epilogue
+// pass) on the acceptance workload: a radix [8,8,8,8] stack (width 4096)
+// at batch 64. The fused/ sub-benchmark must report 0 allocs/op in steady
+// state; cmd/gcinfer -bench-json records the same comparison to
+// BENCH_infer.json.
+func BenchmarkE10_Infer(b *testing.B) {
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(8, 8, 8, 8)}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := infer.FromConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.PerturbWeights(0.01, 1) // avoid the all-equal weight special case
+	width := 8 * 8 * 8 * 8
+	batch, err := dataset.SparseBatch(64, width, width/10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edgesPerOp := float64(batch.Rows()) * float64(engine.TotalNNZ())
+	b.Run("fused", func(b *testing.B) {
+		if _, err := engine.Infer(batch); err != nil { // size the buffers
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Infer(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+	})
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.InferUnfused(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+	})
+}
+
 // --- E11: brain-scale streaming generation ---
 
 func BenchmarkBrainStream(b *testing.B) {

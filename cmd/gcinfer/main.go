@@ -1,44 +1,71 @@
 // Command gcinfer runs the Graph Challenge–style sparse DNN inference
 // benchmark (experiment E10): it generates a RadiX-Net of the requested
-// width and depth, assigns challenge-convention weights, pushes a batch of
-// sparse inputs through it, and reports throughput as edges traversed per
-// second (batch × total nnz / wall time), the challenge's headline metric.
+// shape, assigns challenge-convention weights, pushes a batch of sparse
+// inputs through it, and reports throughput as edges traversed per second
+// (batch × total nnz / wall time), the challenge's headline metric.
+//
+// With -bench-json the same workload is timed through both the fused
+// allocation-free kernel stack (Engine.Infer) and the unfused scatter
+// baseline it replaced (Engine.InferUnfused), and the comparison is written
+// as JSON — the BENCH_infer.json format that records the repository's
+// inference-performance trajectory (see README.md for the schema).
 //
 // Usage:
 //
 //	gcinfer [-width 1024] [-layers 120] [-batch 64] [-nnz 100] [-reps 3]
+//	gcinfer -radix 8,8,8,8 -batch 64 -bench-json BENCH_infer.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"testing"
 	"time"
 
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/dataset"
 	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/sparse"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gcinfer: ")
 	var (
-		width  = flag.Int("width", 1024, "neurons per layer (multiple of 1024)")
-		layers = flag.Int("layers", 120, "number of weight layers (even)")
-		batch  = flag.Int("batch", 64, "input rows per batch")
-		nnz    = flag.Int("nnz", 100, "nonzeros per input row")
-		reps   = flag.Int("reps", 3, "timed repetitions")
-		seed   = flag.Int64("seed", 1, "input seed")
+		width     = flag.Int("width", 1024, "neurons per layer (multiple of 1024); ignored with -radix")
+		layers    = flag.Int("layers", 120, "number of weight layers (even); ignored with -radix")
+		radixSpec = flag.String("radix", "", "build from one mixed-radix system, e.g. 8,8,8,8 (overrides -width/-layers)")
+		batch     = flag.Int("batch", 64, "input rows per batch")
+		nnz       = flag.Int("nnz", 0, "nonzeros per input row (0 = width/10)")
+		reps      = flag.Int("reps", 3, "timed repetitions (best-of)")
+		seed      = flag.Int64("seed", 1, "input seed")
+		benchJSON = flag.String("bench-json", "", "write a fused-vs-unfused benchmark record to this file and exit")
 	)
 	flag.Parse()
 
-	cfg, err := core.GraphChallengeConfig(*width, *layers)
+	var cfg core.Config
+	var err error
+	if *radixSpec != "" {
+		sys, perr := radix.Parse(*radixSpec)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		cfg, err = core.NewConfig([]radix.System{sys}, nil)
+	} else {
+		cfg, err = core.GraphChallengeConfig(*width, *layers)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	netWidth := cfg.LayerWidths()[0]
+	numLayers := len(cfg.LayerWidths()) - 1
 	fmt.Printf("network: %d layers × %d neurons, %s edges, density %.4g\n",
-		*layers, cfg.LayerWidths()[0], cfg.NumEdges(), core.Density(cfg))
+		numLayers, netWidth, cfg.NumEdges(), core.Density(cfg))
 
 	buildStart := time.Now()
 	engine, err := infer.FromConfig(cfg)
@@ -47,28 +74,31 @@ func main() {
 	}
 	fmt.Printf("generation: %v (%d stored weights)\n", time.Since(buildStart).Round(time.Millisecond), engine.TotalNNZ())
 
-	in, err := dataset.SparseBatch(*batch, cfg.LayerWidths()[0], *nnz, *seed)
+	inNNZ := *nnz
+	if inNNZ <= 0 {
+		inNNZ = netWidth / 10
+		if inNNZ < 1 {
+			inNNZ = 1
+		}
+	}
+	in, err := dataset.SparseBatch(*batch, netWidth, inNNZ, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Warm-up pass (page in the weight arrays) then timed repetitions.
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, cfg, engine, in, inNNZ, *reps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Warm-up pass (page in the weight arrays, size the ping-pong buffers)
+	// then timed repetitions.
 	if _, err := engine.Infer(in); err != nil {
 		log.Fatal(err)
 	}
-	var best time.Duration
-	for r := 0; r < *reps; r++ {
-		start := time.Now()
-		out, err := engine.Infer(in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		elapsed := time.Since(start)
-		if best == 0 || elapsed < best {
-			best = elapsed
-		}
-		_ = out
-	}
+	best := timeInfer(engine.Infer, in, *reps)
 	edges := float64(*batch) * float64(engine.TotalNNZ())
 	fmt.Printf("inference: best of %d reps = %v\n", *reps, best.Round(time.Microsecond))
 	fmt.Printf("throughput: %.3g edges/s (batch %d × %d edges)\n",
@@ -85,4 +115,106 @@ func main() {
 		}
 	}
 	fmt.Printf("categories: %d/%d rows with surviving activations\n", alive, *batch)
+}
+
+// timeInfer returns the best wall time of reps calls to fn.
+func timeInfer(fn func(*sparse.Dense) (*sparse.Dense, error), in *sparse.Dense, reps int) time.Duration {
+	var best time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := fn(in); err != nil {
+			log.Fatal(err)
+		}
+		if elapsed := time.Since(start); best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best
+}
+
+// benchRecord is the BENCH_infer.json schema. "unfused" is the seed
+// scatter path (before); "fused" is the kernel stack that replaced it
+// (after); speedup is their edges/sec ratio.
+type benchRecord struct {
+	Benchmark  string    `json:"benchmark"`
+	Date       string    `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Network    benchNet  `json:"network"`
+	Workload   benchWork `json:"workload"`
+	Unfused    benchPath `json:"unfused"`
+	Fused      benchPath `json:"fused"`
+	Speedup    float64   `json:"speedup"`
+}
+
+type benchNet struct {
+	LayerWidth int    `json:"layer_width"`
+	Layers     int    `json:"layers"`
+	Weights    int    `json:"weights"`
+	Edges      string `json:"edges"`
+}
+
+type benchWork struct {
+	Batch      int     `json:"batch"`
+	NNZPerRow  int     `json:"nnz_per_row"`
+	Reps       int     `json:"reps"`
+	EdgesPerOp float64 `json:"edges_per_op"`
+}
+
+type benchPath struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func writeBenchJSON(path string, cfg core.Config, engine *infer.Engine, in *sparse.Dense, inNNZ, reps int) error {
+	edgesPerOp := float64(in.Rows()) * float64(engine.TotalNNZ())
+	measure := func(fn func(*sparse.Dense) (*sparse.Dense, error)) benchPath {
+		if _, err := fn(in); err != nil { // warm up
+			log.Fatal(err)
+		}
+		best := timeInfer(fn, in, reps)
+		allocs := testing.AllocsPerRun(1, func() {
+			if _, err := fn(in); err != nil {
+				log.Fatal(err)
+			}
+		})
+		return benchPath{
+			NsPerOp:     best.Nanoseconds(),
+			EdgesPerSec: edgesPerOp / best.Seconds(),
+			AllocsPerOp: allocs,
+		}
+	}
+	rec := benchRecord{
+		Benchmark:  "E10-infer",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Network: benchNet{
+			LayerWidth: cfg.LayerWidths()[0],
+			Layers:     len(cfg.LayerWidths()) - 1,
+			Weights:    engine.TotalNNZ(),
+			Edges:      cfg.NumEdges().String(),
+		},
+		Workload: benchWork{
+			Batch:      in.Rows(),
+			NNZPerRow:  inNNZ,
+			Reps:       reps,
+			EdgesPerOp: edgesPerOp,
+		},
+		Unfused: measure(engine.InferUnfused),
+		Fused:   measure(engine.Infer),
+	}
+	rec.Speedup = rec.Fused.EdgesPerSec / rec.Unfused.EdgesPerSec
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: unfused %.3g edges/s, fused %.3g edges/s, speedup %.2fx -> %s\n",
+		rec.Unfused.EdgesPerSec, rec.Fused.EdgesPerSec, rec.Speedup, path)
+	return nil
 }

@@ -128,7 +128,7 @@ func runTrain(task string, epochs, samples int, seed int64, workers int) error {
 
 	fmt.Printf("task=%s train=%d test=%d features=%d classes=%d epochs=%d\n",
 		task, train.X.Rows(), test.X.Rows(), in, out, epochs)
-	fmt.Printf("%-12s %10s %10s %10s %12s\n", "topology", "params", "train-acc", "test-acc", "time")
+	fmt.Printf("%-12s %10s %10s %10s %12s %12s\n", "topology", "params", "train-acc", "test-acc", "time", "samples/s")
 	for _, c := range contestants {
 		rng := rand.New(rand.NewSource(seed + 17))
 		net, err := c.build(in, out, rng)
@@ -156,8 +156,9 @@ func runTrain(task string, epochs, samples int, seed int64, workers int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-12s %10d %10.3f %10.3f %12v\n",
-			c.name, net.NumParams(), trainAcc, testAcc, elapsed.Round(time.Millisecond))
+		samplesPerSec := float64(epochs) * float64(train.X.Rows()) / elapsed.Seconds()
+		fmt.Printf("%-12s %10d %10.3f %10.3f %12v %12.0f\n",
+			c.name, net.NumParams(), trainAcc, testAcc, elapsed.Round(time.Millisecond), samplesPerSec)
 	}
 	return nil
 }

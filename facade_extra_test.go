@@ -32,6 +32,40 @@ func TestFacadeSearchWorkflow(t *testing.T) {
 	}
 }
 
+func TestFacadeInferEngine(t *testing.T) {
+	cfg, err := radixnet.NewConfig([]radixnet.System{radixnet.MustSystem(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := radixnet.InferFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.NumLayers() != 2 {
+		t.Fatalf("layers = %d", engine.NumLayers())
+	}
+	// The whole inference loop must be drivable through the facade alone:
+	// build a batch, run it, read activations.
+	in, err := radixnet.SparseBatch(4, 16, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := engine.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 4 || out.Cols() != 16 {
+		t.Fatalf("output shape %dx%d", out.Rows(), out.Cols())
+	}
+	g, err := radixnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := radixnet.InferFromTopology(g, 0.25, -0.05, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFacadeOrderedFactorizations(t *testing.T) {
 	fs := radixnet.OrderedFactorizations(12, 16)
 	// 12 = (12), (2,6), (6,2), (3,4), (4,3), (2,2,3), (2,3,2), (3,2,2).

@@ -1,0 +1,3 @@
+module github.com/radix-net/radixnet
+
+go 1.24

@@ -8,6 +8,21 @@
 // generating the synthetic networks for the MIT/IEEE/Amazon Sparse DNN
 // Graph Challenge; this engine makes that workload executable here
 // (experiment E10).
+//
+// The hot path is a fused, allocation-free kernel stack. Each layer is
+// precomputed into a CSC (transposed) sparse.Kernel so a dense activation
+// row is computed by gathers — one in-edge dot product per output element —
+// instead of scatters, eliminating random writes; rows whose activations
+// are mostly zero instead take the CSR scatter dual, whose zero-input skip
+// does only the work the live activations require (the engine chooses per
+// row from the exact activation count the previous layer's epilogue
+// produced for free). Activations ping-pong between two preallocated
+// buffers sized to the widest layer, so an N-layer forward pass performs
+// O(1) allocations (zero in steady state) instead of O(N). The bias +
+// threshold-ReLU + cap epilogue is fused into the multiply loop, and rows
+// whose activations go all-zero mid-stack are dropped from subsequent
+// layers. Layer steps dispatch on the persistent parallel.Shared worker
+// pool.
 package infer
 
 import (
@@ -28,10 +43,38 @@ type Engine struct {
 	layers []*sparse.Matrix
 	bias   []float64 // one uniform bias per layer
 	cap    float64   // activation ceiling; 0 disables clamping
+
+	kernels []*sparse.Kernel // CSC gather form of each layer
+	pool    *parallel.Pool
+	step    func(lo, hi int) // bound once; dispatched per layer on the pool
+
+	// Reusable per-batch state, sized by ensure. bufIn stages a copy of the
+	// caller's batch (Infer never reads from or writes to the caller's
+	// storage after staging); bufA/bufB ping-pong the layer activations.
+	batch      int
+	bufIn      []float64
+	bufA, bufB []float64
+	active     []int32 // rows still carrying nonzero activations, ascending
+	rowNNZ     []int32 // per-row activation count after the last layer step
+	outView    *sparse.Dense
+
+	// Current layer, read by step across the worker pool.
+	cur struct {
+		kern       *sparse.Kernel
+		mat        *sparse.Matrix
+		in, out    []float64
+		inW, outW  int
+		bias, clip float64
+	}
 }
 
 // New builds an engine from explicit weight matrices and per-layer biases.
-// cap ≤ 0 disables the activation ceiling.
+// cap ≤ 0 disables the activation ceiling. The engine precomputes a CSC
+// gather kernel per layer holding a reordered copy of each matrix's values;
+// the matrices are retained as the authoritative weights. Callers that
+// mutate weight values after construction (e.g. through a retained
+// Matrix.Values() slice) must call RefreshWeights before the next Infer,
+// or the kernels keep computing with the construction-time values.
 func New(layers []*sparse.Matrix, bias []float64, cap float64) (*Engine, error) {
 	if len(layers) == 0 {
 		return nil, errors.New("infer: need at least one layer")
@@ -48,7 +91,18 @@ func New(layers []*sparse.Matrix, bias []float64, cap float64) (*Engine, error) 
 	if cap < 0 {
 		cap = 0
 	}
-	return &Engine{layers: layers, bias: append([]float64(nil), bias...), cap: cap}, nil
+	e := &Engine{layers: layers, bias: append([]float64(nil), bias...), cap: cap}
+	e.kernels = make([]*sparse.Kernel, len(layers))
+	for i, l := range layers {
+		k, err := sparse.NewKernel(l)
+		if err != nil {
+			return nil, fmt.Errorf("infer: layer %d: %w", i, err)
+		}
+		e.kernels[i] = k
+	}
+	e.pool = parallel.Shared()
+	e.step = e.layerStep
+	return e, nil
 }
 
 // FromTopology assigns every edge of the FNNT the same weight and every
@@ -96,10 +150,219 @@ func (e *Engine) TotalNNZ() int {
 	return total
 }
 
+// maxCols returns the widest layer output, which sizes the ping-pong
+// buffers.
+func (e *Engine) maxCols() int {
+	w := 0
+	for _, l := range e.layers {
+		if l.Cols() > w {
+			w = l.Cols()
+		}
+	}
+	return w
+}
+
+// ensure sizes the reusable buffers for a batch of the given row count.
+// Calls with an unchanged batch size perform no allocation.
+func (e *Engine) ensure(batch int) {
+	if batch == e.batch {
+		return
+	}
+	e.batch = batch
+	maxW := e.maxCols()
+	if need := batch * e.layers[0].Rows(); cap(e.bufIn) < need {
+		e.bufIn = make([]float64, need)
+	}
+	if need := batch * maxW; cap(e.bufA) < need {
+		e.bufA = make([]float64, need)
+		e.bufB = make([]float64, need)
+	}
+	if cap(e.active) < batch {
+		e.active = make([]int32, 0, batch)
+	}
+	if cap(e.rowNNZ) < batch {
+		e.rowNNZ = make([]int32, batch)
+	}
+	e.rowNNZ = e.rowNNZ[:batch]
+	// The final layer's output lands in bufA when the layer count is odd
+	// (layer l writes bufA iff l is even), so the returned view has a fixed
+	// home per engine.
+	lastW := e.layers[len(e.layers)-1].Cols()
+	final := e.bufA
+	if len(e.layers)%2 == 0 {
+		final = e.bufB
+	}
+	e.outView, _ = sparse.DenseFromSlice(batch, lastW, final[:batch*lastW])
+}
+
+// layerStep processes active rows [lo, hi) of the current layer: one fused
+// multiply + epilogue pass per row, recording the row's new activation
+// count. Dense rows use the CSC gather (every output written once, no
+// random writes), blocked four batch rows at a time so each stored entry's
+// index and weight are loaded once per quad; mostly-zero rows use the CSR
+// scatter, whose zero-input skip does only the work the row's live
+// activations require. All paths accumulate in the same order and agree
+// bitwise. layerStep runs concurrently for disjoint ranges on the worker
+// pool.
+func (e *Engine) layerStep(lo, hi int) {
+	cur := &e.cur
+	var quad [4]int
+	var quadNNZ [4]int
+	qn := 0
+	for i := lo; i < hi; i++ {
+		b := int(e.active[i])
+		if int(e.rowNNZ[b])*2 < cur.inW {
+			inRow := cur.in[b*cur.inW : (b+1)*cur.inW]
+			outRow := cur.out[b*cur.outW : (b+1)*cur.outW]
+			e.rowNNZ[b] = int32(cur.mat.FusedScatterRow(outRow, inRow, cur.bias, cur.clip))
+			continue
+		}
+		quad[qn] = b
+		qn++
+		if qn == 4 {
+			b0, b1, b2, b3 := quad[0], quad[1], quad[2], quad[3]
+			cur.kern.FusedGatherRow4(
+				cur.out[b0*cur.outW:(b0+1)*cur.outW],
+				cur.out[b1*cur.outW:(b1+1)*cur.outW],
+				cur.out[b2*cur.outW:(b2+1)*cur.outW],
+				cur.out[b3*cur.outW:(b3+1)*cur.outW],
+				cur.in[b0*cur.inW:(b0+1)*cur.inW],
+				cur.in[b1*cur.inW:(b1+1)*cur.inW],
+				cur.in[b2*cur.inW:(b2+1)*cur.inW],
+				cur.in[b3*cur.inW:(b3+1)*cur.inW],
+				cur.bias, cur.clip, &quadNNZ)
+			for t, bq := range quad {
+				e.rowNNZ[bq] = int32(quadNNZ[t])
+			}
+			qn = 0
+		}
+	}
+	for t := 0; t < qn; t++ {
+		b := quad[t]
+		inRow := cur.in[b*cur.inW : (b+1)*cur.inW]
+		outRow := cur.out[b*cur.outW : (b+1)*cur.outW]
+		e.rowNNZ[b] = int32(cur.kern.FusedGatherRow(outRow, inRow, cur.bias, cur.clip))
+	}
+}
+
 // Infer runs the batch through every layer with threshold-ReLU semantics
-// and returns the final activations. Row blocks of the batch are processed
-// in parallel inside each layer's sparse product.
+// and returns the final activations. The input batch is never mutated.
+//
+// The returned matrix is a view into the engine's internal ping-pong
+// buffer: it is valid until the next Infer or InferCategories call on the
+// same engine, which overwrites it (clone it to keep it). This is what
+// makes the steady-state forward pass allocation-free. Engines are not safe
+// for concurrent Infer calls.
 func (e *Engine) Infer(y0 *sparse.Dense) (*sparse.Dense, error) {
+	if y0.Cols() != e.layers[0].Rows() {
+		return nil, fmt.Errorf("infer: batch width %d, first layer expects %d", y0.Cols(), e.layers[0].Rows())
+	}
+	batch := y0.Rows()
+	e.ensure(batch)
+
+	// Stage the input, counting each row's nonzeros (which seeds the
+	// gather/scatter choice for layer 0) and the active-row list: a row that
+	// is already all-zero maps to clamp(relu(bias)) per element, which the
+	// per-layer reactivation below handles, so it starts inactive.
+	w0 := y0.Cols()
+	src := y0.Data()
+	in := e.bufIn[:batch*w0]
+	copy(in, src)
+	e.active = e.active[:0]
+	for b := 0; b < batch; b++ {
+		row := in[b*w0 : (b+1)*w0]
+		nnz := int32(0)
+		for _, v := range row {
+			if v != 0 {
+				nnz++
+			}
+		}
+		e.rowNNZ[b] = nnz
+		if nnz > 0 {
+			e.active = append(e.active, int32(b))
+		}
+	}
+
+	inW := w0
+	out := e.bufA
+	other := e.bufB
+	for l, kern := range e.kernels {
+		outW := kern.Cols()
+		b := e.bias[l]
+		e.cur.kern, e.cur.mat, e.cur.in, e.cur.out = kern, e.layers[l], in, out
+		e.cur.inW, e.cur.outW = inW, outW
+		e.cur.bias, e.cur.clip = b, e.cap
+		// Grain 4 keeps pool chunks at whole gather quads, so the quad-row
+		// kernel engages even when many workers shrink the chunks.
+		e.pool.Run(len(e.active), 4, e.step)
+
+		if b > 0 {
+			// A positive bias resurrects all-zero rows: their image is the
+			// constant clamp(relu(bias)) > 0 in every element. Fill them
+			// directly (their gather would be a no-op over zeros) and fold
+			// them back into the active set.
+			phi := b
+			if e.cap > 0 && phi > e.cap {
+				phi = e.cap
+			}
+			ai := 0
+			for r := 0; r < batch; r++ {
+				if ai < len(e.active) && int(e.active[ai]) == r {
+					ai++
+					continue
+				}
+				row := out[r*outW : (r+1)*outW]
+				for c := range row {
+					row[c] = phi
+				}
+				e.rowNNZ[r] = int32(outW)
+			}
+			e.active = e.active[:0]
+			for r := 0; r < batch; r++ {
+				if e.rowNNZ[r] > 0 {
+					e.active = append(e.active, int32(r))
+				}
+			}
+		} else {
+			// Zero-input rows stay zero through a non-positive bias, so the
+			// active list only ever shrinks: compact it in place.
+			kept := 0
+			for _, r := range e.active {
+				if e.rowNNZ[r] > 0 {
+					e.active[kept] = r
+					kept++
+				}
+			}
+			e.active = e.active[:kept]
+		}
+
+		in, inW = out[:batch*outW], outW
+		out, other = other, out
+	}
+
+	// Rows that died mid-stack were skipped above; their slots in the final
+	// buffer hold stale data from earlier layers or calls. Zero them.
+	final := e.outView
+	lastW := final.Cols()
+	ai := 0
+	for r := 0; r < batch; r++ {
+		if ai < len(e.active) && int(e.active[ai]) == r {
+			ai++
+			continue
+		}
+		row := final.Data()[r*lastW : (r+1)*lastW]
+		for c := range row {
+			row[c] = 0
+		}
+	}
+	return final, nil
+}
+
+// InferUnfused is the pre-kernel scatter implementation — one allocating
+// CSR DenseMul per layer followed by a separate epilogue pass — retained as
+// the performance baseline that BENCH_infer.json compares the fused path
+// against. Unlike the fused path it returns freshly allocated storage.
+func (e *Engine) InferUnfused(y0 *sparse.Dense) (*sparse.Dense, error) {
 	if y0.Cols() != e.layers[0].Rows() {
 		return nil, fmt.Errorf("infer: batch width %d, first layer expects %d", y0.Cols(), e.layers[0].Rows())
 	}
@@ -110,20 +373,24 @@ func (e *Engine) Infer(y0 *sparse.Dense) (*sparse.Dense, error) {
 			return nil, fmt.Errorf("infer: layer %d: %w", i, err)
 		}
 		b := e.bias[i]
-		cap := e.cap
+		clip := e.cap
 		data := next.Data()
 		parallel.Blocks(len(data), func(lo, hi int) {
 			for j := lo; j < hi; j++ {
 				v := data[j] + b
 				if v < 0 {
 					v = 0
-				} else if cap > 0 && v > cap {
-					v = cap
+				} else if clip > 0 && v > clip {
+					v = clip
 				}
 				data[j] = v
 			}
 		})
 		y = next
+	}
+	if y == y0 {
+		// Unreachable with ≥1 layer, but never hand the caller's storage back.
+		y = y0.Clone()
 	}
 	return y, nil
 }
@@ -187,15 +454,27 @@ func (e *Engine) ReferenceInfer(y0 *sparse.Dense) (*sparse.Dense, error) {
 	return y, nil
 }
 
+// RefreshWeights resyncs the precomputed kernels with the current values of
+// the layer matrices. Call it after mutating weights through slices
+// retained from before New; Infer otherwise keeps using the values the
+// kernels were built from.
+func (e *Engine) RefreshWeights() {
+	for i, l := range e.layers {
+		// Same pattern, same engine: Refresh cannot fail here.
+		_ = e.kernels[i].Refresh(l)
+	}
+}
+
 // PerturbWeights adds uniform noise in ±scale to every stored weight,
-// seeded; used by robustness tests and benchmarks to avoid the all-equal
-// weight special case.
+// seeded, and resyncs the precomputed kernels; used by robustness tests and
+// benchmarks to avoid the all-equal weight special case.
 func (e *Engine) PerturbWeights(scale float64, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	for _, l := range e.layers {
 		vals := l.Values()
-		for i := range vals {
-			vals[i] += (rng.Float64()*2 - 1) * scale
+		for j := range vals {
+			vals[j] += (rng.Float64()*2 - 1) * scale
 		}
 	}
+	e.RefreshWeights()
 }

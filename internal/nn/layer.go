@@ -173,6 +173,8 @@ type SparseLinear struct {
 	gw    []float64
 	gb    []float64
 	lastX *sparse.Dense
+	mat   *sparse.Matrix // pat + w, shared storage; built once
+	kern  *sparse.Kernel // CSC gather form; values resynced each Forward
 }
 
 // NewSparseLinear returns a sparse layer on the given pattern with
@@ -194,6 +196,7 @@ func NewSparseLinear(pat *sparse.Pattern, rng *rand.Rand) *SparseLinear {
 	for i := range l.w {
 		l.w[i] = (rng.Float64()*2 - 1) * limit
 	}
+	l.mat, _ = sparse.NewMatrix(pat, l.w)
 	return l
 }
 
@@ -210,25 +213,29 @@ func (l *SparseLinear) OutSize() int { return l.pat.Cols() }
 // biases) — the storage-cost figure sparse-vs-dense comparisons report.
 func (l *SparseLinear) NumParams() int { return len(l.w) + len(l.b) }
 
-// Forward computes x·W + b over the stored entries only.
+// Forward computes x·W + b over the stored entries only, as a single fused
+// CSC gather pass per batch row (see sparse.Kernel): no intermediate
+// product matrix, no second bias pass. The kernel's value copy is resynced
+// from the live weights on every call, since optimizers mutate them between
+// forward passes.
 func (l *SparseLinear) Forward(x *sparse.Dense) (*sparse.Dense, error) {
 	if x.Cols() != l.pat.Rows() {
 		return nil, fmt.Errorf("%w: batch has %d features, layer expects %d", ErrShape, x.Cols(), l.pat.Rows())
 	}
 	l.lastX = x
 	out, _ := sparse.NewDense(x.Rows(), l.pat.Cols())
-	mat, _ := sparse.NewMatrix(l.pat, l.w)
-	prod, err := mat.DenseMul(x)
-	if err != nil {
-		return nil, err
+	if l.kern == nil {
+		k, err := sparse.NewKernel(l.mat)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %w", err)
+		}
+		l.kern = k
+	} else if err := l.kern.Refresh(l.mat); err != nil {
+		return nil, fmt.Errorf("nn: %w", err)
 	}
-	parallel.BlocksGrain(x.Rows(), 8, func(lo, hi int) {
+	parallel.BlocksGrain(x.Rows(), 1, func(lo, hi int) {
 		for bIdx := lo; bIdx < hi; bIdx++ {
-			outRow := out.RowSlice(bIdx)
-			prodRow := prod.RowSlice(bIdx)
-			for c := range outRow {
-				outRow[c] = prodRow[c] + l.b[c]
-			}
+			l.kern.AffineGatherRow(out.RowSlice(bIdx), x.RowSlice(bIdx), l.b)
 		}
 	})
 	return out, nil
@@ -283,12 +290,15 @@ func (l *SparseLinear) Params() []Param {
 	return []Param{{W: l.w, G: l.gw}, {W: l.b, G: l.gb}}
 }
 
-// CloneShared returns a replica sharing weights with fresh gradient buffers.
+// CloneShared returns a replica sharing weights with fresh gradient
+// buffers. The CSC kernel is per-replica (each Forward refreshes its value
+// copy, which must not race across workers); it is rebuilt lazily.
 func (l *SparseLinear) CloneShared() Layer {
 	return &SparseLinear{
 		pat: l.pat,
 		w:   l.w, b: l.b,
-		gw: make([]float64, len(l.gw)),
-		gb: make([]float64, len(l.gb)),
+		gw:  make([]float64, len(l.gw)),
+		gb:  make([]float64, len(l.gb)),
+		mat: l.mat,
 	}
 }

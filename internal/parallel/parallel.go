@@ -3,9 +3,12 @@
 //
 // All helpers bound their worker count by runtime.GOMAXPROCS(0) and degrade
 // to a plain serial loop when only one worker is available or when the
-// problem is too small to amortize goroutine startup. Workers communicate
-// exclusively through channels and WaitGroups; no helper retains goroutines
-// past its return.
+// problem is too small to amortize dispatch. Block loops (Blocks,
+// BlocksGrain, For, ForGrain) dispatch through the process-wide persistent
+// Pool (see Shared), so repeated calls — e.g. once per layer of a deep
+// inference stack — reuse parked workers instead of spawning goroutines.
+// Do and Reduce retain the spawn-per-call design, as they are called at
+// coarse granularity where spawn cost is negligible.
 package parallel
 
 import (
@@ -58,27 +61,14 @@ func Blocks(n int, fn func(lo, hi int)) {
 	BlocksGrain(n, DefaultGrain, fn)
 }
 
-// BlocksGrain is Blocks with an explicit minimum block length.
+// BlocksGrain is Blocks with an explicit minimum block length. It dispatches
+// on the shared persistent pool; nested or concurrent calls fall back to
+// spawn-per-call goroutines rather than deadlocking (see Pool.Run).
 func BlocksGrain(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers(n, grain)
-	if w == 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	Shared().Run(n, grain, fn)
 }
 
 // Do runs the given thunks, possibly in parallel, and waits for all of them.

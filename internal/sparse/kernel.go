@@ -1,0 +1,372 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a CSC (compressed sparse column, i.e. transposed) re-encoding of
+// a Matrix, specialized for the batched feedforward product Y·W. Where the
+// CSR Matrix computes an output row by *scattering* each input activation
+// across its out-edges — cache-hostile random writes into the output — the
+// Kernel computes each output element as a *gather*: a dot product over the
+// column's in-edges. Every output element is written exactly once, in
+// order, which eliminates write contention between row blocks and lets the
+// bias + threshold-ReLU + cap epilogue fuse into the same loop.
+//
+// Indices are int32 (halving index bandwidth versus the Matrix's ints);
+// construction rejects matrices too large to index. Within each column the
+// in-edge row indices are strictly increasing, so a gathered dot product
+// accumulates contributions in exactly the same order as the CSR scatter —
+// the two paths produce bit-identical floating-point results.
+type Kernel struct {
+	rows, cols int
+	colPtr     []int32 // len cols+1; colPtr[c]..colPtr[c+1] indexes rowIdx
+	rowIdx     []int32 // len NNZ; input (row) indices, increasing per column
+	vals       []float64
+	perm       []int32  // CSR storage index -> CSC storage index, for Refresh
+	colDeg     int      // uniform column in-degree, or 0 when columns are ragged
+	src        *Pattern // the pattern the kernel was built from
+}
+
+// NewKernel builds the CSC kernel of m. The kernel owns a reordered copy of
+// the values; after mutating the matrix's values, call Refresh to resync.
+func NewKernel(m *Matrix) (*Kernel, error) {
+	nnz := m.NNZ()
+	if int64(m.pat.rows) > math.MaxInt32 || int64(m.pat.cols) > math.MaxInt32 || int64(nnz) > math.MaxInt32 {
+		return nil, fmt.Errorf("sparse: %dx%d matrix with %d entries exceeds int32 kernel indexing", m.pat.rows, m.pat.cols, nnz)
+	}
+	k := &Kernel{
+		rows:   m.pat.rows,
+		cols:   m.pat.cols,
+		colPtr: make([]int32, m.pat.cols+1),
+		rowIdx: make([]int32, nnz),
+		vals:   make([]float64, nnz),
+		perm:   make([]int32, nnz),
+		src:    m.pat,
+	}
+	for _, c := range m.pat.colIdx {
+		k.colPtr[c+1]++
+	}
+	for c := 0; c < m.pat.cols; c++ {
+		k.colPtr[c+1] += k.colPtr[c]
+	}
+	next := append([]int32(nil), k.colPtr[:m.pat.cols]...)
+	for r := 0; r < m.pat.rows; r++ {
+		lo, hi := m.pat.rowPtr[r], m.pat.rowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			c := m.pat.colIdx[i]
+			j := next[c]
+			next[c]++
+			k.rowIdx[j] = int32(r)
+			k.perm[i] = j
+		}
+	}
+	// RadiX-Net layers are in-degree regular (every column has the same
+	// number of in-edges); detect that so the gather can run its unrolled
+	// multi-column fast path.
+	if m.pat.cols > 0 {
+		deg := int(k.colPtr[1])
+		uniform := deg > 0
+		for c := 1; uniform && c < m.pat.cols; c++ {
+			uniform = int(k.colPtr[c+1]-k.colPtr[c]) == deg
+		}
+		if uniform {
+			k.colDeg = deg
+		}
+	}
+	k.Refresh(m)
+	return k, nil
+}
+
+// Refresh re-copies the matrix's (possibly mutated) values into the
+// kernel's transposed storage. m must be built on the identical Pattern the
+// kernel was constructed from — a same-shaped matrix with different
+// structure would silently scramble the value permutation, so it is
+// rejected. Refresh is O(NNZ) and does not allocate.
+func (k *Kernel) Refresh(m *Matrix) error {
+	if m.pat != k.src {
+		return fmt.Errorf("sparse: refresh with a different pattern than the kernel was built from (%dx%d nnz=%d)",
+			m.pat.rows, m.pat.cols, m.NNZ())
+	}
+	if len(m.vals) != len(k.vals) {
+		return fmt.Errorf("sparse: refresh with %d values, kernel has %d", len(m.vals), len(k.vals))
+	}
+	for i, v := range m.vals {
+		k.vals[k.perm[i]] = v
+	}
+	return nil
+}
+
+// Rows returns the input dimension (rows of the underlying matrix).
+func (k *Kernel) Rows() int { return k.rows }
+
+// Cols returns the output dimension (columns of the underlying matrix).
+func (k *Kernel) Cols() int { return k.cols }
+
+// NNZ returns the number of stored entries.
+func (k *Kernel) NNZ() int { return len(k.vals) }
+
+// FusedGatherRow computes one batch row of the fused feedforward step
+//
+//	out[c] = min(cap, max(0, Σ_r in[r]·W[r,c] + bias))   (cap ≤ 0: no ceiling)
+//
+// touching each output element exactly once, and returns the number of
+// positive output elements — the row's activation count, which drives both
+// active-row tracking (0 means the row is dead) and the per-row
+// gather/scatter choice at the next layer. in must have length Rows() and
+// out length Cols(); out is fully overwritten. It does not allocate.
+func (k *Kernel) FusedGatherRow(out, in []float64, bias, cap float64) int {
+	in = in[:k.rows]
+	out = out[:k.cols]
+	if k.colDeg > 0 {
+		return k.fusedGatherRowRegular(out, in, bias, cap)
+	}
+	colPtr, rowIdx, vals := k.colPtr, k.rowIdx, k.vals
+	nnz := 0
+	lo := colPtr[0]
+	for c := range out {
+		hi := colPtr[c+1]
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += vals[i] * in[rowIdx[i]]
+		}
+		lo = hi
+		v := acc + bias
+		if v <= 0 {
+			v = 0
+		} else {
+			if cap > 0 && v > cap {
+				v = cap
+			}
+			nnz++
+		}
+		out[c] = v
+	}
+	return nnz
+}
+
+// fusedGatherRowRegular is FusedGatherRow for in-degree-regular kernels:
+// four output columns are gathered at once on four independent accumulator
+// chains, hiding the floating-point add latency that the single-chain loop
+// serializes on. Each column still accumulates its own in-edges in the
+// same ascending order, so results are bit-identical to the scalar loop.
+func (k *Kernel) fusedGatherRowRegular(out, in []float64, bias, cap float64) int {
+	deg := k.colDeg
+	rowIdx, vals := k.rowIdx, k.vals
+	nnz := 0
+	c := 0
+	for ; c+4 <= len(out); c += 4 {
+		base := c * deg
+		i0 := base
+		i1 := base + deg
+		i2 := base + 2*deg
+		i3 := base + 3*deg
+		var a0, a1, a2, a3 float64
+		for j := 0; j < deg; j++ {
+			a0 += vals[i0+j] * in[rowIdx[i0+j]]
+			a1 += vals[i1+j] * in[rowIdx[i1+j]]
+			a2 += vals[i2+j] * in[rowIdx[i2+j]]
+			a3 += vals[i3+j] * in[rowIdx[i3+j]]
+		}
+		v0 := a0 + bias
+		v1 := a1 + bias
+		v2 := a2 + bias
+		v3 := a3 + bias
+		if v0 <= 0 {
+			v0 = 0
+		} else {
+			if cap > 0 && v0 > cap {
+				v0 = cap
+			}
+			nnz++
+		}
+		if v1 <= 0 {
+			v1 = 0
+		} else {
+			if cap > 0 && v1 > cap {
+				v1 = cap
+			}
+			nnz++
+		}
+		if v2 <= 0 {
+			v2 = 0
+		} else {
+			if cap > 0 && v2 > cap {
+				v2 = cap
+			}
+			nnz++
+		}
+		if v3 <= 0 {
+			v3 = 0
+		} else {
+			if cap > 0 && v3 > cap {
+				v3 = cap
+			}
+			nnz++
+		}
+		out[c] = v0
+		out[c+1] = v1
+		out[c+2] = v2
+		out[c+3] = v3
+	}
+	for ; c < len(out); c++ {
+		base := c * deg
+		var acc float64
+		for j := 0; j < deg; j++ {
+			acc += vals[base+j] * in[rowIdx[base+j]]
+		}
+		v := acc + bias
+		if v <= 0 {
+			v = 0
+		} else {
+			if cap > 0 && v > cap {
+				v = cap
+			}
+			nnz++
+		}
+		out[c] = v
+	}
+	return nnz
+}
+
+// FusedScatterRow is the CSR dual of Kernel.FusedGatherRow: the same fused
+// feedforward step computed by scattering each *nonzero* input activation
+// across its out-edges. For mostly-zero input rows this skips the bulk of
+// the multiply work that a gather must still traverse, at the cost of
+// touching the output twice (zero-fill + accumulate, then epilogue). The
+// inference engine picks gather or scatter per row from the row's exact
+// activation count. Accumulation visits contributions in the same
+// input-index order as the gather, so the two paths agree bitwise. It does
+// not allocate.
+func (m *Matrix) FusedScatterRow(out, in []float64, bias, cap float64) int {
+	in = in[:m.pat.rows]
+	out = out[:m.pat.cols]
+	for c := range out {
+		out[c] = 0
+	}
+	rowPtr, colIdx, vals := m.pat.rowPtr, m.pat.colIdx, m.vals
+	for r, xv := range in {
+		if xv == 0 {
+			continue
+		}
+		lo, hi := rowPtr[r], rowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			out[colIdx[i]] += xv * vals[i]
+		}
+	}
+	nnz := 0
+	for c, acc := range out {
+		v := acc + bias
+		if v <= 0 {
+			v = 0
+		} else {
+			if cap > 0 && v > cap {
+				v = cap
+			}
+			nnz++
+		}
+		out[c] = v
+	}
+	return nnz
+}
+
+// FusedGatherRow4 is FusedGatherRow over four batch rows at once: each
+// stored entry's column index and weight are loaded once and applied to all
+// four rows, quartering index/value memory traffic on the load-bound gather
+// loop, while the four accumulator chains hide floating-point add latency.
+// Every row accumulates its own in-edges in the same ascending order as
+// FusedGatherRow, so per-row results are bit-identical to four single-row
+// calls. nnz receives the per-row positive-activation counts. It does not
+// allocate.
+func (k *Kernel) FusedGatherRow4(out0, out1, out2, out3, in0, in1, in2, in3 []float64, bias, cap float64, nnz *[4]int) {
+	in0 = in0[:k.rows]
+	in1 = in1[:k.rows]
+	in2 = in2[:k.rows]
+	in3 = in3[:k.rows]
+	out0 = out0[:k.cols]
+	out1 = out1[:k.cols]
+	out2 = out2[:k.cols]
+	out3 = out3[:k.cols]
+	colPtr, rowIdx, vals := k.colPtr, k.rowIdx, k.vals
+	var n0, n1, n2, n3 int
+	lo := colPtr[0]
+	for c := range out0 {
+		hi := colPtr[c+1]
+		var a0, a1, a2, a3 float64
+		for i := lo; i < hi; i++ {
+			w := vals[i]
+			r := rowIdx[i]
+			a0 += w * in0[r]
+			a1 += w * in1[r]
+			a2 += w * in2[r]
+			a3 += w * in3[r]
+		}
+		lo = hi
+		v0 := a0 + bias
+		v1 := a1 + bias
+		v2 := a2 + bias
+		v3 := a3 + bias
+		if v0 <= 0 {
+			v0 = 0
+		} else {
+			if cap > 0 && v0 > cap {
+				v0 = cap
+			}
+			n0++
+		}
+		if v1 <= 0 {
+			v1 = 0
+		} else {
+			if cap > 0 && v1 > cap {
+				v1 = cap
+			}
+			n1++
+		}
+		if v2 <= 0 {
+			v2 = 0
+		} else {
+			if cap > 0 && v2 > cap {
+				v2 = cap
+			}
+			n2++
+		}
+		if v3 <= 0 {
+			v3 = 0
+		} else {
+			if cap > 0 && v3 > cap {
+				v3 = cap
+			}
+			n3++
+		}
+		out0[c] = v0
+		out1[c] = v1
+		out2[c] = v2
+		out3[c] = v3
+	}
+	nnz[0], nnz[1], nnz[2], nnz[3] = n0, n1, n2, n3
+}
+
+// AffineGatherRow computes one batch row of the linear-layer forward step
+//
+//	out[c] = Σ_r in[r]·W[r,c] + bias[c]
+//
+// with a per-column bias and no activation — the sparse.Matrix analogue of
+// a dense affine layer, used by the training substrate. It does not
+// allocate.
+func (k *Kernel) AffineGatherRow(out, in, bias []float64) {
+	in = in[:k.rows]
+	out = out[:k.cols]
+	bias = bias[:k.cols]
+	colPtr, rowIdx, vals := k.colPtr, k.rowIdx, k.vals
+	lo := colPtr[0]
+	for c := range out {
+		hi := colPtr[c+1]
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += vals[i] * in[rowIdx[i]]
+		}
+		lo = hi
+		out[c] = acc + bias[c]
+	}
+}

@@ -39,7 +39,9 @@ import (
 	"math/big"
 
 	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
 	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/sparse"
 	"github.com/radix-net/radixnet/internal/topology"
@@ -143,6 +145,44 @@ func BrainConfig(scale float64, layerCount int) (BrainStats, error) {
 // materializing it, calling fn(layer, u, v) until it returns false.
 func StreamEdges(cfg Config, fn func(layer int, u, v int64) bool) error {
 	return core.StreamEdges(cfg, fn)
+}
+
+// Dense is a row-major dense float64 matrix: the activation-batch type the
+// inference engine consumes and produces (rows = samples).
+type Dense = sparse.Dense
+
+// NewDense returns a zeroed rows×cols dense batch.
+func NewDense(rows, cols int) (*Dense, error) { return sparse.NewDense(rows, cols) }
+
+// DenseFromSlice wraps a row-major slice of length rows*cols without
+// copying.
+func DenseFromSlice(rows, cols int, data []float64) (*Dense, error) {
+	return sparse.DenseFromSlice(rows, cols, data)
+}
+
+// SparseBatch returns n input rows of the given width with nnzPerRow
+// seeded-random nonzero activations each — Graph Challenge–style sparse
+// inference inputs.
+func SparseBatch(n, width, nnzPerRow int, seed int64) (*Dense, error) {
+	return dataset.SparseBatch(n, width, nnzPerRow, seed)
+}
+
+// InferEngine is the Graph Challenge–style batched sparse inference engine:
+// a fused, allocation-free kernel stack applying Y ← min(cap, ReLU(Y·Wl+bl))
+// across the layer stack (experiment E10). See internal/infer for the
+// kernel design (CSC gather, ping-pong buffers, fused epilogue, active-row
+// tracking).
+type InferEngine = infer.Engine
+
+// InferFromConfig generates the RadiX-Net of cfg and wraps it in an
+// inference engine with Graph Challenge weighting.
+func InferFromConfig(cfg Config) (*InferEngine, error) { return infer.FromConfig(cfg) }
+
+// InferFromTopology assigns every edge of the topology the given weight and
+// every layer the given bias, with activations capped at cap (≤ 0 disables
+// the ceiling).
+func InferFromTopology(g *Topology, weight, bias, cap float64) (*InferEngine, error) {
+	return infer.FromTopology(g, weight, bias, cap)
 }
 
 // SearchSpec describes a desired topology: width, density, depth.
