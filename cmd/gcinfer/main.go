@@ -6,9 +6,12 @@
 //
 // With -bench-json the same workload is timed through both the fused
 // allocation-free kernel stack (Engine.Infer) and the unfused scatter
-// baseline it replaced (Engine.InferUnfused), and the comparison is written
-// as JSON — the BENCH_infer.json format that records the repository's
-// inference-performance trajectory (see README.md for the schema).
+// baseline it replaced (Engine.InferUnfused), and the comparison is
+// appended to the JSON array in the given file — the BENCH_infer.json
+// format that records the repository's inference-performance trajectory
+// (see README.md for the schema). Each record carries the git SHA and batch
+// size it was measured at; a legacy single-record file is converted to an
+// array on first append.
 //
 // Usage:
 //
@@ -17,15 +20,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"github.com/radix-net/radixnet/internal/cliutil"
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/dataset"
 	"github.com/radix-net/radixnet/internal/infer"
@@ -140,6 +142,7 @@ type benchRecord struct {
 	Date       string    `json:"date"`
 	GoVersion  string    `json:"go_version"`
 	GOMAXPROCS int       `json:"gomaxprocs"`
+	GitSHA     string    `json:"git_sha"`
 	Network    benchNet  `json:"network"`
 	Workload   benchWork `json:"workload"`
 	Unfused    benchPath `json:"unfused"`
@@ -190,6 +193,7 @@ func writeBenchJSON(path string, cfg core.Config, engine *infer.Engine, in *spar
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     cliutil.GitSHA(),
 		Network: benchNet{
 			LayerWidth: cfg.LayerWidths()[0],
 			Layers:     len(cfg.LayerWidths()) - 1,
@@ -206,15 +210,11 @@ func writeBenchJSON(path string, cfg core.Config, engine *infer.Engine, in *spar
 		Fused:   measure(engine.Infer),
 	}
 	rec.Speedup = rec.Fused.EdgesPerSec / rec.Unfused.EdgesPerSec
-	data, err := json.MarshalIndent(rec, "", "  ")
+	n, err := cliutil.AppendJSONRecord(path, rec)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("bench: unfused %.3g edges/s, fused %.3g edges/s, speedup %.2fx -> %s\n",
-		rec.Unfused.EdgesPerSec, rec.Fused.EdgesPerSec, rec.Speedup, path)
+	fmt.Printf("bench: unfused %.3g edges/s, fused %.3g edges/s, speedup %.2fx -> %s (record %d, sha %s)\n",
+		rec.Unfused.EdgesPerSec, rec.Fused.EdgesPerSec, rec.Speedup, path, n, rec.GitSHA)
 	return nil
 }

@@ -1,0 +1,174 @@
+// Command radixserve is the production inference service: it loads
+// RadiX-Net models into a registry of warm engine pools and serves them
+// over an HTTP JSON API with dynamic micro-batching, bounded queues with
+// explicit backpressure (HTTP 429), Prometheus-style metrics, and graceful
+// shutdown on SIGINT/SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/infer    {"model":"e10","inputs":[[...]],"categories":true}
+//	GET  /v1/models   registered models and their batching policies
+//	GET  /healthz     liveness
+//	GET  /metrics     request/batch/latency counters (Prometheus text)
+//
+// Models are given as repeated -model flags, "name=SPEC" where SPEC is
+// either a mixed-radix systems spec in the cliutil grammar (e.g. "8,8,8" or
+// "(3,3,4);(2,3)") or "gc:WIDTHxLAYERS" for a Graph Challenge–style
+// configuration. With no -model flags two demo models are served: demo
+// (radix 4,4,4) and e10 (radix 8,8,8,8, the BENCH_infer acceptance
+// network).
+//
+// With -selftest the binary instead starts an in-process server on an
+// ephemeral port, drives it end-to-end with concurrent HTTP load at several
+// concurrency levels, verifies that batched results are bit-identical to
+// per-row Engine.Infer and that saturation produces 429s rather than
+// unbounded queuing, appends a throughput record to BENCH_serve.json, and
+// exits nonzero on any failure.
+//
+// Usage:
+//
+//	radixserve [-addr :8080] [-model e10=8,8,8,8]... [-engines 2]
+//	           [-max-batch 32] [-max-latency 2ms] [-queue 256]
+//	radixserve -selftest [-bench-json BENCH_serve.json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/cliutil"
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/serve"
+)
+
+// modelSpec is one parsed -model flag.
+type modelSpec struct {
+	name string
+	cfg  core.Config
+}
+
+// modelFlags accumulates repeated -model NAME=SPEC flags.
+type modelFlags []modelSpec
+
+func (f *modelFlags) String() string {
+	names := make([]string, len(*f))
+	for i, m := range *f {
+		names[i] = m.name
+	}
+	return strings.Join(names, ",")
+}
+
+func (f *modelFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" || spec == "" {
+		return fmt.Errorf("want NAME=SPEC, got %q", v)
+	}
+	cfg, err := parseModelSpec(spec)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, modelSpec{name: name, cfg: cfg})
+	return nil
+}
+
+// parseModelSpec resolves "gc:WIDTHxLAYERS" or a cliutil systems spec.
+func parseModelSpec(spec string) (core.Config, error) {
+	if gc, ok := strings.CutPrefix(spec, "gc:"); ok {
+		ws, ls, ok := strings.Cut(gc, "x")
+		if !ok {
+			return core.Config{}, fmt.Errorf("want gc:WIDTHxLAYERS, got %q", spec)
+		}
+		width, err1 := strconv.Atoi(ws)
+		layers, err2 := strconv.Atoi(ls)
+		if err1 != nil || err2 != nil {
+			return core.Config{}, fmt.Errorf("want gc:WIDTHxLAYERS, got %q", spec)
+		}
+		return core.GraphChallengeConfig(width, layers)
+	}
+	systems, err := cliutil.ParseSystems(spec)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.NewConfig(systems, nil)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("radixserve: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		engines    = flag.Int("engines", 2, "warm engines per model (the pool leased per batch)")
+		maxBatch   = flag.Int("max-batch", 32, "rows coalesced into one engine invocation")
+		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "how long a short batch waits for more rows (negative: no waiting)")
+		queue      = flag.Int("queue", 256, "pending-row bound; beyond it requests get 429")
+		selftest   = flag.Bool("selftest", false, "run the end-to-end load-generator selftest and exit")
+		benchJSON  = flag.String("bench-json", "BENCH_serve.json", "selftest: append the throughput record to this file")
+		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
+		models     modelFlags
+	)
+	flag.Var(&models, "model", "model to serve, NAME=SPEC (repeatable); SPEC is a radix systems spec like 8,8,8 or gc:WIDTHxLAYERS")
+	flag.Parse()
+
+	pol := serve.Policy{MaxBatch: *maxBatch, MaxLatency: *maxLatency, QueueDepth: *queue}
+
+	if *selftest {
+		if err := runSelftest(*benchJSON, *engines, pol); err != nil {
+			log.Fatalf("selftest FAILED: %v", err)
+		}
+		log.Printf("selftest PASSED")
+		return
+	}
+
+	if len(models) == 0 {
+		for _, def := range []struct{ name, spec string }{
+			{"demo", "4,4,4"},
+			{"e10", "8,8,8,8"},
+		} {
+			cfg, err := parseModelSpec(def.spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			models = append(models, modelSpec{name: def.name, cfg: cfg})
+		}
+	}
+
+	reg := serve.NewRegistry(pol)
+	for _, ms := range models {
+		start := time.Now()
+		m, err := reg.Register(ms.name, ms.cfg, *engines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := m.Info()
+		log.Printf("model %q: %d layers × width %d→%d, %d weights, %d engines, built in %v",
+			info.Name, info.Layers, info.InputWidth, info.OutputWidth, info.Weights,
+			info.Engines, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := serve.NewServer(reg, *addr)
+	bound, err := srv.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s (POST /v1/infer, GET /v1/models /healthz /metrics)", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("shutting down (draining for up to %v)", *shutdownTO)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/cliutil"
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/serve"
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// serveBenchRecord is the BENCH_serve.json schema: one end-to-end
+// throughput measurement of the serving stack, appended per run so the file
+// records the repository's serving-performance trajectory (see README.md).
+type serveBenchRecord struct {
+	Benchmark    string            `json:"benchmark"`
+	Date         string            `json:"date"`
+	GoVersion    string            `json:"go_version"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	GitSHA       string            `json:"git_sha"`
+	Network      serveBenchNet     `json:"network"`
+	Policy       serveBenchPolicy  `json:"policy"`
+	Levels       []serveBenchLevel `json:"levels"`
+	Backpressure serveBenchBP      `json:"backpressure"`
+	BitIdentical bool              `json:"bit_identical"`
+}
+
+type serveBenchNet struct {
+	LayerWidth int `json:"layer_width"`
+	Layers     int `json:"layers"`
+	Weights    int `json:"weights"`
+}
+
+type serveBenchPolicy struct {
+	MaxBatch     int     `json:"max_batch"`
+	MaxLatencyMs float64 `json:"max_latency_ms"`
+	QueueDepth   int     `json:"queue_depth"`
+	Engines      int     `json:"engines"`
+}
+
+type serveBenchLevel struct {
+	Concurrency   int     `json:"concurrency"`
+	Rows          int     `json:"rows"`
+	RowsPerSec    float64 `json:"rows_per_sec"`
+	MeanBatch     float64 `json:"mean_batch"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+}
+
+type serveBenchBP struct {
+	Sent     int `json:"sent"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+// selftestClient is tuned for many concurrent keep-alive connections to one
+// host.
+func selftestClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 128
+	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+// postRow sends one single-row inference request and returns the HTTP
+// status plus the decoded response (valid only for status 200).
+func postRow(client *http.Client, url, model string, row []float64) (int, serve.InferResponse, error) {
+	body, err := json.Marshal(serve.InferRequest{Model: model, Inputs: [][]float64{row}})
+	if err != nil {
+		return 0, serve.InferResponse{}, err
+	}
+	resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, serve.InferResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out serve.InferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, out, err
+		}
+	}
+	return resp.StatusCode, out, nil
+}
+
+// runSelftest drives the full serving stack end-to-end over real HTTP:
+// correctness (batched results bit-identical to per-row Engine.Infer),
+// throughput at several client concurrency levels, and backpressure under
+// deliberate saturation. On success it appends the measurement to
+// benchPath.
+func runSelftest(benchPath string, engines int, pol serve.Policy) error {
+	if engines < 1 {
+		engines = 1
+	}
+	// The selftest network: radix [8,8,8] → width 512, 3 layers. Large
+	// enough that batching is exercised, small enough for a CI smoke run.
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(8, 8, 8)}, nil)
+	if err != nil {
+		return err
+	}
+	reg := serve.NewRegistry(pol)
+	buildStart := time.Now()
+	m, err := reg.Register("selftest", cfg, engines)
+	if err != nil {
+		return err
+	}
+	info := m.Info()
+	log.Printf("selftest model: %d layers × width %d, %d weights, %d engines, built in %v",
+		info.Layers, info.InputWidth, info.Weights, info.Engines, time.Since(buildStart).Round(time.Millisecond))
+
+	srv := serve.NewServer(reg, "127.0.0.1:0")
+	addr, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	url := "http://" + addr
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	// Per-row ground truth from a private engine over the same config —
+	// engine generation is deterministic, so weights match the served pool.
+	const baseRows = 96
+	width := m.InputWidth()
+	in, err := dataset.SparseBatch(baseRows, width, width/10, 7)
+	if err != nil {
+		return err
+	}
+	ref, err := infer.FromConfig(cfg)
+	if err != nil {
+		return err
+	}
+	expected := make([][]float64, baseRows)
+	for r := 0; r < baseRows; r++ {
+		rowIn, err := sparse.DenseFromSlice(1, width, in.RowSlice(r))
+		if err != nil {
+			return err
+		}
+		y, err := ref.Infer(rowIn)
+		if err != nil {
+			return err
+		}
+		expected[r] = append([]float64(nil), y.Data()...)
+	}
+
+	client := selftestClient()
+	var levels []serveBenchLevel
+	for _, conc := range []int{1, 4, 16} {
+		rows := baseRows * conc
+		before := m.Metrics().Snapshot()
+		beforeLatency := m.Metrics().LatencyNs.Load()
+		var next, mismatches, failures atomic.Int64
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(rows) {
+						return
+					}
+					r := int(i) % baseRows
+					status, resp, err := postRow(client, url, "selftest", in.RowSlice(r))
+					if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+						failures.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("row %d: status %d err %v", r, status, err))
+						return
+					}
+					for c, v := range resp.Outputs[0] {
+						if v != expected[r][c] {
+							mismatches.Add(1)
+							firstErr.CompareAndSwap(nil, fmt.Errorf("row %d col %d: got %v want %v", r, c, v, expected[r][c]))
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if failures.Load() > 0 || mismatches.Load() > 0 {
+			return fmt.Errorf("concurrency %d: %d failures, %d bitwise mismatches (first: %v)",
+				conc, failures.Load(), mismatches.Load(), firstErr.Load())
+		}
+		after := m.Metrics().Snapshot()
+		lvl := serveBenchLevel{
+			Concurrency: conc,
+			Rows:        rows,
+			RowsPerSec:  float64(rows) / elapsed.Seconds(),
+		}
+		if db := after.Batches - before.Batches; db > 0 {
+			lvl.MeanBatch = float64(after.BatchedRows-before.BatchedRows) / float64(db)
+		}
+		if dc := after.Completed - before.Completed; dc > 0 {
+			lvl.MeanLatencyMs = float64(m.Metrics().LatencyNs.Load()-beforeLatency) / float64(dc) / 1e6
+		}
+		levels = append(levels, lvl)
+		log.Printf("concurrency %2d: %d rows in %v = %.0f rows/s (mean batch %.1f, mean latency %.2fms), bit-identical",
+			conc, rows, elapsed.Round(time.Millisecond), lvl.RowsPerSec, lvl.MeanBatch, lvl.MeanLatencyMs)
+	}
+
+	// Backpressure: a deliberately starved model — its only engine leased
+	// away — must shed overflow with 429 instead of queuing unboundedly,
+	// and everything accepted must still complete once the engine returns.
+	tinyCfg, err := core.NewConfig([]radix.System{radix.MustNew(4, 4)}, nil)
+	if err != nil {
+		return err
+	}
+	tinyPol := serve.Policy{MaxBatch: 4, MaxLatency: 5 * time.Millisecond, QueueDepth: 4, Workers: 1}
+	tiny, err := reg.RegisterWithPolicy("tiny", tinyCfg, 1, tinyPol)
+	if err != nil {
+		return err
+	}
+	tinyIn, err := dataset.SparseBatch(32, tiny.InputWidth(), 3, 3)
+	if err != nil {
+		return err
+	}
+	eng := tiny.Lease()
+	const flood = 32
+	var got200, got429, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, err := postRow(client, url, "tiny", tinyIn.RowSlice(i))
+			switch {
+			case err != nil:
+				other.Add(1)
+			case status == http.StatusOK:
+				got200.Add(1)
+			case status == http.StatusTooManyRequests:
+				got429.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	// The worker can hold at most MaxBatch rows and the queue at most
+	// QueueDepth, so with the engine starved at least
+	// flood − MaxBatch − QueueDepth rejections must accumulate.
+	minRejected := int64(flood - tinyPol.MaxBatch - tinyPol.QueueDepth)
+	deadline := time.Now().Add(15 * time.Second)
+	for tiny.Metrics().Rejected.Load() < minRejected && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	tiny.Release(eng)
+	wg.Wait()
+	bp := serveBenchBP{Sent: flood, Accepted: int(got200.Load()), Rejected: int(got429.Load())}
+	log.Printf("backpressure: %d sent → %d completed, %d rejected with 429, %d other",
+		bp.Sent, bp.Accepted, bp.Rejected, other.Load())
+	if got429.Load() == 0 {
+		return fmt.Errorf("backpressure: saturation produced no 429s")
+	}
+	if got200.Load() == 0 {
+		return fmt.Errorf("backpressure: nothing completed after the engine was released")
+	}
+	if other.Load() > 0 {
+		return fmt.Errorf("backpressure: %d unexpected responses", other.Load())
+	}
+
+	rec := serveBenchRecord{
+		Benchmark:  "serve-microbatch",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     cliutil.GitSHA(),
+		Network:    serveBenchNet{LayerWidth: info.InputWidth, Layers: info.Layers, Weights: info.Weights},
+		Policy: serveBenchPolicy{
+			MaxBatch:     info.MaxBatch,
+			MaxLatencyMs: info.MaxLatencyMs,
+			QueueDepth:   info.QueueDepth,
+			Engines:      info.Engines,
+		},
+		Levels:       levels,
+		Backpressure: bp,
+		// Any bitwise mismatch returned above, so reaching here proves it.
+		BitIdentical: true,
+	}
+	n, err := cliutil.AppendJSONRecord(benchPath, rec)
+	if err != nil {
+		return err
+	}
+	log.Printf("bench: appended record %d to %s", n, benchPath)
+	return nil
+}

@@ -1,7 +1,12 @@
 package radixnet_test
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
 	"testing"
+	"time"
 
 	radixnet "github.com/radix-net/radixnet"
 )
@@ -111,5 +116,80 @@ func TestFacadeAnalysisOnChallengeNet(t *testing.T) {
 	values, _ := net.PathSpectrum()
 	if len(values) != 1 {
 		t.Fatalf("challenge net spectrum has %d values; must be symmetric", len(values))
+	}
+}
+
+// TestFacadeServing drives the whole serving stack through the facade
+// alone: registry, model, micro-batched inference (bit-identical to the
+// direct engine), the HTTP API, and graceful shutdown.
+func TestFacadeServing(t *testing.T) {
+	cfg, err := radixnet.NewConfig([]radixnet.System{radixnet.MustSystem(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := radixnet.NewRegistry(radixnet.ServePolicy{MaxBatch: 8, MaxLatency: time.Millisecond})
+	m, err := reg.Register("facade", cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := radixnet.SparseBatch(4, m.InputWidth(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := radixnet.InferFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, m.OutputWidth())
+	for r := 0; r < in.Rows(); r++ {
+		if err := m.Infer(context.Background(), in.RowSlice(r), out); err != nil {
+			t.Fatal(err)
+		}
+		rowIn, err := radixnet.DenseFromSlice(1, in.Cols(), in.RowSlice(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.Infer(rowIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, v := range out {
+			if v != want.At(0, c) {
+				t.Fatalf("row %d col %d: served %v, direct %v", r, c, v, want.At(0, c))
+			}
+		}
+	}
+
+	srv := radixnet.NewServer(reg, "127.0.0.1:0")
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models map[string][]radixnet.ServedModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(models["models"]) != 1 || models["models"][0].Name != "facade" {
+		t.Fatalf("models = %+v", models)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Infer(context.Background(), in.RowSlice(0), out); !errors.Is(err, radixnet.ErrServeClosed) {
+		t.Fatalf("post-shutdown Infer = %v, want ErrServeClosed", err)
+	}
+}
+
+// TestFacadeEngineBusy pins the exported single-flight error.
+func TestFacadeEngineBusy(t *testing.T) {
+	if radixnet.ErrEngineBusy == nil || radixnet.ErrQueueFull == nil || radixnet.ErrServeClosed == nil {
+		t.Fatal("serving errors not exported")
 	}
 }

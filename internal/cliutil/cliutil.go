@@ -5,9 +5,12 @@
 package cliutil
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 
@@ -48,6 +51,66 @@ func ParseShape(text string) ([]int, error) {
 		shape = append(shape, v)
 	}
 	return shape, nil
+}
+
+// GitSHA returns the short commit hash of the working tree the tool runs
+// in, or "unknown" outside a git checkout — benchmark records carry it so a
+// BENCH_*.json trajectory can be tied back to the code that produced each
+// entry.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// AppendJSONRecord appends rec to the JSON array in path, creating the file
+// if needed, and returns the resulting record count. A legacy file holding
+// a single top-level object (the pre-append BENCH format) is converted to a
+// one-element array first, so trajectories accumulate instead of
+// clobbering. The write is atomic (temp file + rename), so a crash never
+// leaves partial JSON; concurrent appenders are last-writer-wins — bench
+// runs are expected to be sequential.
+func AppendJSONRecord(path string, rec any) (int, error) {
+	var records []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		trimmed := bytes.TrimSpace(data)
+		switch {
+		case len(trimmed) == 0:
+			// empty file: start fresh
+		case trimmed[0] == '[':
+			if err := json.Unmarshal(trimmed, &records); err != nil {
+				return 0, fmt.Errorf("cliutil: existing records in %s: %w", path, err)
+			}
+		default:
+			if !json.Valid(trimmed) {
+				return 0, fmt.Errorf("cliutil: existing record in %s is not valid JSON", path)
+			}
+			records = append(records, json.RawMessage(trimmed))
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("cliutil: %w", err)
+	}
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: %w", err)
+	}
+	records = append(records, enc)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: %w", err)
+	}
+	out = append(out, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return 0, fmt.Errorf("cliutil: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("cliutil: %w", err)
+	}
+	return len(records), nil
 }
 
 // LoadConfig resolves a configuration from either a JSON file path or a

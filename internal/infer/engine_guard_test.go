@@ -1,0 +1,158 @@
+package infer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/parallel"
+)
+
+// TestInferConcurrentCallsReturnBusy hammers one engine from many
+// goroutines: every call must either succeed or fail with ErrBusy, never
+// corrupt the shared scratch (the race detector verifies the latter), and
+// the engine must still produce reference-exact results afterwards. The
+// serving layer's engine pools rely on this single-flight contract.
+func TestInferConcurrentCallsReturnBusy(t *testing.T) {
+	e := smallEngine(t)
+	in, err := dataset.SparseBatch(4, 16, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, iters = 8, 40
+	var ok, busy atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch _, err := e.Infer(in); {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrBusy):
+					busy.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if total := ok.Load() + busy.Load(); total != goroutines*iters {
+		t.Fatalf("accounted %d of %d calls", total, goroutines*iters)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no Infer call ever acquired the engine")
+	}
+	// The guard must release cleanly: a fresh call succeeds and is exact.
+	got, err := e.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.ReferenceInfer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, err := got.MaxAbsDiff(want); err != nil || diff != 0 {
+		t.Fatalf("post-contention result diverged: diff=%v err=%v", diff, err)
+	}
+}
+
+// TestCloneConcurrentInference checks the engine-pool contract end to end:
+// clones share weights but own their scratch, so concurrent Infer calls on
+// distinct clones must all succeed (no ErrBusy between clones) and agree
+// bitwise with the reference oracle.
+func TestCloneConcurrentInference(t *testing.T) {
+	parent := smallEngine(t)
+	parent.PerturbWeights(0.1, 3) // avoid the all-equal-weight special case
+	engines := []*Engine{parent, parent.Clone(), parent.Clone(), parent.Clone()}
+	const iters = 25
+	var wg sync.WaitGroup
+	for i, e := range engines {
+		in, err := dataset.SparseBatch(3, 16, 4, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := parent.ReferenceInfer(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				got, err := e.Infer(in)
+				if err != nil {
+					t.Errorf("clone Infer: %v", err)
+					return
+				}
+				if diff, err := got.MaxAbsDiff(want); err != nil || diff >= 1e-12 {
+					t.Errorf("clone diverged from reference: diff=%v err=%v", diff, err)
+					return
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+}
+
+// TestSetPoolMatchesReference runs an engine on a private 2-worker pool and
+// on a serial (1-worker) pool; both must agree bitwise with the shared-pool
+// result.
+func TestSetPoolMatchesReference(t *testing.T) {
+	e := smallEngine(t)
+	in, err := dataset.SparseBatch(8, 16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.ReferenceInfer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		p := parallel.NewPool(workers)
+		e.SetPool(p)
+		got, err := e.Infer(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff, derr := got.MaxAbsDiff(want); derr != nil || diff != 0 {
+			t.Fatalf("workers=%d: diff=%v err=%v", workers, diff, derr)
+		}
+		e.SetPool(nil) // restore shared before closing the private pool
+		p.Close()
+	}
+	got, err := e.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, derr := got.MaxAbsDiff(want); derr != nil || diff != 0 {
+		t.Fatalf("after SetPool(nil): diff=%v err=%v", diff, derr)
+	}
+}
+
+// TestInferCategoriesHoldsGuard pins that InferCategories participates in
+// the single-flight contract for its whole duration (it scans the shared
+// output view after the forward pass).
+func TestInferCategoriesHoldsGuard(t *testing.T) {
+	e := smallEngine(t)
+	in, err := dataset.SparseBatch(2, 16, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.inUse.Store(true)
+	if _, _, err := e.InferCategories(in); !errors.Is(err, ErrBusy) {
+		t.Fatalf("InferCategories with busy engine = %v, want ErrBusy", err)
+	}
+	e.inUse.Store(false)
+	active, argmax, err := e.InferCategories(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(active) != 2 || len(argmax) != 2 {
+		t.Fatalf("shapes: %d active, %d argmax", len(active), len(argmax))
+	}
+}

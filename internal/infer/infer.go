@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/nn"
@@ -36,6 +37,13 @@ import (
 	"github.com/radix-net/radixnet/internal/sparse"
 	"github.com/radix-net/radixnet/internal/topology"
 )
+
+// ErrBusy is returned by Infer when another Infer call is already in
+// flight on the same engine. Engines share ping-pong scratch across calls
+// and are therefore single-flight by contract; concurrent callers must use
+// one engine per worker (see Clone) — the serving layer's engine pools are
+// built on this guarantee.
+var ErrBusy = errors.New("infer: engine busy: concurrent Infer on a shared engine (use one engine per worker; see Engine.Clone)")
 
 // Engine holds the weight stack of a sparse feedforward network prepared
 // for batched threshold-ReLU inference.
@@ -47,6 +55,7 @@ type Engine struct {
 	kernels []*sparse.Kernel // CSC gather form of each layer
 	pool    *parallel.Pool
 	step    func(lo, hi int) // bound once; dispatched per layer on the pool
+	inUse   atomic.Bool      // single-flight guard for the shared scratch
 
 	// Reusable per-batch state, sized by ensure. bufIn stages a copy of the
 	// caller's batch (Infer never reads from or writes to the caller's
@@ -252,8 +261,19 @@ func (e *Engine) layerStep(lo, hi int) {
 // buffer: it is valid until the next Infer or InferCategories call on the
 // same engine, which overwrites it (clone it to keep it). This is what
 // makes the steady-state forward pass allocation-free. Engines are not safe
-// for concurrent Infer calls.
+// for concurrent Infer calls: a call that overlaps another returns ErrBusy
+// rather than corrupting the shared scratch; use Clone for per-worker
+// engines.
 func (e *Engine) Infer(y0 *sparse.Dense) (*sparse.Dense, error) {
+	if !e.inUse.CompareAndSwap(false, true) {
+		return nil, ErrBusy
+	}
+	defer e.inUse.Store(false)
+	return e.infer(y0)
+}
+
+// infer is the body of Infer, running under the single-flight guard.
+func (e *Engine) infer(y0 *sparse.Dense) (*sparse.Dense, error) {
 	if y0.Cols() != e.layers[0].Rows() {
 		return nil, fmt.Errorf("infer: batch width %d, first layer expects %d", y0.Cols(), e.layers[0].Rows())
 	}
@@ -397,9 +417,15 @@ func (e *Engine) InferUnfused(y0 *sparse.Dense) (*sparse.Dense, error) {
 
 // InferCategories runs Infer and returns, per input row, whether the row
 // ended with any positive activation (the Graph Challenge's category
-// criterion) plus the index of its strongest neuron.
+// criterion) plus the index of its strongest neuron. The single-flight
+// guard is held until the scan over the output view finishes, so an
+// overlapping Infer gets ErrBusy instead of overwriting the view mid-scan.
 func (e *Engine) InferCategories(y0 *sparse.Dense) (active []bool, argmax []int, err error) {
-	y, err := e.Infer(y0)
+	if !e.inUse.CompareAndSwap(false, true) {
+		return nil, nil, ErrBusy
+	}
+	defer e.inUse.Store(false)
+	y, err := e.infer(y0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -463,6 +489,35 @@ func (e *Engine) RefreshWeights() {
 		// Same pattern, same engine: Refresh cannot fail here.
 		_ = e.kernels[i].Refresh(l)
 	}
+}
+
+// Clone returns an engine sharing this engine's immutable weight stack —
+// the layer matrices, biases, and precomputed CSC kernels — with fresh,
+// independent scratch state (ping-pong buffers, active-row lists,
+// single-flight guard). A pool of clones serves concurrent batches without
+// duplicating the model: N clones cost N sets of activation buffers, not N
+// copies of the weights. Clones inherit the parent's worker pool; use
+// SetPool to give each its own parallelism budget. Weight mutation
+// (RefreshWeights, PerturbWeights) through any clone is visible to all of
+// them and must not race an in-flight Infer — serving treats weights as
+// frozen after the pool is built.
+func (e *Engine) Clone() *Engine {
+	c := &Engine{layers: e.layers, bias: e.bias, cap: e.cap, kernels: e.kernels, pool: e.pool}
+	c.step = c.layerStep
+	return c
+}
+
+// SetPool directs the engine's per-layer steps at the given worker pool
+// instead of the process-wide parallel.Shared pool (nil restores the shared
+// pool). Engine pools in the serving layer give each warm engine a private
+// pool sized parallel.Quota(poolSize) so concurrent batches split the
+// machine instead of oversubscribing it. Must not be called while an Infer
+// is in flight.
+func (e *Engine) SetPool(p *parallel.Pool) {
+	if p == nil {
+		p = parallel.Shared()
+	}
+	e.pool = p
 }
 
 // PerturbWeights adds uniform noise in ±scale to every stored weight,

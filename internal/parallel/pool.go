@@ -164,6 +164,24 @@ func spawnBlocks(n, w int, fn func(lo, hi int)) {
 // be called after Close.
 func (p *Pool) Close() { close(p.wake) }
 
+// Quota returns the worker count each of parts equal consumers should give
+// its private pool so that together they roughly fill the machine:
+// GOMAXPROCS(0)/parts, floored, never below 1. The serving layer uses it to
+// split the machine among the engines of a warm pool — at high engine
+// counts each engine runs its layer loops serially (quota 1) and
+// parallelism comes from concurrent batches instead, avoiding
+// oversubscription of the cores.
+func Quota(parts int) int {
+	if parts < 1 {
+		parts = 1
+	}
+	q := runtime.GOMAXPROCS(0) / parts
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
 var (
 	sharedOnce sync.Once
 	sharedPool *Pool

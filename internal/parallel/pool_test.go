@@ -185,3 +185,28 @@ func TestSharedPoolSingleton(t *testing.T) {
 		t.Fatal("shared pool has no workers")
 	}
 }
+
+func TestQuota(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if got := Quota(1); got != procs {
+		t.Errorf("Quota(1) = %d, want GOMAXPROCS = %d", got, procs)
+	}
+	if got := Quota(0); got != procs {
+		t.Errorf("Quota(0) = %d, want GOMAXPROCS = %d", got, procs)
+	}
+	if got := Quota(-3); got != procs {
+		t.Errorf("Quota(-3) = %d, want GOMAXPROCS = %d", got, procs)
+	}
+	if got := Quota(procs * 100); got != 1 {
+		t.Errorf("Quota(%d) = %d, want 1", procs*100, got)
+	}
+	for parts := 1; parts <= 2*procs; parts++ {
+		q := Quota(parts)
+		if q < 1 {
+			t.Fatalf("Quota(%d) = %d < 1", parts, q)
+		}
+		if q > 1 && q*parts > procs {
+			t.Errorf("Quota(%d) = %d oversubscribes %d procs", parts, q, procs)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// Policy bounds one model's micro-batching scheduler. The zero value of any
+// field selects its default.
+type Policy struct {
+	// MaxBatch caps the rows coalesced into one engine invocation.
+	// Default 32.
+	MaxBatch int
+	// MaxLatency is how long the first row of a batch waits for company
+	// before the batch executes anyway. It is the knob trading single-row
+	// latency for batch density; negative disables waiting (a batch takes
+	// only what is already queued), zero selects the default of 2ms.
+	MaxLatency time.Duration
+	// QueueDepth bounds pending rows; a submission finding the queue full
+	// fails with ErrQueueFull instead of queuing unboundedly. Rows already
+	// held by collecting workers are outside this bound, so total in-flight
+	// rows are at most QueueDepth + Workers×MaxBatch. Default 256.
+	QueueDepth int
+	// Workers is the number of collector goroutines executing batches
+	// concurrently. Default: the model's engine-pool size (so a collector
+	// never waits long for an engine lease).
+	Workers int
+}
+
+// withDefaults fills zero fields; engines is the model's pool size.
+func (p Policy) withDefaults(engines int) Policy {
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = 32
+	}
+	if p.MaxLatency == 0 {
+		p.MaxLatency = 2 * time.Millisecond
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 256
+	}
+	if p.Workers <= 0 {
+		p.Workers = engines
+	}
+	return p
+}
+
+var (
+	// ErrQueueFull is the backpressure signal: the model's request queue is
+	// at QueueDepth. Callers should shed or retry with backoff; the HTTP
+	// layer maps it to 429.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrClosed reports a submission to a model whose registry has been
+	// closed (or is draining for shutdown). The HTTP layer maps it to 503.
+	ErrClosed = errors.New("serve: model closed")
+)
+
+// pending is one enqueued row: input, destination for the output, and the
+// completion signal. The batcher owns it from submit until done is closed.
+type pending struct {
+	row  []float64 // input, length inW; read-only to the batcher
+	out  []float64 // output destination, length outW, written before done
+	err  error     // terminal row status, written before done
+	done chan struct{}
+	enq  time.Time
+}
+
+// batcher is one model's dynamic micro-batching scheduler: a bounded queue
+// of pending rows drained by Workers collector goroutines.
+type batcher struct {
+	model *Model
+	pol   Policy
+	met   *Metrics
+
+	mu     sync.RWMutex // guards closed and, with it, sends into queue
+	closed bool
+	queue  chan *pending
+	wg     sync.WaitGroup
+}
+
+func newBatcher(m *Model, pol Policy) *batcher {
+	b := &batcher{model: m, pol: pol, met: &m.met, queue: make(chan *pending, pol.QueueDepth)}
+	b.wg.Add(pol.Workers)
+	for i := 0; i < pol.Workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+// submit enqueues one row without blocking: ErrQueueFull when the queue is
+// at capacity, ErrClosed after close. The read-lock excludes the
+// close()-side channel close, so sends never race it.
+func (b *batcher) submit(p *pending) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		// Shutdown, not backpressure: keep the Rejected (queue-full) series
+		// clean for operators alerting on it.
+		b.met.Failed.Add(1)
+		return ErrClosed
+	}
+	select {
+	case b.queue <- p:
+		b.met.Accepted.Add(1)
+		return nil
+	default:
+		b.met.Rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// close rejects future submissions, then drains: rows already accepted are
+// still executed before the workers exit. Blocks until the drain completes.
+func (b *batcher) close() {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	b.mu.Unlock()
+	if !already {
+		close(b.queue)
+	}
+	b.wg.Wait()
+}
+
+// worker is one collector loop: block for the first row of a batch, drain
+// greedily, wait out the latency budget if the batch is still short, then
+// execute. Exits when the queue is closed and empty.
+func (b *batcher) worker() {
+	defer b.wg.Done()
+	reqs := make([]*pending, 0, b.pol.MaxBatch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		p, ok := <-b.queue
+		if !ok {
+			return
+		}
+		reqs = append(reqs[:0], p)
+		open := b.drain(&reqs)
+		if open && len(reqs) < b.pol.MaxBatch && b.pol.MaxLatency > 0 {
+			timer.Reset(b.pol.MaxLatency)
+		wait:
+			for len(reqs) < b.pol.MaxBatch {
+				select {
+				case q, ok := <-b.queue:
+					if !ok {
+						break wait
+					}
+					reqs = append(reqs, q)
+				case <-timer.C:
+					break wait
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		b.execute(reqs)
+	}
+}
+
+// drain moves whatever is already queued into reqs, up to MaxBatch, without
+// blocking. Returns false once the queue is closed.
+func (b *batcher) drain(reqs *[]*pending) bool {
+	for len(*reqs) < b.pol.MaxBatch {
+		select {
+		case q, ok := <-b.queue:
+			if !ok {
+				return false
+			}
+			*reqs = append(*reqs, q)
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+// execute leases an engine, runs one fused forward pass over the coalesced
+// batch, copies each row's output into its pending slot, and completes
+// every request. Output rows are copied out of the engine's ping-pong view
+// before the engine is released, so the view is never read after the next
+// lease-holder overwrites it.
+func (b *batcher) execute(reqs []*pending) {
+	m := b.model
+	n := len(reqs)
+	buf := m.batchBuf()
+	for i, p := range reqs {
+		copy(buf[i*m.inW:(i+1)*m.inW], p.row)
+	}
+	batch, err := sparse.DenseFromSlice(n, m.inW, buf[:n*m.inW])
+	if err == nil {
+		eng := m.Lease()
+		var out *sparse.Dense
+		if out, err = eng.Infer(batch); err == nil {
+			data := out.Data()
+			for i, p := range reqs {
+				copy(p.out, data[i*m.outW:(i+1)*m.outW])
+			}
+		}
+		m.Release(eng)
+	}
+	m.putBatchBuf(buf)
+	b.met.Batches.Add(1)
+	b.met.BatchedRows.Add(int64(n))
+	now := time.Now()
+	for _, p := range reqs {
+		p.err = err
+		if err != nil {
+			b.met.Failed.Add(1)
+		} else {
+			b.met.Completed.Add(1)
+			b.met.observe(now.Sub(p.enq).Nanoseconds())
+		}
+		close(p.done)
+	}
+}

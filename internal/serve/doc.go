@@ -1,0 +1,45 @@
+// Package serve turns the fused RadiX-Net inference kernel stack into a
+// production inference service: a model registry owning pools of warm
+// infer.Engine instances, a dynamic micro-batching scheduler that coalesces
+// concurrent single-row requests into dense batches, and an HTTP JSON API
+// with health and metrics endpoints. It is the system layer the ROADMAP
+// north star asks for — the Graph Challenge setting of Kepner et al.
+// (arXiv:1905.00416) assumes many models × many inputs, and serving is what
+// carries single-engine kernel speed to that scale.
+//
+// # Architecture
+//
+// Registry — models are registered by name from a core.Config (or its
+// graphio JSON wire form). Registration builds the RadiX-Net once and
+// clones the resulting engine into a pool of warm instances: clones share
+// the immutable weight stack (matrices + precomputed CSC kernels) but own
+// their ping-pong scratch, so the pool costs N activation buffers, not N
+// model copies. Engines are leased per batch over a buffered channel;
+// infer.ErrBusy backs the contract that no two batches ever share an
+// engine. Each engine gets a private parallel.Pool sized
+// parallel.Quota(poolSize): with many engines each runs its layer loops
+// serially and parallelism comes from concurrent batches, avoiding core
+// oversubscription.
+//
+// Micro-batcher — each model runs Policy.Workers collector goroutines over
+// one bounded request queue (capacity Policy.QueueDepth). A collector takes
+// the first pending row, greedily drains whatever else is queued, and — if
+// the batch is still short of Policy.MaxBatch — waits up to
+// Policy.MaxLatency for more rows before leasing an engine and running one
+// fused forward pass over the coalesced batch. Single-row latency is
+// therefore bounded by MaxLatency plus one batch execution, while
+// throughput under load approaches the engine's dense-batch rate. Because
+// every batch goes through the same Engine.Infer gather/scatter kernels,
+// batched results are bit-identical to per-row inference.
+//
+// Backpressure — the queue is a hard bound. A submission that finds it full
+// fails immediately with ErrQueueFull (surfaced as HTTP 429) instead of
+// queuing unboundedly; shutdown fails new submissions with ErrClosed
+// (HTTP 503) while draining rows already accepted.
+//
+// HTTP API — POST /v1/infer runs rows through the batcher; GET /v1/models
+// lists registered models; GET /healthz reports liveness; GET /metrics
+// exposes request/batch/latency counters in Prometheus text format. The
+// Server wraps net/http with graceful shutdown: stop accepting, drain
+// in-flight handlers, then drain the batchers.
+package serve

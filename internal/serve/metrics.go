@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics counts one model's serving activity. All fields are atomic and
+// updated lock-free on the hot path; read them with Load (or through
+// Snapshot) at any time.
+type Metrics struct {
+	Accepted    atomic.Int64 // rows admitted to the queue
+	Rejected    atomic.Int64 // rows refused with ErrQueueFull (backpressure)
+	Completed   atomic.Int64 // rows inferred and delivered
+	Failed      atomic.Int64 // rows failed (engine error or shutdown)
+	Batches     atomic.Int64 // engine invocations
+	BatchedRows atomic.Int64 // rows across engine invocations
+	LatencyNs   atomic.Int64 // total enqueue→delivery ns over completed rows
+	MaxLatency  atomic.Int64 // worst single-row enqueue→delivery ns
+}
+
+// MetricsSnapshot is a consistent-enough point-in-time copy of Metrics for
+// reporting (fields are loaded individually; exactness across fields is not
+// guaranteed under concurrent load).
+type MetricsSnapshot struct {
+	Accepted, Rejected, Completed, Failed int64
+	Batches, BatchedRows                  int64
+	MeanBatch                             float64
+	MeanLatency, MaxLatency               time.Duration
+}
+
+// Snapshot loads every counter and derives the mean batch size and mean
+// per-row latency.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Accepted:    m.Accepted.Load(),
+		Rejected:    m.Rejected.Load(),
+		Completed:   m.Completed.Load(),
+		Failed:      m.Failed.Load(),
+		Batches:     m.Batches.Load(),
+		BatchedRows: m.BatchedRows.Load(),
+		MaxLatency:  time.Duration(m.MaxLatency.Load()),
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.BatchedRows) / float64(s.Batches)
+	}
+	if s.Completed > 0 {
+		s.MeanLatency = time.Duration(m.LatencyNs.Load() / s.Completed)
+	}
+	return s
+}
+
+// observe records one delivered row's enqueue→delivery latency.
+func (m *Metrics) observe(ns int64) {
+	m.LatencyNs.Add(ns)
+	for {
+		old := m.MaxLatency.Load()
+		if ns <= old || m.MaxLatency.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// promMetric describes one exported Prometheus series.
+type promMetric struct {
+	name, help, typ string
+	value           func(m *Metrics) float64
+}
+
+var promMetrics = []promMetric{
+	{"radixserve_rows_accepted_total", "Rows admitted to the request queue.", "counter",
+		func(m *Metrics) float64 { return float64(m.Accepted.Load()) }},
+	{"radixserve_rows_rejected_total", "Rows rejected with backpressure (queue full).", "counter",
+		func(m *Metrics) float64 { return float64(m.Rejected.Load()) }},
+	{"radixserve_rows_completed_total", "Rows inferred and delivered.", "counter",
+		func(m *Metrics) float64 { return float64(m.Completed.Load()) }},
+	{"radixserve_rows_failed_total", "Rows failed by engine error or shutdown.", "counter",
+		func(m *Metrics) float64 { return float64(m.Failed.Load()) }},
+	{"radixserve_batches_total", "Engine invocations (coalesced batches).", "counter",
+		func(m *Metrics) float64 { return float64(m.Batches.Load()) }},
+	{"radixserve_batched_rows_total", "Rows summed over engine invocations.", "counter",
+		func(m *Metrics) float64 { return float64(m.BatchedRows.Load()) }},
+	{"radixserve_request_latency_seconds_sum", "Total enqueue-to-delivery latency of completed rows.", "counter",
+		func(m *Metrics) float64 { return float64(m.LatencyNs.Load()) / 1e9 }},
+	{"radixserve_request_latency_seconds_max", "Worst single-row enqueue-to-delivery latency.", "gauge",
+		func(m *Metrics) float64 { return float64(m.MaxLatency.Load()) / 1e9 }},
+}
+
+// writePrometheus renders every model's counters in Prometheus text
+// exposition format, one labeled series per model, plus per-model queue
+// gauges.
+func writePrometheus(w io.Writer, models []*Model) {
+	for _, pm := range promMetrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", pm.name, pm.help, pm.name, pm.typ)
+		for _, m := range models {
+			fmt.Fprintf(w, "%s{model=%q} %g\n", pm.name, m.name, pm.value(&m.met))
+		}
+	}
+	fmt.Fprintf(w, "# HELP radixserve_queue_depth Pending rows in the request queue.\n# TYPE radixserve_queue_depth gauge\n")
+	for _, m := range models {
+		fmt.Fprintf(w, "radixserve_queue_depth{model=%q} %d\n", m.name, len(m.bat.queue))
+	}
+	fmt.Fprintf(w, "# HELP radixserve_queue_capacity Request queue bound (backpressure threshold).\n# TYPE radixserve_queue_capacity gauge\n")
+	for _, m := range models {
+		fmt.Fprintf(w, "radixserve_queue_capacity{model=%q} %d\n", m.name, cap(m.bat.queue))
+	}
+}

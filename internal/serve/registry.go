@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/parallel"
+)
+
+// Model is one registered RadiX-Net prepared for serving: a pool of warm
+// engines plus the micro-batching scheduler in front of them.
+type Model struct {
+	name    string
+	cfg     core.Config
+	inW     int
+	outW    int
+	layers  int
+	weights int
+	density float64
+	pol     Policy
+
+	engines chan *infer.Engine // the warm pool; lease = receive, release = send
+	pools   []*parallel.Pool   // private per-engine worker pools, closed by Registry.Close
+	bufs    sync.Pool          // staging buffers, MaxBatch×inW float64s each
+	met     Metrics
+	bat     *batcher
+}
+
+// ModelInfo is the externally visible description of a registered model,
+// also the JSON element of GET /v1/models.
+type ModelInfo struct {
+	Name         string  `json:"name"`
+	InputWidth   int     `json:"input_width"`
+	OutputWidth  int     `json:"output_width"`
+	Layers       int     `json:"layers"`
+	Weights      int     `json:"weights"`
+	Density      float64 `json:"density"`
+	Engines      int     `json:"engines"`
+	MaxBatch     int     `json:"max_batch"`
+	MaxLatencyMs float64 `json:"max_latency_ms"`
+	QueueDepth   int     `json:"queue_depth"`
+	Workers      int     `json:"workers"`
+}
+
+// Registry loads and owns served models: it builds RadiX-Net engines by
+// config, keeps a warm engine pool per model, and runs each model's
+// micro-batcher. Safe for concurrent use.
+type Registry struct {
+	pol Policy // default policy for Register
+
+	mu     sync.RWMutex
+	models map[string]*Model
+	names  []string // registration order, for stable listings
+	closed bool
+}
+
+// NewRegistry returns an empty registry whose Register calls default to the
+// given policy (zero fields of which default per Policy's docs).
+func NewRegistry(pol Policy) *Registry {
+	return &Registry{pol: pol, models: make(map[string]*Model)}
+}
+
+// Register builds the RadiX-Net of cfg with Graph Challenge weighting and
+// registers it under name with a pool of `engines` warm engine instances
+// (min 1), using the registry's default policy.
+func (r *Registry) Register(name string, cfg core.Config, engines int) (*Model, error) {
+	return r.RegisterWithPolicy(name, cfg, engines, r.pol)
+}
+
+// RegisterJSON is Register for a configuration in the graphio JSON wire
+// format.
+func (r *Registry) RegisterJSON(name string, cfgJSON []byte, engines int) (*Model, error) {
+	cfg, err := graphio.UnmarshalConfig(cfgJSON)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	return r.Register(name, cfg, engines)
+}
+
+// RegisterWithPolicy is Register with a per-model batching policy override.
+func (r *Registry) RegisterWithPolicy(name string, cfg core.Config, engines int, pol Policy) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty model name")
+	}
+	if engines < 1 {
+		engines = 1
+	}
+	pol = pol.withDefaults(engines)
+
+	// Build outside the lock: generation is the expensive part and must not
+	// serialize against lookups.
+	base, err := infer.FromConfig(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	widths := cfg.LayerWidths()
+	m := &Model{
+		name:    name,
+		cfg:     cfg,
+		inW:     widths[0],
+		outW:    widths[len(widths)-1],
+		layers:  base.NumLayers(),
+		weights: base.TotalNNZ(),
+		density: core.Density(cfg),
+		pol:     pol,
+		engines: make(chan *infer.Engine, engines),
+	}
+	m.bufs.New = func() any {
+		s := make([]float64, pol.MaxBatch*m.inW)
+		return &s
+	}
+	// Clones share the weight stack; each engine gets a private worker pool
+	// sized to its fair share of the machine.
+	quota := parallel.Quota(engines)
+	for i := 0; i < engines; i++ {
+		e := base
+		if i > 0 {
+			e = base.Clone()
+		}
+		p := parallel.NewPool(quota)
+		e.SetPool(p)
+		m.pools = append(m.pools, p)
+		m.engines <- e
+	}
+	m.bat = newBatcher(m, pol)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		m.teardown()
+		return nil, ErrClosed
+	}
+	if _, dup := r.models[name]; dup {
+		m.teardown()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.models[name] = m
+	r.names = append(r.names, name)
+	return m, nil
+}
+
+// Model returns the named model.
+func (r *Registry) Model(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// List describes every registered model in registration order.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	infos := make([]ModelInfo, 0, len(r.names))
+	for _, name := range r.names {
+		infos = append(infos, r.models[name].Info())
+	}
+	return infos
+}
+
+// all returns the models in registration order (for metrics export).
+func (r *Registry) all() []*Model {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ms := make([]*Model, 0, len(r.names))
+	for _, name := range r.names {
+		ms = append(ms, r.models[name])
+	}
+	return ms
+}
+
+// Close drains every model — new submissions fail with ErrClosed, rows
+// already accepted still execute — then releases the engines' private
+// worker pools. Engines leased out through Model.Lease must be Released
+// before Close, and no engine may be used after it. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	ms := make([]*Model, 0, len(r.names))
+	for _, name := range r.names {
+		ms = append(ms, r.models[name])
+	}
+	r.mu.Unlock()
+	for _, m := range ms {
+		m.teardown()
+	}
+}
+
+// teardown drains the batcher (when it exists) and closes the private
+// worker pools.
+func (m *Model) teardown() {
+	if m.bat != nil {
+		m.bat.close()
+	}
+	for _, p := range m.pools {
+		p.Close()
+	}
+}
+
+// Name returns the model's registry name.
+func (m *Model) Name() string { return m.name }
+
+// Config returns the model's RadiX-Net configuration.
+func (m *Model) Config() core.Config { return m.cfg }
+
+// InputWidth returns the width a request row must have.
+func (m *Model) InputWidth() int { return m.inW }
+
+// OutputWidth returns the width of a result row.
+func (m *Model) OutputWidth() int { return m.outW }
+
+// Metrics returns the model's live counters.
+func (m *Model) Metrics() *Metrics { return &m.met }
+
+// Info describes the model and its batching policy.
+func (m *Model) Info() ModelInfo {
+	return ModelInfo{
+		Name:         m.name,
+		InputWidth:   m.inW,
+		OutputWidth:  m.outW,
+		Layers:       m.layers,
+		Weights:      m.weights,
+		Density:      m.density,
+		Engines:      cap(m.engines),
+		MaxBatch:     m.pol.MaxBatch,
+		MaxLatencyMs: float64(m.pol.MaxLatency) / float64(time.Millisecond),
+		QueueDepth:   m.pol.QueueDepth,
+		Workers:      m.pol.Workers,
+	}
+}
+
+// Lease checks a warm engine out of the pool, blocking until one is free.
+// The caller owns the engine exclusively until Release; the batcher leases
+// one per batch, and direct callers may lease around the batcher for bulk
+// offline work. Every Lease must be paired with Release before the registry
+// is closed.
+func (m *Model) Lease() *infer.Engine { return <-m.engines }
+
+// Release returns a leased engine to the pool.
+func (m *Model) Release(e *infer.Engine) { m.engines <- e }
+
+// batchBuf takes a MaxBatch×InputWidth staging buffer from the model's
+// buffer pool.
+func (m *Model) batchBuf() []float64 { return *m.bufs.Get().(*[]float64) }
+
+// putBatchBuf returns a staging buffer to the pool.
+func (m *Model) putBatchBuf(b []float64) { m.bufs.Put(&b) }
+
+// Infer submits one input row (length InputWidth) to the micro-batcher and
+// blocks until the result lands in out (length OutputWidth) or ctx is done.
+// Returns ErrQueueFull under backpressure and ErrClosed during shutdown.
+// On a ctx error the row may still execute later and write out — callers
+// abandoning a row must also abandon its out slice.
+func (m *Model) Infer(ctx context.Context, row, out []float64) error {
+	if len(row) != m.inW {
+		return fmt.Errorf("serve: model %q: input width %d, want %d", m.name, len(row), m.inW)
+	}
+	if len(out) != m.outW {
+		return fmt.Errorf("serve: model %q: output width %d, want %d", m.name, len(out), m.outW)
+	}
+	p := &pending{row: row, out: out, done: make(chan struct{}), enq: time.Now()}
+	if err := m.bat.submit(p); err != nil {
+		return err
+	}
+	select {
+	case <-p.done:
+		return p.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// InferBatch submits every row of a multi-row request to the micro-batcher
+// — rows coalesce with concurrent callers' rows — and returns the outputs
+// in request order. The request fails as a unit: on the first submission
+// rejection the remaining rows are not submitted, already-submitted rows
+// are awaited, and the rejection error is returned (so an HTTP 429 means
+// the whole request should be retried).
+func (m *Model) InferBatch(ctx context.Context, rows [][]float64) ([][]float64, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("serve: model %q: empty batch", m.name)
+	}
+	outs := make([][]float64, len(rows))
+	pendings := make([]*pending, 0, len(rows))
+	var firstErr error
+	for i, row := range rows {
+		if len(row) != m.inW {
+			firstErr = fmt.Errorf("serve: model %q: row %d width %d, want %d", m.name, i, len(row), m.inW)
+			break
+		}
+		outs[i] = make([]float64, m.outW)
+		p := &pending{row: row, out: outs[i], done: make(chan struct{}), enq: time.Now()}
+		if err := m.bat.submit(p); err != nil {
+			firstErr = err
+			break
+		}
+		pendings = append(pendings, p)
+	}
+	for _, p := range pendings {
+		select {
+		case <-p.done:
+			if p.err != nil && firstErr == nil {
+				firstErr = p.err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}

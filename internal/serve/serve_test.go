@@ -1,0 +1,652 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// testConfig returns a small RadiX-Net config (width 16, 2 layers).
+func testConfig(t testing.TB) core.Config {
+	t.Helper()
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// referenceOutputs runs every row of in through a fresh engine one row at a
+// time — the per-row ground truth that batched serving must match bitwise.
+func referenceOutputs(t testing.TB, cfg core.Config, in *sparse.Dense) [][]float64 {
+	t.Helper()
+	eng, err := infer.FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]float64, in.Rows())
+	for r := 0; r < in.Rows(); r++ {
+		row, err := sparse.DenseFromSlice(1, in.Cols(), in.RowSlice(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := eng.Infer(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[r] = append([]float64(nil), y.Data()...)
+	}
+	return outs
+}
+
+func TestRegistryRegisterAndList(t *testing.T) {
+	reg := NewRegistry(Policy{})
+	defer reg.Close()
+	cfg := testConfig(t)
+	m, err := reg.Register("a", cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputWidth() != 16 || m.OutputWidth() != 16 {
+		t.Fatalf("widths %d/%d, want 16/16", m.InputWidth(), m.OutputWidth())
+	}
+	if _, err := reg.Register("a", cfg, 1); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := reg.Register("", cfg, 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	cfgJSON, err := graphio.MarshalConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.RegisterJSON("b", cfgJSON, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.RegisterJSON("c", []byte("{nope"), 1); err == nil {
+		t.Fatal("malformed config JSON accepted")
+	}
+	infos := reg.List()
+	if len(infos) != 2 || infos[0].Name != "a" || infos[1].Name != "b" {
+		t.Fatalf("List = %+v", infos)
+	}
+	if infos[0].Engines != 2 || infos[0].MaxBatch != 32 || infos[0].QueueDepth != 256 {
+		t.Fatalf("info defaults wrong: %+v", infos[0])
+	}
+	if got, ok := reg.Model("a"); !ok || got != m {
+		t.Fatal("Model lookup failed")
+	}
+	if _, ok := reg.Model("nope"); ok {
+		t.Fatal("phantom model")
+	}
+}
+
+// TestSingleRowBitIdenticalToDirectEngine is the serving acceptance core:
+// rows routed through the micro-batcher must equal per-row Engine.Infer
+// results bit for bit.
+func TestSingleRowBitIdenticalToDirectEngine(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: time.Millisecond})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.SparseBatch(24, m.InputWidth(), 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceOutputs(t, cfg, in)
+	out := make([]float64, m.OutputWidth())
+	for r := 0; r < in.Rows(); r++ {
+		if err := m.Infer(context.Background(), in.RowSlice(r), out); err != nil {
+			t.Fatal(err)
+		}
+		for c, v := range out {
+			if v != want[r][c] {
+				t.Fatalf("row %d col %d: got %v want %v (not bit-identical)", r, c, v, want[r][c])
+			}
+		}
+	}
+}
+
+// TestConcurrentClientsCoalesceAndMatch drives many goroutines through one
+// model: all results must stay bit-identical to the per-row reference, and
+// the scheduler must actually coalesce (fewer engine invocations than
+// rows).
+func TestConcurrentClientsCoalesceAndMatch(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: 100 * time.Millisecond, Workers: 1})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 32
+	in, err := dataset.SparseBatch(rows, m.InputWidth(), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceOutputs(t, cfg, in)
+	var wg sync.WaitGroup
+	var mismatches atomic.Int64
+	for r := 0; r < rows; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]float64, m.OutputWidth())
+			if err := m.Infer(context.Background(), in.RowSlice(r), out); err != nil {
+				t.Errorf("row %d: %v", r, err)
+				return
+			}
+			for c, v := range out {
+				if v != want[r][c] {
+					mismatches.Add(1)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if n := mismatches.Load(); n > 0 {
+		t.Fatalf("%d rows diverged from per-row reference", n)
+	}
+	s := m.Metrics().Snapshot()
+	if s.Completed != rows || s.BatchedRows != rows {
+		t.Fatalf("completed %d batched %d, want %d", s.Completed, s.BatchedRows, rows)
+	}
+	// With a single worker, a 100ms collection window, and 32 concurrent
+	// submissions, coalescing is all but certain; equality would mean every
+	// row ran alone.
+	if s.Batches >= rows {
+		t.Fatalf("no coalescing: %d batches for %d rows", s.Batches, rows)
+	}
+}
+
+// TestBackpressureDeterministic leases the model's only engine so the lone
+// worker blocks, fills the bounded queue, and verifies that the overflow is
+// rejected with ErrQueueFull while everything accepted completes after the
+// engine returns.
+func TestBackpressureDeterministic(t *testing.T) {
+	cfg := testConfig(t)
+	pol := Policy{MaxBatch: 4, MaxLatency: 2 * time.Millisecond, QueueDepth: 4, Workers: 1}
+	reg := NewRegistry(pol)
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.SparseBatch(32, m.InputWidth(), 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := m.Lease() // starve the worker: no batch can execute
+
+	const submissions = 32
+	results := make(chan error, submissions)
+	var wg sync.WaitGroup
+	for i := 0; i < submissions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make([]float64, m.OutputWidth())
+			results <- m.Infer(context.Background(), in.RowSlice(i), out)
+		}(i)
+	}
+	// Wait until the queue is saturated: the worker holds at most MaxBatch
+	// rows, the queue at most QueueDepth, so at least
+	// submissions − MaxBatch − QueueDepth rows must be rejected.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Metrics().Rejected.Load() < submissions-int64(pol.MaxBatch)-int64(pol.QueueDepth) {
+		if time.Now().After(deadline) {
+			t.Fatalf("rejections never accumulated: %d", m.Metrics().Rejected.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Release(eng)
+	wg.Wait()
+	close(results)
+	var ok, full int
+	for err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrQueueFull):
+			full++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if full == 0 {
+		t.Fatal("no backpressure rejections")
+	}
+	if ok == 0 {
+		t.Fatal("nothing completed after the engine freed up")
+	}
+	if ok+full != submissions {
+		t.Fatalf("accounted %d of %d", ok+full, submissions)
+	}
+	s := m.Metrics().Snapshot()
+	if s.Completed != int64(ok) || s.Rejected != int64(full) {
+		t.Fatalf("metrics disagree with client view: %+v vs ok=%d full=%d", s, ok, full)
+	}
+}
+
+func TestInferBatchWholeRequestSemantics(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: time.Millisecond})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.SparseBatch(6, m.InputWidth(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, in.Rows())
+	for r := range rows {
+		rows[r] = in.RowSlice(r)
+	}
+	outs, err := m.InferBatch(context.Background(), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceOutputs(t, cfg, in)
+	for r := range outs {
+		for c := range outs[r] {
+			if outs[r][c] != want[r][c] {
+				t.Fatalf("row %d diverged", r)
+			}
+		}
+	}
+	// Width errors fail the whole request.
+	if _, err := m.InferBatch(context.Background(), [][]float64{rows[0], {1, 2}}); err == nil {
+		t.Fatal("bad row width accepted")
+	}
+	if _, err := m.InferBatch(context.Background(), nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestCloseRejectsNewWorkAndDrains(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 4, MaxLatency: 50 * time.Millisecond})
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.SparseBatch(4, m.InputWidth(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows accepted before Close must complete (drain), even though they
+	// are still waiting out the 50ms batch-collection window when Close
+	// begins.
+	var wg sync.WaitGroup
+	errs := make([]error, in.Rows())
+	for r := 0; r < in.Rows(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]float64, m.OutputWidth())
+			errs[r] = m.Infer(context.Background(), in.RowSlice(r), out)
+		}(r)
+	}
+	for m.Metrics().Accepted.Load() < int64(in.Rows()) {
+		time.Sleep(time.Millisecond)
+	}
+	reg.Close()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("pre-close row %d failed: %v", r, err)
+		}
+	}
+	out := make([]float64, m.OutputWidth())
+	if err := m.Infer(context.Background(), in.RowSlice(0), out); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Infer = %v, want ErrClosed", err)
+	}
+	if _, err := reg.Register("late", cfg, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Register = %v, want ErrClosed", err)
+	}
+	reg.Close() // idempotent
+}
+
+// newTestServer wires a registry + server over httptest.
+func newTestServer(t *testing.T, pol Policy, engines int) (*Server, *Model, *httptest.Server) {
+	t.Helper()
+	cfg := testConfig(t)
+	reg := NewRegistry(pol)
+	m, err := reg.Register("m", cfg, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(reg, "127.0.0.1:0")
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return s, m, ts
+}
+
+func postInfer(t *testing.T, url string, req InferRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPInferEndToEnd(t *testing.T) {
+	_, m, ts := newTestServer(t, Policy{MaxBatch: 8, MaxLatency: time.Millisecond}, 2)
+	cfg := m.Config()
+	in, err := dataset.SparseBatch(3, m.InputWidth(), 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceOutputs(t, cfg, in)
+	rows := make([][]float64, in.Rows())
+	for r := range rows {
+		rows[r] = in.RowSlice(r)
+	}
+	resp, body := postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: rows, Categories: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got InferResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 3 || len(got.Outputs) != 3 || len(got.Active) != 3 || len(got.Argmax) != 3 {
+		t.Fatalf("response shape: %+v", got)
+	}
+	// JSON float64 round-trips exactly (shortest-repr encoding), so even
+	// over the wire the outputs stay bit-identical.
+	for r := range got.Outputs {
+		for c := range got.Outputs[r] {
+			if got.Outputs[r][c] != want[r][c] {
+				t.Fatalf("row %d col %d: %v != %v", r, c, got.Outputs[r][c], want[r][c])
+			}
+		}
+	}
+
+	// Error paths.
+	resp, _ = postInfer(t, ts.URL, InferRequest{Model: "nope", Inputs: rows})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", resp.StatusCode)
+	}
+	resp, _ = postInfer(t, ts.URL, InferRequest{Model: "m"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty inputs: status %d", resp.StatusCode)
+	}
+	resp, _ = postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad width: status %d", resp.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/v1/infer", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken JSON: status %d", r2.StatusCode)
+	}
+	r3, err := http.Get(ts.URL + "/v1/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET infer: status %d", r3.StatusCode)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	pol := Policy{MaxBatch: 2, MaxLatency: 2 * time.Millisecond, QueueDepth: 2, Workers: 1}
+	_, m, ts := newTestServer(t, pol, 1)
+	in, err := dataset.SparseBatch(16, m.InputWidth(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := m.Lease()
+	var wg sync.WaitGroup
+	var got429, got200 atomic.Int64
+	release := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{in.RowSlice(i)}})
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				got429.Add(1)
+			case http.StatusOK:
+				got200.Add(1)
+			default:
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	go func() {
+		// At least 16−2−2 rejections must accumulate while the engine is
+		// held; then let the accepted rows finish.
+		deadline := time.Now().Add(5 * time.Second)
+		for m.Metrics().Rejected.Load() < 12 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		m.Release(eng)
+		close(release)
+	}()
+	wg.Wait()
+	<-release
+	if got429.Load() == 0 {
+		t.Fatal("no 429 responses under saturation")
+	}
+	if got200.Load() == 0 {
+		t.Fatal("no requests completed after release")
+	}
+}
+
+func TestHTTPModelsHealthzMetrics(t *testing.T) {
+	_, m, ts := newTestServer(t, Policy{MaxBatch: 4, MaxLatency: time.Millisecond}, 1)
+	// Push one row so counters are nonzero.
+	out := make([]float64, m.OutputWidth())
+	row := make([]float64, m.InputWidth())
+	row[3] = 1
+	if err := m.Infer(context.Background(), row, out); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models map[string][]ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(models["models"]) != 1 || models["models"][0].Name != "m" {
+		t.Fatalf("models = %+v", models)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		`radixserve_rows_accepted_total{model="m"} 1`,
+		`radixserve_rows_completed_total{model="m"} 1`,
+		`radixserve_batches_total{model="m"} 1`,
+		`radixserve_queue_capacity{model="m"}`,
+		"radixserve_http_responses_total",
+		"radixserve_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestServerStartShutdown(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 4, MaxLatency: time.Millisecond})
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(reg, "127.0.0.1:0")
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over TCP: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown closed the registry too: submissions now fail.
+	out := make([]float64, m.OutputWidth())
+	if err := m.Infer(context.Background(), make([]float64, m.InputWidth()), out); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown Infer = %v, want ErrClosed", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+}
+
+func TestMetricsSnapshotDerived(t *testing.T) {
+	var m Metrics
+	m.Batches.Store(4)
+	m.BatchedRows.Store(10)
+	m.Completed.Store(10)
+	m.observe(int64(2 * time.Millisecond))
+	m.observe(int64(6 * time.Millisecond))
+	s := m.Snapshot()
+	if s.MeanBatch != 2.5 {
+		t.Fatalf("MeanBatch = %v", s.MeanBatch)
+	}
+	if s.MaxLatency != 6*time.Millisecond {
+		t.Fatalf("MaxLatency = %v", s.MaxLatency)
+	}
+	if s.MeanLatency != (8*time.Millisecond)/10 {
+		t.Fatalf("MeanLatency = %v", s.MeanLatency)
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults(3)
+	if p.MaxBatch != 32 || p.MaxLatency != 2*time.Millisecond || p.QueueDepth != 256 || p.Workers != 3 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	p = Policy{MaxLatency: -1}.withDefaults(1)
+	if p.MaxLatency != -1 {
+		t.Fatal("negative MaxLatency (no waiting) must be preserved")
+	}
+	keep := Policy{MaxBatch: 7, MaxLatency: time.Second, QueueDepth: 9, Workers: 2}.withDefaults(5)
+	if keep.MaxBatch != 7 || keep.MaxLatency != time.Second || keep.QueueDepth != 9 || keep.Workers != 2 {
+		t.Fatalf("explicit policy overridden: %+v", keep)
+	}
+}
+
+// TestManyModelsConcurrently exercises the registry under cross-model load.
+func TestManyModelsConcurrently(t *testing.T) {
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: time.Millisecond})
+	defer reg.Close()
+	var models []*Model
+	for i, radices := range [][]int{{4, 4}, {2, 2, 2}, {3, 3}} {
+		cfg, err := core.NewConfig([]radix.System{radix.MustNew(radices...)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := reg.Register(fmt.Sprintf("m%d", i), cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	var wg sync.WaitGroup
+	for _, m := range models {
+		in, err := dataset.SparseBatch(16, m.InputWidth(), 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceOutputs(t, m.Config(), in)
+		for r := 0; r < in.Rows(); r++ {
+			wg.Add(1)
+			go func(m *Model, r int, want []float64) {
+				defer wg.Done()
+				out := make([]float64, m.OutputWidth())
+				if err := m.Infer(context.Background(), in.RowSlice(r), out); err != nil {
+					t.Errorf("%s row %d: %v", m.Name(), r, err)
+					return
+				}
+				for c, v := range out {
+					if v != want[c] {
+						t.Errorf("%s row %d diverged", m.Name(), r)
+						return
+					}
+				}
+			}(m, r, want[r])
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// maxRequestBody bounds a POST /v1/infer body; a full MaxBatch of rows at
+// Graph Challenge widths is a few MB of JSON, so 64 MiB is generous.
+const maxRequestBody = 64 << 20
+
+// InferRequest is the POST /v1/infer body.
+type InferRequest struct {
+	// Model names a registered model.
+	Model string `json:"model"`
+	// Inputs are the request rows, each InputWidth long. Rows of one
+	// request coalesce with concurrent requests' rows into shared engine
+	// batches.
+	Inputs [][]float64 `json:"inputs"`
+	// Categories additionally reports, per row, whether any activation
+	// survived (the Graph Challenge category criterion) and the argmax
+	// neuron.
+	Categories bool `json:"categories,omitempty"`
+}
+
+// InferResponse is the POST /v1/infer success body.
+type InferResponse struct {
+	Model   string      `json:"model"`
+	Rows    int         `json:"rows"`
+	Outputs [][]float64 `json:"outputs"`
+	Active  []bool      `json:"active,omitempty"`
+	Argmax  []int       `json:"argmax,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server exposes a Registry over HTTP: POST /v1/infer, GET /v1/models,
+// GET /healthz, GET /metrics. Construct with NewServer, start with Start or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	reg   *Registry
+	http  *http.Server
+	start time.Time
+
+	// HTTP-level counters by status class, exported on /metrics.
+	status2xx, status4xx, status5xx atomic.Int64
+}
+
+// NewServer wraps the registry in an HTTP server bound to addr (host:port;
+// ":0" picks an ephemeral port at Start).
+func NewServer(reg *Registry, addr string) *Server {
+	s := &Server{reg: reg, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{
+		Addr:              addr,
+		Handler:           s.countStatus(mux),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the server's root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Start listens on the configured address and serves in the background,
+// returning the bound address (useful with ":0").
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.http.Addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails fatally before Shutdown; surface it loudly
+			// rather than dying silent.
+			panic(fmt.Sprintf("serve: http server failed: %v", err))
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// ListenAndServe serves on the configured address until Shutdown, returning
+// http.ErrServerClosed on a clean stop.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Shutdown stops the server gracefully: stop accepting connections, wait
+// (bounded by ctx) for in-flight requests, then close the registry — new
+// submissions fail with ErrClosed while rows already accepted drain through
+// the engines.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.reg.Close()
+	return err
+}
+
+// statusRecorder captures the response status for the server's counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) countStatus(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		switch {
+		case rec.code < 400:
+			s.status2xx.Add(1)
+		case rec.code < 500:
+			s.status4xx.Add(1)
+		default:
+			s.status5xx.Add(1)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	m, ok := s.reg.Model(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	if len(req.Inputs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty inputs")
+		return
+	}
+	outs, err := m.InferBatch(r.Context(), req.Inputs)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			// The canonical backpressure response: bounded queue, explicit
+			// shed, client retries with backoff.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client went away; the status is moot but keep the counter
+			// classes honest.
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	resp := InferResponse{Model: m.Name(), Rows: len(outs), Outputs: outs}
+	if req.Categories {
+		resp.Active = make([]bool, len(outs))
+		resp.Argmax = make([]int, len(outs))
+		for i, row := range outs {
+			best := 0
+			for c, v := range row {
+				if v > 0 {
+					resp.Active[i] = true
+				}
+				if v > row[best] {
+					best = c
+				}
+			}
+			resp.Argmax[i] = best
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]ModelInfo{"models": s.reg.List()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"models":         len(s.reg.List()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writePrometheus(w, s.reg.all())
+	fmt.Fprintf(w, "# HELP radixserve_http_responses_total HTTP responses by status class.\n# TYPE radixserve_http_responses_total counter\n")
+	fmt.Fprintf(w, "radixserve_http_responses_total{class=\"2xx\"} %d\n", s.status2xx.Load())
+	fmt.Fprintf(w, "radixserve_http_responses_total{class=\"4xx\"} %d\n", s.status4xx.Load())
+	fmt.Fprintf(w, "radixserve_http_responses_total{class=\"5xx\"} %d\n", s.status5xx.Load())
+	fmt.Fprintf(w, "# HELP radixserve_uptime_seconds Server uptime.\n# TYPE radixserve_uptime_seconds gauge\nradixserve_uptime_seconds %g\n",
+		time.Since(s.start).Seconds())
+}

@@ -28,6 +28,8 @@
 //   - X-Net / dense / random-prune baselines (internal/xnet)
 //   - a training substrate with sparse layers (internal/nn)
 //   - a Graph Challenge–style sparse inference engine (internal/infer)
+//   - a production inference service: model registry, warm engine pools,
+//     dynamic micro-batching, HTTP API (internal/serve)
 //   - serialization (internal/graphio)
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
@@ -43,6 +45,7 @@ import (
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/serve"
 	"github.com/radix-net/radixnet/internal/sparse"
 	"github.com/radix-net/radixnet/internal/topology"
 )
@@ -184,6 +187,49 @@ func InferFromConfig(cfg Config) (*InferEngine, error) { return infer.FromConfig
 func InferFromTopology(g *Topology, weight, bias, cap float64) (*InferEngine, error) {
 	return infer.FromTopology(g, weight, bias, cap)
 }
+
+// ErrEngineBusy is returned by InferEngine.Infer when a call overlaps
+// another on the same engine; engines are single-flight (use one per
+// worker — the serving layer's engine pools are built on this contract).
+var ErrEngineBusy = infer.ErrBusy
+
+// Registry loads and owns served models: it builds engines by
+// configuration, keeps a pool of warm engine instances per model, and runs
+// each model's micro-batching scheduler.
+type Registry = serve.Registry
+
+// Server exposes a Registry over HTTP: POST /v1/infer with dynamic
+// micro-batching and explicit backpressure (429), GET /v1/models, GET
+// /healthz, and GET /metrics, with graceful shutdown. See README.md
+// "Serving" for the API and semantics.
+type Server = serve.Server
+
+// ServedModel is one registered model: a warm engine pool behind a
+// micro-batching scheduler.
+type ServedModel = serve.Model
+
+// ServePolicy bounds a model's micro-batching scheduler: batch size cap,
+// latency budget, queue depth (the backpressure threshold), and worker
+// count. Zero fields select defaults.
+type ServePolicy = serve.Policy
+
+// ServedModelInfo describes a registered model and its batching policy.
+type ServedModelInfo = serve.ModelInfo
+
+// ErrQueueFull is the serving backpressure signal: the model's bounded
+// request queue is at capacity. Mapped to HTTP 429 by Server.
+var ErrQueueFull = serve.ErrQueueFull
+
+// ErrServeClosed reports a submission to a closed (draining) registry.
+// Mapped to HTTP 503 by Server.
+var ErrServeClosed = serve.ErrClosed
+
+// NewRegistry returns an empty model registry whose registrations default
+// to the given batching policy.
+func NewRegistry(pol ServePolicy) *Registry { return serve.NewRegistry(pol) }
+
+// NewServer wraps the registry in an HTTP inference server bound to addr.
+func NewServer(reg *Registry, addr string) *Server { return serve.NewServer(reg, addr) }
 
 // SearchSpec describes a desired topology: width, density, depth.
 type SearchSpec = core.SearchSpec
