@@ -1,0 +1,130 @@
+// Command radixrouter is the sharding router tier for a fleet of
+// radixserve instances: it places models onto backends with a
+// consistent-hash ring (virtual nodes, replication factor -replicas),
+// actively probes each backend's GET /healthz (ejecting nodes after
+// consecutive failures and re-admitting them on recovery), and exposes the
+// same HTTP API as a single radixserve node:
+//
+//	POST /v1/infer    forwarded to the model's owning healthy replica,
+//	                  with bounded retry-on-next-replica failover and
+//	                  Retry-After-honoring backoff on 429
+//	GET  /v1/models   the fleet's models merged, with ring placement
+//	GET  /healthz     router + per-backend health
+//	GET  /metrics     radixrouter_* series plus every backend's series,
+//	                  labeled backend="host:port", merged
+//
+// Backends are given as repeated -backend flags ("host:port" or
+// "http://host:port"). Because every backend runs the same deterministic
+// engines, routed results are bit-identical to single-node inference.
+//
+// With -selftest the binary instead builds an in-process fleet (-backends
+// radixserve instances plus the router on ephemeral ports), shards models
+// across it, verifies routed outputs bit-identical to direct Engine.Infer,
+// kills a backend mid-load to prove zero-failure retry failover, measures
+// routed throughput, appends a record to BENCH_cluster.json, and exits
+// nonzero on any failure.
+//
+// Usage:
+//
+//	radixrouter -backend host1:8080 -backend host2:8080 [-addr :8090]
+//	            [-replicas 2] [-vnodes 128] [-probe-interval 2s]
+//	            [-probe-timeout 1s] [-fail-after 3] [-max-backoff 1s]
+//	radixrouter -selftest [-backends 3] [-bench-json BENCH_cluster.json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/cluster"
+)
+
+// backendFlags accumulates repeated -backend flags.
+type backendFlags []string
+
+func (f *backendFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *backendFlags) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		return fmt.Errorf("empty backend address")
+	}
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("radixrouter: ")
+	var (
+		addr          = flag.String("addr", ":8090", "router listen address")
+		replicas      = flag.Int("replicas", 2, "ring owners per model (the failover budget)")
+		vnodes        = flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per backend on the hash ring")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "per-backend /healthz probe cadence")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "single probe budget")
+		failAfter     = flag.Int("fail-after", 3, "consecutive failures (probe or forward) that eject a backend")
+		maxBackoff    = flag.Duration("max-backoff", time.Second, "cap on Retry-After backoff honored for backend 429s")
+		selftest      = flag.Bool("selftest", false, "run the in-process fleet selftest and exit")
+		nBackends     = flag.Int("backends", 3, "selftest: in-process radixserve backends to spin up")
+		benchJSON     = flag.String("bench-json", "BENCH_cluster.json", "selftest: append the throughput record to this file")
+		shutdownTO    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
+		backends      backendFlags
+	)
+	flag.Var(&backends, "backend", "radixserve backend, host:port or http://host:port (repeatable)")
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(*benchJSON, *nBackends, *replicas); err != nil {
+			log.Fatalf("selftest FAILED: %v", err)
+		}
+		log.Printf("selftest PASSED")
+		return
+	}
+
+	if len(backends) == 0 {
+		log.Fatal("no backends: pass at least one -backend host:port (or run -selftest)")
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Addr:       *addr,
+		Backends:   backends,
+		Replicas:   *replicas,
+		MaxBackoff: *maxBackoff,
+		Set: cluster.SetConfig{
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			FailAfter:     *failAfter,
+			Vnodes:        *vnodes,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := rt.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]string, 0, len(backends))
+	for _, b := range rt.Set().Backends() {
+		ids = append(ids, b.ID())
+	}
+	log.Printf("routing %d backends [%s] with %d replicas per model, serving on %s",
+		len(ids), strings.Join(ids, " "), rt.Replicas(), bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("shutting down (draining for up to %v)", *shutdownTO)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+	defer cancel()
+	if err := rt.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

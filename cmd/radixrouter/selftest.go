@@ -1,0 +1,372 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/cliutil"
+	"github.com/radix-net/radixnet/internal/cluster"
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/serve"
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// clusterBenchRecord is the BENCH_cluster.json schema: one end-to-end
+// measurement of the routed fleet, appended per selftest run so the file
+// records the cluster-performance trajectory (see README.md).
+type clusterBenchRecord struct {
+	Benchmark    string               `json:"benchmark"`
+	Date         string               `json:"date"`
+	GoVersion    string               `json:"go_version"`
+	GOMAXPROCS   int                  `json:"gomaxprocs"`
+	GitSHA       string               `json:"git_sha"`
+	Backends     int                  `json:"backends"`
+	Replicas     int                  `json:"replicas"`
+	Vnodes       int                  `json:"vnodes"`
+	Models       int                  `json:"models"`
+	Network      clusterBenchNet      `json:"network"`
+	Levels       []clusterBenchLevel  `json:"levels"`
+	Failover     clusterBenchFailover `json:"failover"`
+	BitIdentical bool                 `json:"bit_identical"`
+}
+
+type clusterBenchNet struct {
+	LayerWidth int `json:"layer_width"`
+	Layers     int `json:"layers"`
+	Weights    int `json:"weights"`
+}
+
+type clusterBenchLevel struct {
+	Concurrency int     `json:"concurrency"`
+	Rows        int     `json:"rows"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+}
+
+type clusterBenchFailover struct {
+	KilledBackend string `json:"killed_backend"`
+	Requests      int    `json:"requests"`
+	Failed        int    `json:"failed"`
+	Failovers     int64  `json:"failovers"`
+}
+
+// selftestClient is tuned for many concurrent keep-alive connections to
+// one router.
+func selftestClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 128
+	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+// postRow sends one single-row inference request through the router and
+// returns the HTTP status, the answering backend id, and the decoded
+// response (valid only for status 200).
+func postRow(client *http.Client, url, model string, row []float64) (int, string, serve.InferResponse, error) {
+	body, err := json.Marshal(serve.InferRequest{Model: model, Inputs: [][]float64{row}})
+	if err != nil {
+		return 0, "", serve.InferResponse{}, err
+	}
+	resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", serve.InferResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out serve.InferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, "", out, err
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("X-Radix-Backend"), out, nil
+}
+
+// runSelftest drives the sharded fleet end-to-end: nBackends in-process
+// radixserve instances, models placed by the router's ring, bit-identity
+// against direct Engine.Infer, routed throughput, and a mid-load backend
+// kill that must complete with zero failed requests. On success it appends
+// the measurement to benchPath.
+func runSelftest(benchPath string, nBackends, replicas int) error {
+	if nBackends < 2 {
+		nBackends = 2 // failover needs somewhere to fail over to
+	}
+	if replicas < 2 {
+		replicas = 2
+	}
+
+	// The selftest network: radix [4,4,4] → width 64, 3 layers. Small
+	// enough that a whole fleet of them boots in milliseconds, big enough
+	// that batching and forwarding are exercised.
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(4, 4, 4)}, nil)
+	if err != nil {
+		return err
+	}
+	models := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	pol := serve.Policy{MaxBatch: 32, MaxLatency: time.Millisecond}
+
+	// Boot the backends empty; models are registered once the ring decides
+	// who owns what.
+	regs := make(map[string]*serve.Registry, nBackends)
+	srvs := make(map[string]*serve.Server, nBackends)
+	var addrs []string
+	for i := 0; i < nBackends; i++ {
+		reg := serve.NewRegistry(pol)
+		srv := serve.NewServer(reg, "127.0.0.1:0")
+		addr, err := srv.Start()
+		if err != nil {
+			return err
+		}
+		regs[addr] = reg
+		srvs[addr] = srv
+		addrs = append(addrs, addr)
+	}
+	defer func() {
+		for _, srv := range srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+			cancel()
+		}
+	}()
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Addr:       "127.0.0.1:0",
+		Backends:   addrs,
+		Replicas:   replicas,
+		MaxBackoff: 100 * time.Millisecond,
+		Set: cluster.SetConfig{
+			ProbeInterval: 100 * time.Millisecond,
+			FailAfter:     2,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	buildStart := time.Now()
+	var weights, layers int
+	for _, model := range models {
+		owners := rt.Placement(model)
+		for _, id := range owners {
+			m, err := regs[id].Register(model, cfg, 1)
+			if err != nil {
+				return err
+			}
+			info := m.Info()
+			weights, layers = info.Weights, info.Layers
+		}
+		log.Printf("model %s → %v", model, owners)
+	}
+	width := cfg.LayerWidths()[0]
+	log.Printf("fleet: %d backends × %d models (width %d, %d layers, %d weights each, %d replicas), built in %v",
+		nBackends, len(models), width, layers, weights, replicas, time.Since(buildStart).Round(time.Millisecond))
+
+	bound, err := rt.Start()
+	if err != nil {
+		return err
+	}
+	url := "http://" + bound
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			log.Printf("router shutdown: %v", err)
+		}
+	}()
+
+	// Per-row ground truth from a private engine over the same config —
+	// generation is deterministic, so weights match every replica's.
+	const baseRows = 48
+	in, err := dataset.SparseBatch(baseRows, width, width/10, 7)
+	if err != nil {
+		return err
+	}
+	ref, err := infer.FromConfig(cfg)
+	if err != nil {
+		return err
+	}
+	expected := make([][]float64, baseRows)
+	for r := 0; r < baseRows; r++ {
+		rowIn, err := sparse.DenseFromSlice(1, width, in.RowSlice(r))
+		if err != nil {
+			return err
+		}
+		y, err := ref.Infer(rowIn)
+		if err != nil {
+			return err
+		}
+		expected[r] = append([]float64(nil), y.Data()...)
+	}
+
+	client := selftestClient()
+
+	// Phase 1 — bit-identity through the router, for every model (so every
+	// backend and every ring placement is exercised), with routing pinned
+	// to each model's owners.
+	for _, model := range models {
+		owners := rt.Placement(model)
+		for r := 0; r < baseRows; r++ {
+			status, by, resp, err := postRow(client, url, model, in.RowSlice(r))
+			if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+				return fmt.Errorf("%s row %d: status %d err %v", model, r, status, err)
+			}
+			if !slices.Contains(owners, by) {
+				return fmt.Errorf("%s row %d answered by %s, not an owner %v", model, r, by, owners)
+			}
+			for c, v := range resp.Outputs[0] {
+				if v != expected[r][c] {
+					return fmt.Errorf("%s row %d col %d: got %v want %v (not bit-identical to direct Engine.Infer)",
+						model, r, c, v, expected[r][c])
+				}
+			}
+		}
+	}
+	log.Printf("bit-identity: %d rows × %d models routed, all bit-identical to direct Engine.Infer", baseRows, len(models))
+
+	// Phase 2 — routed throughput at several client concurrency levels,
+	// spread across all models so the whole fleet carries load.
+	var levels []clusterBenchLevel
+	for _, conc := range []int{1, 4, 16} {
+		rows := baseRows * 4 * conc
+		var next, failures atomic.Int64
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(rows) {
+						return
+					}
+					model := models[int(i)%len(models)]
+					r := int(i) % baseRows
+					status, _, resp, err := postRow(client, url, model, in.RowSlice(r))
+					if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+						failures.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("row %d: status %d err %v", i, status, err))
+						return
+					}
+					if resp.Outputs[0][0] != expected[r][0] {
+						failures.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("row %d diverged", i))
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if failures.Load() > 0 {
+			return fmt.Errorf("throughput concurrency %d: %d failures (first: %v)", conc, failures.Load(), firstErr.Load())
+		}
+		lvl := clusterBenchLevel{Concurrency: conc, Rows: rows, RowsPerSec: float64(rows) / elapsed.Seconds()}
+		levels = append(levels, lvl)
+		log.Printf("concurrency %2d: %d routed rows in %v = %.0f rows/s",
+			conc, rows, elapsed.Round(time.Millisecond), lvl.RowsPerSec)
+	}
+
+	// Phase 3 — kill a backend mid-load. Every request must still succeed:
+	// in-flight rows drain through the dying node's graceful shutdown, and
+	// everything after fails over to the surviving replica. Zero failures
+	// is the acceptance bar.
+	victimModel := models[0]
+	owners := rt.Placement(victimModel)
+	victim := owners[0]
+	const (
+		floodWorkers  = 8
+		floodRequests = 400
+		killAfter     = floodRequests / 4
+	)
+	var sent, failed, killed atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	killGate := make(chan struct{})
+	for w := 0; w < floodWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := sent.Add(1)
+				if i > floodRequests {
+					return
+				}
+				if i == killAfter {
+					close(killGate)
+				}
+				r := int(i) % baseRows
+				status, _, resp, err := postRow(client, url, victimModel, in.RowSlice(r))
+				if err != nil || status != http.StatusOK {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("request %d: status %d err %v", i, status, err))
+					continue
+				}
+				if resp.Outputs[0][0] != expected[r][0] {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("request %d diverged after failover", i))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-killGate
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srvs[victim].Shutdown(ctx) //nolint:errcheck // the point is killing it
+		killed.Store(1)
+	}()
+	wg.Wait()
+	if killed.Load() != 1 {
+		return fmt.Errorf("failover phase never killed the backend (load too short?)")
+	}
+	failovers := rt.Metrics().Failovers
+	if failed.Load() > 0 {
+		return fmt.Errorf("failover: %d of %d requests failed after killing %s (first: %v)",
+			failed.Load(), floodRequests, victim, firstErr.Load())
+	}
+	if failovers == 0 {
+		return fmt.Errorf("failover: backend %s killed mid-load but the router never failed over", victim)
+	}
+	log.Printf("failover: killed %s after %d requests; %d/%d succeeded (%d failover retries), zero failures",
+		victim, killAfter, floodRequests-int(failed.Load()), floodRequests, failovers)
+
+	rec := clusterBenchRecord{
+		Benchmark:  "cluster-router",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     cliutil.GitSHA(),
+		Backends:   nBackends,
+		Replicas:   replicas,
+		Vnodes:     cluster.DefaultVnodes,
+		Models:     len(models),
+		Network:    clusterBenchNet{LayerWidth: width, Layers: layers, Weights: weights},
+		Levels:     levels,
+		Failover: clusterBenchFailover{
+			KilledBackend: victim,
+			Requests:      floodRequests,
+			Failed:        int(failed.Load()),
+			Failovers:     failovers,
+		},
+		// Any bitwise mismatch returned above, so reaching here proves it.
+		BitIdentical: true,
+	}
+	n, err := cliutil.AppendJSONRecord(benchPath, rec)
+	if err != nil {
+		return err
+	}
+	log.Printf("bench: appended record %d to %s", n, benchPath)
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -191,5 +192,61 @@ func TestFacadeServing(t *testing.T) {
 func TestFacadeEngineBusy(t *testing.T) {
 	if radixnet.ErrEngineBusy == nil || radixnet.ErrQueueFull == nil || radixnet.ErrServeClosed == nil {
 		t.Fatal("serving errors not exported")
+	}
+}
+
+// TestFacadeClusterExports exercises the sharding layer through the public
+// API: ring placement stability and a router front end over one backend.
+func TestFacadeClusterExports(t *testing.T) {
+	ring := radixnet.NewRing(0).Add("a:1", "b:1", "c:1")
+	owners := ring.Owners("some-model", 2)
+	if len(owners) != 2 || owners[0] == owners[1] {
+		t.Fatalf("Owners = %v", owners)
+	}
+
+	cfg, err := radixnet.NewConfig([]radixnet.System{radixnet.MustSystem(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := radixnet.NewRegistry(radixnet.ServePolicy{MaxLatency: time.Millisecond})
+	if _, err := reg.Register("m", cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv := radixnet.NewServer(reg, "127.0.0.1:0")
+	backend, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := radixnet.NewRouter(radixnet.RouterConfig{
+		Addr:     "127.0.0.1:0",
+		Backends: []string{backend},
+		Set:      radixnet.ClusterSetConfig{ProbeInterval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/infer", "application/json",
+		strings.NewReader(`{"model":"m","inputs":[[0,1,0,0,0,0,0,0,0,0,0,0,0,0,0,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed infer status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Radix-Backend"); got != backend {
+		t.Fatalf("answered by %q, want %q", got, backend)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,43 @@
+// Package cluster is the horizontal-scaling layer over internal/serve: it
+// turns a fleet of radixserve instances into one logical inference service
+// behind a thin router tier. The RadiX-Net construction makes individual
+// models cheap (density ≈ µ^{−(d−1)}); the ROADMAP north star is serving
+// heavy traffic from millions of users, which takes many such models spread
+// over many nodes — this package decides the spreading and hides it from
+// clients.
+//
+// # Architecture
+//
+//	client ── POST /v1/infer ──▶ Router ──▶ owning radixserve replica
+//	                              │  ▲            │
+//	                              │  └── retry ◀──┘ (next replica on failure)
+//	                              └── health prober ──▶ GET /healthz per node
+//
+// Ring — a consistent-hash ring with virtual nodes places models onto
+// backends by model name. Each backend is hashed at Vnodes positions; a
+// model's owners are the first Replicas distinct backends clockwise from
+// the model's hash. Adding or removing one backend therefore moves only
+// ~1/N of the keyspace, so fleet changes re-place few models.
+//
+// BackendSet — one probed Backend per radixserve instance. An active
+// prober hits each node's GET /healthz every ProbeInterval (via
+// serve.CheckHealth); FailAfter consecutive failures eject the node from
+// rotation, and a single successful probe re-admits it. Forwarding errors
+// count against the same consecutive-failure threshold, so a crashed node
+// is ejected by the traffic that discovers it rather than waiting for the
+// next probe tick. All per-backend stats are atomic.
+//
+// Router — the HTTP front end. It exposes the same API as a single
+// radixserve instance: POST /v1/infer forwards the request body to the
+// model's first healthy owner and, on a network error, 5xx, or missing
+// model, fails over to the next replica (bounded by the replica count);
+// HTTP 429 backpressure is honored by backing off per the backend's
+// Retry-After header before one retry. GET /v1/models merges the fleet's
+// model lists and reports ring placement; GET /metrics merges the fleet's
+// Prometheus series (each line labeled with its backend) under the
+// router's own radixrouter_* series; GET /healthz reports per-backend
+// probe state. Because backends run the same deterministic engines,
+// routed results are bit-identical to single-node inference — cmd/
+// radixrouter's selftest proves exactly that, plus zero failed requests
+// across a mid-load backend kill.
+package cluster

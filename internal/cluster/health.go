@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/serve"
+)
+
+// Backend is one radixserve instance in the fleet: its ring identity, its
+// base URL, and atomic health/traffic stats shared by the prober and the
+// router's forwarding path.
+type Backend struct {
+	id  string // ring identity (host:port)
+	url string // scheme://host:port, no trailing slash
+
+	healthy     atomic.Bool
+	consecFails atomic.Int64 // probe + forward failures since the last good probe
+
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+	forwarded     atomic.Int64 // requests answered by this backend (any status)
+	failed        atomic.Int64 // forward attempts lost to transport/5xx errors
+	lastErr       atomic.Value // string: most recent probe/forward error
+}
+
+// ID returns the backend's ring identity (host:port).
+func (b *Backend) ID() string { return b.id }
+
+// URL returns the backend's base URL.
+func (b *Backend) URL() string { return b.url }
+
+// Healthy reports whether the backend is in rotation.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// BackendStatus is a point-in-time copy of a backend's state, the element
+// of the router's /healthz report.
+type BackendStatus struct {
+	ID                  string `json:"id"`
+	URL                 string `json:"url"`
+	Healthy             bool   `json:"healthy"`
+	ConsecutiveFailures int64  `json:"consecutive_failures"`
+	Probes              int64  `json:"probes"`
+	ProbeFailures       int64  `json:"probe_failures"`
+	Forwarded           int64  `json:"forwarded"`
+	Failed              int64  `json:"failed"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// Status snapshots the backend.
+func (b *Backend) Status() BackendStatus {
+	s := BackendStatus{
+		ID:                  b.id,
+		URL:                 b.url,
+		Healthy:             b.healthy.Load(),
+		ConsecutiveFailures: b.consecFails.Load(),
+		Probes:              b.probes.Load(),
+		ProbeFailures:       b.probeFailures.Load(),
+		Forwarded:           b.forwarded.Load(),
+		Failed:              b.failed.Load(),
+	}
+	if e, ok := b.lastErr.Load().(string); ok {
+		s.LastError = e
+	}
+	return s
+}
+
+// SetConfig tunes the backend set's health probing. Zero fields select
+// defaults.
+type SetConfig struct {
+	// ProbeInterval is the per-backend /healthz cadence. Default 2s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe; a hung backend fails its probe.
+	// Default 1s.
+	ProbeTimeout time.Duration
+	// FailAfter is the consecutive-failure count (probes and forwards
+	// combined) that ejects a backend from rotation. Default 3.
+	FailAfter int
+	// Vnodes is the ring's virtual-node count per backend. Default
+	// DefaultVnodes.
+	Vnodes int
+	// Client issues probes and forwards. Default: a dedicated client with
+	// pooled keep-alive connections.
+	Client *http.Client
+}
+
+func (c SetConfig) withDefaults() SetConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.Client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		c.Client = &http.Client{Transport: tr}
+	}
+	return c
+}
+
+// BackendSet owns the fleet membership: the consistent-hash ring over the
+// backends plus one prober goroutine per backend. Backends start in
+// rotation (healthy) so traffic flows before the first probe completes;
+// the probers eject and re-admit from there.
+type BackendSet struct {
+	cfg  SetConfig
+	ring *Ring
+
+	backends map[string]*Backend
+	order    []string // construction order, for stable listings
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// normalizeBackend splits one -backend flag value into (id, url): the id is
+// the host:port ring identity, the url the http base. "10.0.0.7:8080" and
+// "http://10.0.0.7:8080" are equivalent.
+func normalizeBackend(raw string) (id, url string, err error) {
+	raw = strings.TrimSuffix(strings.TrimSpace(raw), "/")
+	if raw == "" {
+		return "", "", fmt.Errorf("cluster: empty backend address")
+	}
+	switch {
+	case strings.HasPrefix(raw, "http://"):
+		id = strings.TrimPrefix(raw, "http://")
+	case strings.HasPrefix(raw, "https://"):
+		id = strings.TrimPrefix(raw, "https://")
+	case strings.Contains(raw, "://"):
+		return "", "", fmt.Errorf("cluster: unsupported backend scheme in %q", raw)
+	default:
+		id, raw = raw, "http://"+raw
+	}
+	if id == "" || strings.ContainsAny(id, "/ ") {
+		return "", "", fmt.Errorf("cluster: malformed backend address %q", raw)
+	}
+	return id, raw, nil
+}
+
+// NewBackendSet builds the fleet from backend addresses ("host:port" or
+// "http://host:port"), placing every backend on a fresh ring. Probing does
+// not start until Start.
+func NewBackendSet(addrs []string, cfg SetConfig) (*BackendSet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no backends")
+	}
+	cfg = cfg.withDefaults()
+	s := &BackendSet{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Vnodes),
+		backends: make(map[string]*Backend, len(addrs)),
+		stop:     make(chan struct{}),
+	}
+	for _, raw := range addrs {
+		id, url, err := normalizeBackend(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.backends[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", id)
+		}
+		b := &Backend{id: id, url: url}
+		b.healthy.Store(true)
+		s.backends[id] = b
+		s.order = append(s.order, id)
+		s.ring.Add(id)
+	}
+	return s, nil
+}
+
+// Ring returns the placement ring (membership is stable for the set's
+// lifetime; health is tracked off-ring so recovery never re-shuffles keys).
+func (s *BackendSet) Ring() *Ring { return s.ring }
+
+// Backend looks up one backend by ring id.
+func (s *BackendSet) Backend(id string) (*Backend, bool) {
+	b, ok := s.backends[id]
+	return b, ok
+}
+
+// Backends returns every backend in construction order.
+func (s *BackendSet) Backends() []*Backend {
+	bs := make([]*Backend, 0, len(s.order))
+	for _, id := range s.order {
+		bs = append(bs, s.backends[id])
+	}
+	return bs
+}
+
+// HealthyCount returns how many backends are in rotation.
+func (s *BackendSet) HealthyCount() int {
+	n := 0
+	for _, b := range s.backends {
+		if b.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Owners returns key's replica set in failover order: the first replicas
+// healthy backends clockwise from the key's hash. Ejected backends are
+// skipped transparently, so the ring walk itself is the failover plan —
+// when a primary dies its successors inherit its keys without any
+// membership change.
+func (s *BackendSet) Owners(key string, replicas int) []*Backend {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	owners := make([]*Backend, 0, replicas)
+	s.ring.Walk(key, func(id string) bool {
+		if b := s.backends[id]; b.Healthy() {
+			owners = append(owners, b)
+		}
+		return len(owners) < replicas
+	})
+	return owners
+}
+
+// Placement returns key's intended owners (health ignored) — what the ring
+// assigns, as opposed to what Owners can currently route to.
+func (s *BackendSet) Placement(key string, replicas int) []string {
+	return s.ring.Owners(key, replicas)
+}
+
+// Start launches one prober per backend, each probing immediately and then
+// every ProbeInterval, so a backend dead at startup is ejected within
+// FailAfter×ProbeInterval. Idempotent.
+func (s *BackendSet) Start() {
+	s.startOnce.Do(func() {
+		for _, id := range s.order {
+			b := s.backends[id]
+			s.wg.Add(1)
+			go s.probeLoop(b)
+		}
+	})
+}
+
+// Stop halts probing and waits for the probers to exit. Idempotent.
+func (s *BackendSet) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+func (s *BackendSet) probeLoop(b *Backend) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		s.probe(b)
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe hits one backend's /healthz and applies the ejection/re-admission
+// rules: FailAfter consecutive failures take it out of rotation, one good
+// probe puts it back.
+func (s *BackendSet) probe(b *Backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+	defer cancel()
+	b.probes.Add(1)
+	if _, err := serve.CheckHealth(ctx, s.cfg.Client, b.url); err != nil {
+		b.probeFailures.Add(1)
+		s.noteFailure(b, err)
+		return
+	}
+	b.consecFails.Store(0)
+	b.healthy.Store(true)
+}
+
+// noteFailure records one probe or forward failure against the backend and
+// ejects it once the consecutive-failure threshold is reached. The
+// forwarding path calls this too, so a crashed node is ejected by the
+// traffic that discovers it instead of lingering until the next probe.
+func (s *BackendSet) noteFailure(b *Backend, err error) {
+	if err != nil {
+		b.lastErr.Store(err.Error())
+	}
+	if b.consecFails.Add(1) >= int64(s.cfg.FailAfter) {
+		// Eject. The ring keeps the node's points; Owners simply walks past
+		// them until a good probe re-admits the backend.
+		b.healthy.Store(false)
+	}
+}
+
+// noteForwardSuccess resets the failure streak after a successful forward
+// (any HTTP response proves the node is reachable and serving).
+func (s *BackendSet) noteForwardSuccess(b *Backend) {
+	b.consecFails.Store(0)
+}

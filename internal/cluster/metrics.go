@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+)
+
+// routerMetrics counts the router's own activity; per-backend forwarding
+// stats live on Backend. All atomic, exported on /metrics as radixrouter_*.
+type routerMetrics struct {
+	requests   atomic.Int64 // POST /v1/infer requests received
+	failovers  atomic.Int64 // attempts moved to the next replica
+	backoffs   atomic.Int64 // 429 Retry-After backoffs honored
+	unroutable atomic.Int64 // requests with no healthy owner (502/503)
+}
+
+// RouterMetricsSnapshot is a point-in-time copy of the router's counters.
+type RouterMetricsSnapshot struct {
+	Requests   int64 `json:"requests"`
+	Failovers  int64 `json:"failovers"`
+	Backoffs   int64 `json:"backoffs"`
+	Unroutable int64 `json:"unroutable"`
+}
+
+func (m *routerMetrics) snapshot() RouterMetricsSnapshot {
+	return RouterMetricsSnapshot{
+		Requests:   m.requests.Load(),
+		Failovers:  m.failovers.Load(),
+		Backoffs:   m.backoffs.Load(),
+		Unroutable: m.unroutable.Load(),
+	}
+}
+
+// writeRouterMetrics renders the router's own series plus per-backend
+// health and traffic gauges.
+func writeRouterMetrics(w io.Writer, met *routerMetrics, backends []*Backend, uptimeSeconds float64) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("radixrouter_requests_total", "Inference requests received by the router.", met.requests.Load())
+	counter("radixrouter_failovers_total", "Forward attempts retried on the next replica.", met.failovers.Load())
+	counter("radixrouter_backoffs_total", "Retry-After backoffs honored on 429 responses.", met.backoffs.Load())
+	counter("radixrouter_unroutable_total", "Requests dropped with no healthy owner.", met.unroutable.Load())
+
+	perBackend := []struct {
+		name, help, typ string
+		value           func(b *Backend) int64
+	}{
+		{"radixrouter_backend_healthy", "Whether the backend is in rotation (1) or ejected (0).", "gauge",
+			func(b *Backend) int64 {
+				if b.Healthy() {
+					return 1
+				}
+				return 0
+			}},
+		{"radixrouter_backend_forwarded_total", "Requests answered by the backend.", "counter",
+			func(b *Backend) int64 { return b.forwarded.Load() }},
+		{"radixrouter_backend_failed_total", "Forward attempts lost to transport or 5xx errors.", "counter",
+			func(b *Backend) int64 { return b.failed.Load() }},
+		{"radixrouter_backend_probe_failures_total", "Health probes failed.", "counter",
+			func(b *Backend) int64 { return b.probeFailures.Load() }},
+	}
+	for _, pm := range perBackend {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", pm.name, pm.help, pm.name, pm.typ)
+		for _, b := range backends {
+			fmt.Fprintf(w, "%s{backend=%q} %d\n", pm.name, b.id, pm.value(b))
+		}
+	}
+	fmt.Fprintf(w, "# HELP radixrouter_uptime_seconds Router uptime.\n# TYPE radixrouter_uptime_seconds gauge\nradixrouter_uptime_seconds %g\n", uptimeSeconds)
+}
+
+// injectBackendLabel rewrites one Prometheus series line to carry a
+// backend label, so per-model series scraped from different nodes stay
+// distinguishable after the merge. "name 3" becomes
+// "name{backend=\"id\"} 3"; "name{model=\"m\"} 3" becomes
+// "name{model=\"m\",backend=\"id\"} 3". The exposition format's optional
+// trailing timestamp ("name 3 1712345678000") survives untouched: the
+// label set is located by brace, not by field position. Lines it cannot
+// parse are returned unchanged.
+func injectBackendLabel(line, backend string) string {
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		// After the label block only value (and optional timestamp) follow,
+		// so the line's last '}' closes the labels even when label values
+		// themselves contain braces.
+		close := strings.LastIndexByte(line, '}')
+		if close < open {
+			return line
+		}
+		if open == close-1 { // empty label set "name{}"
+			return fmt.Sprintf("%s{backend=%q}%s", line[:open], backend, line[close+1:])
+		}
+		return fmt.Sprintf("%s,backend=%q%s", line[:close], backend, line[close:])
+	}
+	sp := strings.IndexByte(line, ' ')
+	if sp <= 0 {
+		return line
+	}
+	return fmt.Sprintf("%s{backend=%q}%s", line[:sp], backend, line[sp:])
+}
+
+// mergeBackendMetrics re-emits one backend's /metrics scrape with every
+// series labeled backend=id. HELP/TYPE headers are emitted only the first
+// time a metric name is seen across the fleet (seenMeta tracks that), per
+// the exposition format's one-header-per-name rule.
+func mergeBackendMetrics(w io.Writer, scrape, backendID string, seenMeta map[string]bool) {
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			// "# HELP name ..." / "# TYPE name ..." → fields[2] is the name.
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				key := fields[1] + " " + fields[2]
+				if seenMeta[key] {
+					continue
+				}
+				seenMeta[key] = true
+			}
+			fmt.Fprintln(w, line)
+			continue
+		}
+		fmt.Fprintln(w, injectBackendLabel(line, backendID))
+	}
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per backend when RingConfig leaves
+// it zero. 128 points per node keeps the keyspace share of an N-node fleet
+// within a few percent of 1/N while the ring stays small enough to rebuild
+// on every membership change.
+const DefaultVnodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Keys (model names) and
+// node positions share one 64-bit FNV-1a hash space; a key's owners are the
+// first distinct nodes clockwise from the key's hash. Membership changes
+// move only the keyspace between the affected points — ~1/N of all keys per
+// node joined or removed — which is the property that makes it the model-
+// placement function for a radixserve fleet: growing the fleet re-places
+// few models. Safe for concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	nodes  map[string]struct{}
+	points []ringPoint // sorted by hash, ties broken by node id
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// backend id.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring placing each node at vnodes virtual
+// positions (≤ 0 selects DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+// hashKey maps an arbitrary string onto the ring's hash circle: FNV-1a for
+// the byte mixing, then a murmur3-style finalizer. The finalizer matters:
+// raw FNV-1a of strings differing only in a trailing vnode digit differs
+// mostly in low bits, which would cluster all of a node's virtual points in
+// one arc and destroy the 1/N balance the ring exists for.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add places the nodes onto the ring (ignoring ids already present) and
+// returns the ring for chaining.
+func (r *Ring) Add(nodes ...string) *Ring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, node := range nodes {
+		if _, dup := r.nodes[node]; dup || node == "" {
+			continue
+		}
+		r.nodes[node] = struct{}{}
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(node + "#" + strconv.Itoa(v)), node: node})
+		}
+		changed = true
+	}
+	if changed {
+		sort.Slice(r.points, func(i, j int) bool {
+			if r.points[i].hash != r.points[j].hash {
+				return r.points[i].hash < r.points[j].hash
+			}
+			return r.points[i].node < r.points[j].node
+		})
+	}
+	return r
+}
+
+// Remove takes a node off the ring; keys it owned fall to their next
+// clockwise owners. Unknown ids are ignored.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Nodes returns the ring membership in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	nodes := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// Walk visits the distinct nodes in ring order starting clockwise from
+// key's hash, calling fn for each until fn returns false or every node has
+// been visited. This is the primitive behind Owners and behind the
+// router's failover order: the first node is the key's primary owner, the
+// rest are its successors.
+func (r *Ring) Walk(key string, fn func(node string) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]struct{}, len(r.nodes))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		if !fn(p.node) {
+			return
+		}
+		if len(seen) == len(r.nodes) {
+			return
+		}
+	}
+}
+
+// Owners returns the first n distinct nodes clockwise from key's hash —
+// the key's replica set in failover order. Fewer than n nodes on the ring
+// yields all of them.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	owners := make([]string, 0, n)
+	r.Walk(key, func(node string) bool {
+		owners = append(owners, node)
+		return len(owners) < n
+	})
+	return owners
+}
+
+// String summarizes the ring for logs.
+func (r *Ring) String() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fmt.Sprintf("cluster.Ring{nodes: %d, vnodes: %d, points: %d}", len(r.nodes), r.vnodes, len(r.points))
+}

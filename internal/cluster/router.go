@@ -1,0 +1,503 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/serve"
+)
+
+// maxRequestBody mirrors the per-backend bound in internal/serve: the
+// router never buffers more of a request than a backend would accept.
+const maxRequestBody = 64 << 20
+
+// RouterConfig assembles a Router. Zero fields select defaults.
+type RouterConfig struct {
+	// Addr is the router's listen address (host:port; ":0" picks an
+	// ephemeral port at Start).
+	Addr string
+	// Backends are the radixserve instances, as "host:port" or
+	// "http://host:port". Required.
+	Backends []string
+	// Replicas is how many ring successors own each model — the failover
+	// budget of one request. Default 2, capped at the backend count.
+	Replicas int
+	// MaxBackoff caps the Retry-After backoff honored on a backend 429.
+	// Default 1s.
+	MaxBackoff time.Duration
+	// Set tunes health probing (interval, timeout, ejection threshold,
+	// ring vnodes).
+	Set SetConfig
+}
+
+// Router is the fleet's HTTP front end: it exposes the single-node
+// radixserve API (POST /v1/infer, GET /v1/models, /healthz, /metrics) and
+// forwards each inference request to the owning healthy backend with
+// bounded retry-on-next-replica failover. Construct with NewRouter, start
+// with Start or ListenAndServe, stop with Shutdown.
+type Router struct {
+	set        *BackendSet
+	replicas   int
+	maxBackoff time.Duration
+	client     *http.Client
+	http       *http.Server
+	start      time.Time
+	met        routerMetrics
+}
+
+// NewRouter validates the config, builds the backend set and ring, and
+// wires the HTTP front end. Probing starts with the router (Start or
+// ListenAndServe).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	set, err := NewBackendSet(cfg.Backends, cfg.Set)
+	if err != nil {
+		return nil, err
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	if n := len(set.Backends()); replicas > n {
+		replicas = n
+	}
+	maxBackoff := cfg.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	rt := &Router{
+		set:        set,
+		replicas:   replicas,
+		maxBackoff: maxBackoff,
+		client:     set.cfg.Client,
+		start:      time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", rt.handleInfer)
+	mux.HandleFunc("GET /v1/models", rt.handleModels)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.http = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return rt, nil
+}
+
+// Set returns the router's backend set (for status inspection).
+func (rt *Router) Set() *BackendSet { return rt.set }
+
+// Metrics snapshots the router's counters.
+func (rt *Router) Metrics() RouterMetricsSnapshot { return rt.met.snapshot() }
+
+// Replicas returns the per-model replication factor.
+func (rt *Router) Replicas() int { return rt.replicas }
+
+// Placement returns the ring's intended owners for a model, in failover
+// order, health ignored.
+func (rt *Router) Placement(model string) []string {
+	return rt.set.Placement(model, rt.replicas)
+}
+
+// Handler returns the router's root handler (for tests and embedding).
+// Health probing must be started separately (Set().Start()) when the
+// router is driven through its handler rather than Start.
+func (rt *Router) Handler() http.Handler { return rt.http.Handler }
+
+// Start begins health probing, listens on the configured address, and
+// serves in the background, returning the bound address.
+func (rt *Router) Start() (string, error) {
+	ln, err := net.Listen("tcp", rt.http.Addr)
+	if err != nil {
+		return "", err
+	}
+	rt.set.Start()
+	go func() {
+		if err := rt.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			panic(fmt.Sprintf("cluster: router http server failed: %v", err))
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// ListenAndServe begins health probing and serves on the configured
+// address until Shutdown, returning http.ErrServerClosed on a clean stop.
+func (rt *Router) ListenAndServe() error {
+	rt.set.Start()
+	return rt.http.ListenAndServe()
+}
+
+// Shutdown stops the front end gracefully (bounded by ctx) and halts
+// health probing. The backends are not touched — they are independent
+// processes with their own lifecycles — but the router's pooled
+// connections to them are released: the transport parks speculatively
+// dialed, never-used connections, and a backend's own graceful shutdown
+// waits ~5s before reaping such connections (net/http treats young
+// StateNew conns as possibly-about-to-send).
+func (rt *Router) Shutdown(ctx context.Context) error {
+	err := rt.http.Shutdown(ctx)
+	rt.set.Stop()
+	rt.client.CloseIdleConnections()
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, model, format string, args ...any) {
+	writeJSON(w, code, serve.ErrorResponse{Error: fmt.Sprintf(format, args...), Model: model})
+}
+
+// handleInfer routes one inference request: peek at the model name, walk
+// its healthy owners in ring order, and forward until a backend answers.
+// A transport error, 5xx, or 404 (placement drift) moves on to the next
+// replica; a 429 is retried once on the same backend after honoring its
+// Retry-After. 4xx responses pass through — they are deterministic client
+// errors every replica would repeat.
+func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
+	rt.met.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", "reading request body: %v", err)
+		return
+	}
+	var peek struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeError(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	if peek.Model == "" {
+		writeError(w, http.StatusBadRequest, "", "missing model name")
+		return
+	}
+	owners := rt.set.Owners(peek.Model, rt.replicas)
+	if len(owners) == 0 {
+		rt.met.unroutable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, peek.Model, "no healthy backend for model %q", peek.Model)
+		return
+	}
+	notFound := 0
+	for i, b := range owners {
+		if i > 0 {
+			rt.met.failovers.Add(1)
+		}
+		switch rt.tryBackend(w, r, b, body) {
+		case forwardDone:
+			return
+		case forwardNotFound:
+			notFound++
+		case forwardFailed:
+		}
+		if r.Context().Err() != nil {
+			// The client is gone; stop burning replicas on its behalf.
+			return
+		}
+	}
+	if notFound == len(owners) && rt.consultedIntendedOwners(peek.Model, owners) {
+		// The model's intended ring owners are all alive and answered "no
+		// such model": that is a deterministic client error, not a fleet
+		// failure — relaying 503 would invite pointless retries. When the
+		// intended owners are ejected and the 404s came from healthy ring
+		// successors standing in for them, the model may merely be
+		// unreachable, so the 503 below (retryable) is the honest answer.
+		writeError(w, http.StatusNotFound, peek.Model,
+			"unknown model %q (not hosted by any of its %d replicas)", peek.Model, len(owners))
+		return
+	}
+	rt.met.unroutable.Add(1)
+	writeError(w, http.StatusServiceUnavailable, peek.Model,
+		"all %d replicas of model %q failed", len(owners), peek.Model)
+}
+
+// consultedIntendedOwners reports whether the consulted (healthy) owners
+// include every backend the ring intends to host the model — i.e. whether
+// a unanimous "unknown model" verdict came from the model's real owners
+// rather than from substitutes walking past ejected ones.
+func (rt *Router) consultedIntendedOwners(model string, consulted []*Backend) bool {
+	ids := make(map[string]bool, len(consulted))
+	for _, b := range consulted {
+		ids[b.id] = true
+	}
+	for _, id := range rt.set.Placement(model, rt.replicas) {
+		if !ids[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardOutcome is one backend's verdict on a forwarded request.
+type forwardOutcome int
+
+const (
+	forwardDone     forwardOutcome = iota // response written to the client
+	forwardFailed                         // transport error or 5xx: try the next replica
+	forwardNotFound                       // backend alive but not hosting the model
+)
+
+// tryBackend forwards the request to one backend and relays the response.
+// forwardDone means a response was written to the client; anything else
+// tells the caller whether the replica failed or simply doesn't host the
+// model.
+func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend, body []byte) forwardOutcome {
+	for attempt := 0; ; attempt++ {
+		resp, err := rt.forwardInfer(r.Context(), b, body)
+		if err != nil {
+			b.failed.Add(1)
+			rt.set.noteFailure(b, err)
+			return forwardFailed
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests && attempt == 0:
+			// Backpressure from a healthy backend: honor its Retry-After
+			// once, then retry the same owner — its queue drains in
+			// milliseconds under the serve policy defaults.
+			drain(resp)
+			rt.set.noteForwardSuccess(b)
+			rt.met.backoffs.Add(1)
+			select {
+			case <-r.Context().Done():
+				return forwardDone // client gone; nothing left to write
+			case <-time.After(retryAfter(resp.Header.Get("Retry-After"), rt.maxBackoff)):
+			}
+			continue
+		case resp.StatusCode == http.StatusNotFound:
+			// The backend is alive but does not host the model (placement
+			// drift during fleet changes): not a health event, but the next
+			// replica may still answer.
+			drain(resp)
+			rt.set.noteForwardSuccess(b)
+			return forwardNotFound
+		case resp.StatusCode >= 500:
+			b.failed.Add(1)
+			rt.set.noteFailure(b, fmt.Errorf("cluster: backend %s: status %d", b.id, resp.StatusCode))
+			drain(resp)
+			return forwardFailed
+		default:
+			// 2xx, passthrough 4xx, or a second 429 (the client owns the
+			// backoff from here; Retry-After is relayed).
+			rt.set.noteForwardSuccess(b)
+			b.forwarded.Add(1)
+			relay(w, resp, b.id)
+			return forwardDone
+		}
+	}
+}
+
+// forwardInfer reposts the buffered request body to one backend.
+func (rt *Router) forwardInfer(ctx context.Context, b *Backend, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return rt.client.Do(req)
+}
+
+// retryAfter parses a Retry-After header (delta-seconds form), bounded by
+// limit; unparsable or absent values back off 100ms.
+func retryAfter(header string, limit time.Duration) time.Duration {
+	d := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(header); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
+}
+
+// drain discards a response we will not relay, keeping its keep-alive
+// connection reusable.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
+	resp.Body.Close()
+}
+
+// relay copies a backend response to the client, stamping the answering
+// backend for observability (and for the selftest's routing assertions).
+func relay(w http.ResponseWriter, resp *http.Response, backendID string) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Radix-Backend", backendID)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client disconnects are benign
+}
+
+// ModelsResponse is the router's GET /v1/models body: the fleet's models
+// merged by name, plus each model's ring placement in failover order.
+type ModelsResponse struct {
+	Models    []serve.ModelInfo   `json:"models"`
+	Placement map[string][]string `json:"placement"`
+	Backends  int                 `json:"backends"`
+	Healthy   int                 `json:"healthy_backends"`
+	Replicas  int                 `json:"replicas"`
+}
+
+// handleModels merges GET /v1/models across the healthy fleet: the union
+// of the backends' model lists (first answer wins per name) with ring
+// placement attached.
+func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
+	type scraped struct {
+		id    string
+		infos []serve.ModelInfo
+	}
+	backends := rt.set.Backends()
+	results := make([]scraped, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		if !b.Healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.set.cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/models", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var body struct {
+				Models []serve.ModelInfo `json:"models"`
+			}
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&body) == nil {
+				results[i] = scraped{id: b.id, infos: body.Models}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	byName := make(map[string]serve.ModelInfo)
+	for _, res := range results {
+		for _, info := range res.infos {
+			if _, dup := byName[info.Name]; !dup {
+				byName[info.Name] = info
+			}
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ModelsResponse{
+		Models:    make([]serve.ModelInfo, 0, len(names)),
+		Placement: make(map[string][]string, len(names)),
+		Backends:  len(backends),
+		Healthy:   rt.set.HealthyCount(),
+		Replicas:  rt.replicas,
+	}
+	for _, name := range names {
+		out.Models = append(out.Models, byName[name])
+		out.Placement[name] = rt.Placement(name)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// HealthzResponse is the router's GET /healthz body.
+type HealthzResponse struct {
+	Status        string          `json:"status"` // "ok", "degraded", or "down"
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Replicas      int             `json:"replicas"`
+	Backends      []BackendStatus `json:"backends"`
+}
+
+// handleHealthz reports the router's view of the fleet: "ok" with every
+// backend in rotation, "degraded" while some are ejected, "down" (503)
+// when none remain.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	backends := rt.set.Backends()
+	resp := HealthzResponse{
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Replicas:      rt.replicas,
+		Backends:      make([]BackendStatus, 0, len(backends)),
+	}
+	healthy := 0
+	for _, b := range backends {
+		st := b.Status()
+		if st.Healthy {
+			healthy++
+		}
+		resp.Backends = append(resp.Backends, st)
+	}
+	code := http.StatusOK
+	switch {
+	case healthy == len(backends):
+		resp.Status = "ok"
+	case healthy > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleMetrics merges /metrics across the fleet: the router's own
+// radixrouter_* series first, then every healthy backend's scrape with
+// each series labeled backend=id and HELP/TYPE headers deduplicated.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	backends := rt.set.Backends()
+	scrapes := make([]string, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		if !b.Healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.set.cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			if text, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody)); err == nil {
+				scrapes[i] = string(text)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeRouterMetrics(w, &rt.met, backends, time.Since(rt.start).Seconds())
+	seenMeta := make(map[string]bool)
+	for i, b := range backends {
+		if scrapes[i] != "" {
+			mergeBackendMetrics(w, scrapes[i], b.id, seenMeta)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/radix-net/radixnet/internal/sparse"
@@ -74,6 +75,14 @@ type batcher struct {
 	pol   Policy
 	met   *Metrics
 
+	// inflight counts rows between submit and completion; incoming counts
+	// rows a multi-row request has announced but not yet submitted. Together
+	// they tell a collector whether waiting out the latency budget can
+	// possibly gain company: a batch holding every in-flight row dispatches
+	// immediately, so closed-loop single clients never pay MaxLatency.
+	inflight atomic.Int64
+	incoming atomic.Int64
+
 	mu     sync.RWMutex // guards closed and, with it, sends into queue
 	closed bool
 	queue  chan *pending
@@ -101,11 +110,15 @@ func (b *batcher) submit(p *pending) error {
 		b.met.Failed.Add(1)
 		return ErrClosed
 	}
+	// Count the row in flight before it becomes visible in the queue, so a
+	// collector that receives it never observes inflight < rows it holds.
+	b.inflight.Add(1)
 	select {
 	case b.queue <- p:
 		b.met.Accepted.Add(1)
 		return nil
 	default:
+		b.inflight.Add(-1)
 		b.met.Rejected.Add(1)
 		return ErrQueueFull
 	}
@@ -142,7 +155,19 @@ func (b *batcher) worker() {
 		reqs = append(reqs[:0], p)
 		open := b.drain(&reqs)
 		if open && len(reqs) < b.pol.MaxBatch && b.pol.MaxLatency > 0 {
-			timer.Reset(b.pol.MaxLatency)
+			wait := b.pol.MaxLatency
+			if !b.companyPossible(len(reqs)) {
+				// Single-client fast path: the batch already holds every row
+				// the system knows about, so the full latency budget cannot
+				// buy company. A zero wait would be wrong too — concurrent
+				// clients' first rows arrive staggered by scheduler
+				// microseconds and would each execute alone — so wait one
+				// short grace window instead of the budget.
+				if wait > fastPathGrace {
+					wait = fastPathGrace
+				}
+			}
+			timer.Reset(wait)
 		wait:
 			for len(reqs) < b.pol.MaxBatch {
 				select {
@@ -164,6 +189,27 @@ func (b *batcher) worker() {
 		}
 		b.execute(reqs)
 	}
+}
+
+// fastPathGrace is the collection window a collector uses in place of the
+// full MaxLatency budget when the batch already holds every known
+// in-flight row: long enough for a concurrent client staggered by
+// scheduler jitter to get its row queued, short enough that a closed-loop
+// single client pays microseconds per row instead of the 2ms default
+// budget (the regression the fast path exists to fix).
+const fastPathGrace = 200 * time.Microsecond
+
+// companyPossible reports whether a collector holding held rows has any
+// reason to wait out the full latency budget: rows in flight beyond its
+// own batch (concurrent clients whose rows are queued or executing
+// elsewhere and who may resubmit) or rows a multi-row request has
+// announced but not yet submitted. When the batch already holds every row
+// the system knows about — the closed-loop single-client case — the
+// budget cannot buy company and the collector waits only fastPathGrace.
+// This is a heuristic: a false "possible" still bounds latency by
+// MaxLatency, exactly the pre-fast-path behavior.
+func (b *batcher) companyPossible(held int) bool {
+	return b.inflight.Load()+b.incoming.Load() > int64(held)
 }
 
 // drain moves whatever is already queued into reqs, up to MaxBatch, without
@@ -221,4 +267,5 @@ func (b *batcher) execute(reqs []*pending) {
 		}
 		close(p.done)
 	}
+	b.inflight.Add(-int64(n))
 }

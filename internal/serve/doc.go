@@ -28,7 +28,11 @@
 // Policy.MaxLatency for more rows before leasing an engine and running one
 // fused forward pass over the coalesced batch. Single-row latency is
 // therefore bounded by MaxLatency plus one batch execution, while
-// throughput under load approaches the engine's dense-batch rate. Because
+// throughput under load approaches the engine's dense-batch rate. A batch
+// already holding every in-flight row waits only a short grace window
+// rather than the full budget (the single-client fast path: a closed-loop
+// client pays microseconds, not the batching budget; multi-row requests
+// announce their rows up front so they still coalesce whole). Because
 // every batch goes through the same Engine.Infer gather/scatter kernels,
 // batched results are bit-identical to per-row inference.
 //

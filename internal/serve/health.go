@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Health is the GET /healthz body: the wire shape a liveness probe decodes.
+// The cluster router probes backend radixserve instances with CheckHealth
+// and ejects nodes whose probes fail.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Models        int     `json:"models"`
+}
+
+// CheckHealth probes one radixserve instance's GET /healthz. baseURL is the
+// instance root (e.g. "http://10.0.0.7:8080"); ctx bounds the probe (callers
+// should attach a timeout — a hung backend must fail the probe, not block
+// it). A non-200 status or an undecodable body is an error: a probe is only
+// healthy when the backend says so in the expected shape.
+func CheckHealth(ctx context.Context, client *http.Client, baseURL string) (Health, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return Health{}, fmt.Errorf("serve: healthz probe: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Health{}, fmt.Errorf("serve: healthz probe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, fmt.Errorf("serve: healthz probe: status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("serve: healthz probe: %w", err)
+	}
+	if h.Status != "ok" {
+		return h, fmt.Errorf("serve: healthz probe: backend status %q", h.Status)
+	}
+	return h, nil
+}

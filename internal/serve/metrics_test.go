@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSeries is a parsed Prometheus text exposition: series (full
+// "name{labels}" key) → value, plus the declared TYPE per metric name.
+type promSeries struct {
+	values map[string]float64
+	types  map[string]string
+	helps  map[string]string
+}
+
+// parsePrometheus parses the text exposition format emitted on /metrics.
+// It fails the test on any malformed line, so the exposition format itself
+// is under test, not just the counter values.
+func parsePrometheus(t *testing.T, text string) promSeries {
+	t.Helper()
+	p := promSeries{
+		values: make(map[string]float64),
+		types:  make(map[string]string),
+		helps:  make(map[string]string),
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			p.helps[name] = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge") {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			p.types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed series line %q", line)
+		}
+		series, valText := line[:idx], line[idx+1:]
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("series %q: bad value %q: %v", series, valText, err)
+		}
+		if _, dup := p.values[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		p.values[series] = v
+	}
+	return p
+}
+
+func (p promSeries) value(t *testing.T, series string) float64 {
+	t.Helper()
+	v, ok := p.values[series]
+	if !ok {
+		t.Fatalf("series %q missing", series)
+	}
+	return v
+}
+
+// TestMetricsExpositionAfterKnownSequence drives a known request sequence
+// and asserts the exact counter names and values on /metrics: three
+// sequential rows through the batcher (exactly three batches — a
+// sequential client blocks on each row, so no coalescing is possible), two
+// 2xx GETs and one 404 POST through the HTTP layer.
+func TestMetricsExpositionAfterKnownSequence(t *testing.T) {
+	pol := Policy{MaxBatch: 4, MaxLatency: time.Millisecond, QueueDepth: 7}
+	_, m, ts := newTestServer(t, pol, 1)
+
+	row := make([]float64, m.InputWidth())
+	row[1] = 1
+	out := make([]float64, m.OutputWidth())
+	for i := 0; i < 3; i++ {
+		if err := m.Infer(context.Background(), row, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, path := range []string{"/v1/models", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, _ := postInfer(t, ts.URL, InferRequest{Model: "ghost", Inputs: [][]float64{row}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parsePrometheus(t, string(text))
+
+	// Exact per-model counters after the known sequence. The 404 POST never
+	// reached the batcher, so only the three direct rows count.
+	for series, want := range map[string]float64{
+		`radixserve_rows_accepted_total{model="m"}`:  3,
+		`radixserve_rows_rejected_total{model="m"}`:  0,
+		`radixserve_rows_completed_total{model="m"}`: 3,
+		`radixserve_rows_failed_total{model="m"}`:    0,
+		`radixserve_batches_total{model="m"}`:        3,
+		`radixserve_batched_rows_total{model="m"}`:   3,
+		`radixserve_queue_depth{model="m"}`:          0,
+		`radixserve_queue_capacity{model="m"}`:       7,
+	} {
+		if got := p.value(t, series); got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	// Latency accumulates over completed rows; exact values vary, but the
+	// sum must be positive and the max must not exceed it.
+	sum := p.value(t, `radixserve_request_latency_seconds_sum{model="m"}`)
+	max := p.value(t, `radixserve_request_latency_seconds_max{model="m"}`)
+	if sum <= 0 || max <= 0 || max > sum {
+		t.Errorf("latency sum %g / max %g inconsistent", sum, max)
+	}
+
+	// HTTP status-class counters: /v1/models + /healthz succeeded, the
+	// unknown-model POST 404'd. The /metrics request itself is counted only
+	// after its response is written, so it is not in its own exposition.
+	for series, want := range map[string]float64{
+		`radixserve_http_responses_total{class="2xx"}`: 2,
+		`radixserve_http_responses_total{class="4xx"}`: 1,
+		`radixserve_http_responses_total{class="5xx"}`: 0,
+	} {
+		if got := p.value(t, series); got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	if up := p.value(t, "radixserve_uptime_seconds"); up <= 0 {
+		t.Errorf("uptime %g, want > 0", up)
+	}
+
+	// Every exported metric must declare HELP and TYPE, with counters named
+	// *_total or *_sum per Prometheus convention.
+	for _, name := range []string{
+		"radixserve_rows_accepted_total", "radixserve_rows_rejected_total",
+		"radixserve_rows_completed_total", "radixserve_rows_failed_total",
+		"radixserve_batches_total", "radixserve_batched_rows_total",
+		"radixserve_request_latency_seconds_sum", "radixserve_request_latency_seconds_max",
+		"radixserve_queue_depth", "radixserve_queue_capacity",
+		"radixserve_http_responses_total", "radixserve_uptime_seconds",
+	} {
+		if p.helps[name] == "" {
+			t.Errorf("metric %s has no HELP", name)
+		}
+		typ, ok := p.types[name]
+		if !ok {
+			t.Errorf("metric %s has no TYPE", name)
+			continue
+		}
+		isCounter := strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_sum")
+		if isCounter && typ != "counter" {
+			t.Errorf("metric %s TYPE %s, want counter", name, typ)
+		}
+		if !isCounter && typ != "gauge" {
+			t.Errorf("metric %s TYPE %s, want gauge", name, typ)
+		}
+	}
+}
+
+// TestMetricsRejectionCounters saturates a starved model and asserts the
+// rejected/accepted split on /metrics matches the client-observed split.
+func TestMetricsRejectionCounters(t *testing.T) {
+	pol := Policy{MaxBatch: 2, MaxLatency: time.Millisecond, QueueDepth: 2, Workers: 1}
+	_, m, ts := newTestServer(t, pol, 1)
+	eng := m.Lease() // starve the worker so the queue can only fill
+	row := make([]float64, m.InputWidth())
+	row[0] = 1
+
+	var rejected, accepted int
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			out := make([]float64, m.OutputWidth())
+			done <- m.Infer(context.Background(), row, out)
+		}()
+	}
+	// The worker holds at most MaxBatch rows and the queue at most
+	// QueueDepth, so at least 8−2−2 submissions must be rejected.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Metrics().Rejected.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Release(eng)
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	if rejected == 0 || accepted == 0 {
+		t.Fatalf("split %d ok / %d rejected, want both nonzero", accepted, rejected)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parsePrometheus(t, string(text))
+	for series, want := range map[string]float64{
+		`radixserve_rows_accepted_total{model="m"}`:  float64(accepted),
+		`radixserve_rows_rejected_total{model="m"}`:  float64(rejected),
+		`radixserve_rows_completed_total{model="m"}`: float64(accepted),
+	} {
+		if got := p.value(t, series); got != want {
+			t.Errorf("%s = %g, want %g (client split: %d/%d)", series, got, want, accepted, rejected)
+		}
+	}
+	if got := p.value(t, fmt.Sprintf("radixserve_queue_depth{model=%q}", "m")); got != 0 {
+		t.Errorf("queue depth %g after drain, want 0", got)
+	}
+}

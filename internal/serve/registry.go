@@ -291,6 +291,12 @@ func (m *Model) InferBatch(ctx context.Context, rows [][]float64) ([][]float64, 
 	}
 	outs := make([][]float64, len(rows))
 	pendings := make([]*pending, 0, len(rows))
+	// Announce the whole request up front so collectors holding its first
+	// rows keep waiting for the rest instead of taking the single-client
+	// fast path and splitting the request into many tiny batches.
+	announced := int64(len(rows))
+	m.bat.incoming.Add(announced)
+	defer func() { m.bat.incoming.Add(-announced) }()
 	var firstErr error
 	for i, row := range rows {
 		if len(row) != m.inW {
@@ -305,6 +311,11 @@ func (m *Model) InferBatch(ctx context.Context, rows [][]float64) ([][]float64, 
 		}
 		pendings = append(pendings, p)
 	}
+	// Every row is now either in flight (counted by the batcher) or never
+	// going to arrive; withdraw the announcement before awaiting results so
+	// collectors don't wait on rows that will not come.
+	m.bat.incoming.Add(-announced)
+	announced = 0
 	for _, p := range pendings {
 		select {
 		case <-p.done:

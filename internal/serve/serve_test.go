@@ -444,11 +444,15 @@ func TestHTTPBackpressure429(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, _ := postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{in.RowSlice(i)}})
+			resp, body := postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{in.RowSlice(i)}})
 			switch resp.StatusCode {
 			case http.StatusTooManyRequests:
 				if resp.Header.Get("Retry-After") == "" {
 					t.Error("429 without Retry-After")
+				}
+				var e ErrorResponse
+				if err := json.Unmarshal(body, &e); err != nil || e.Model != "m" {
+					t.Errorf("429 body %s: model name missing (err %v)", body, err)
 				}
 				got429.Add(1)
 			case http.StatusOK:
@@ -604,6 +608,115 @@ func TestPolicyDefaults(t *testing.T) {
 	keep := Policy{MaxBatch: 7, MaxLatency: time.Second, QueueDepth: 9, Workers: 2}.withDefaults(5)
 	if keep.MaxBatch != 7 || keep.MaxLatency != time.Second || keep.QueueDepth != 9 || keep.Workers != 2 {
 		t.Fatalf("explicit policy overridden: %+v", keep)
+	}
+}
+
+// TestSingleClientFastPathLatency is the latency regression test for the
+// single-client fast path: a closed-loop client (one row in flight at a
+// time) must not pay the MaxLatency batching budget per row. With the
+// deliberately huge 300ms budget below, the pre-fast-path scheduler took
+// ≥ 1.5s for five rows; the fast path dispatches each row immediately, so
+// the whole loop must finish well inside one budget.
+func TestSingleClientFastPathLatency(t *testing.T) {
+	cfg := testConfig(t)
+	const budget = 300 * time.Millisecond
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: budget, Workers: 1})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.SparseBatch(5, m.InputWidth(), 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceOutputs(t, cfg, in)
+	out := make([]float64, m.OutputWidth())
+	start := time.Now()
+	for r := 0; r < in.Rows(); r++ {
+		if err := m.Infer(context.Background(), in.RowSlice(r), out); err != nil {
+			t.Fatal(err)
+		}
+		for c, v := range out {
+			if v != want[r][c] {
+				t.Fatalf("row %d diverged under fast path", r)
+			}
+		}
+	}
+	if elapsed := time.Since(start); elapsed >= budget {
+		t.Fatalf("5 closed-loop rows took %v with a %v latency budget: fast path not engaged", elapsed, budget)
+	}
+}
+
+// TestInferBatchCoalescesDespiteFastPath guards the other side of the fast
+// path: a multi-row request announces its rows up front, so a collector
+// that wins the race for the first row keeps waiting for its siblings
+// instead of executing a tiny batch per row.
+func TestInferBatchCoalescesDespiteFastPath(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: 100 * time.Millisecond, Workers: 1})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.SparseBatch(8, m.InputWidth(), 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, in.Rows())
+	for r := range rows {
+		rows[r] = in.RowSlice(r)
+	}
+	start := time.Now()
+	if _, err := m.InferBatch(context.Background(), rows); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	s := m.Metrics().Snapshot()
+	if s.Batches != 1 {
+		t.Fatalf("8-row request ran in %d batches, want 1", s.Batches)
+	}
+	// The batch fills to MaxBatch and must then execute without waiting out
+	// the rest of the 100ms collection window.
+	if elapsed >= 100*time.Millisecond {
+		t.Fatalf("full batch still waited out the latency budget (%v)", elapsed)
+	}
+}
+
+// TestCheckHealth exercises the probe client the cluster router uses.
+func TestCheckHealth(t *testing.T) {
+	_, _, ts := newTestServer(t, Policy{}, 1)
+	h, err := CheckHealth(context.Background(), nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Models != 1 || h.UptimeSeconds < 0 {
+		t.Fatalf("health = %+v", h)
+	}
+	// A backend that answers non-200 is unhealthy.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, err := CheckHealth(context.Background(), nil, bad.URL); err == nil {
+		t.Fatal("unhealthy backend probed healthy")
+	}
+	// A dead backend (connection refused) is unhealthy.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	if _, err := CheckHealth(context.Background(), nil, dead.URL); err == nil {
+		t.Fatal("dead backend probed healthy")
+	}
+	// The probe honors ctx cancellation (a hung backend must not block it).
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer hang.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := CheckHealth(ctx, nil, hang.URL); err == nil {
+		t.Fatal("hung backend probed healthy")
 	}
 }
 

@@ -38,9 +38,13 @@ type InferResponse struct {
 	Argmax  []int       `json:"argmax,omitempty"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx API response.
+// ErrorResponse is the JSON body of every non-2xx API response. Model is
+// set on errors scoped to a resolved model (backpressure, shutdown, engine
+// failure) so clients and the cluster router can attribute the failure
+// without reparsing their request.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Model string `json:"model,omitempty"`
 }
 
 // Server exposes a Registry over HTTP: POST /v1/infer, GET /v1/models,
@@ -142,6 +146,10 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+func writeModelError(w http.ResponseWriter, code int, model string, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...), Model: model})
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var req InferRequest
 	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
@@ -163,17 +171,19 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			// The canonical backpressure response: bounded queue, explicit
-			// shed, client retries with backoff.
+			// shed, client retries with backoff. The model name in the body
+			// lets a router back off the one saturated model rather than the
+			// whole backend.
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "%v", err)
+			writeModelError(w, http.StatusTooManyRequests, m.Name(), "model %q: %v", m.Name(), err)
 		case errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeModelError(w, http.StatusServiceUnavailable, m.Name(), "%v", err)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// Client went away; the status is moot but keep the counter
 			// classes honest.
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeModelError(w, http.StatusServiceUnavailable, m.Name(), "%v", err)
 		default:
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeModelError(w, http.StatusBadRequest, m.Name(), "%v", err)
 		}
 		return
 	}
@@ -202,10 +212,10 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"models":         len(s.reg.List()),
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Models:        len(s.reg.List()),
 	})
 }
 

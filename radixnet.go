@@ -30,6 +30,8 @@
 //   - a Graph Challenge–style sparse inference engine (internal/infer)
 //   - a production inference service: model registry, warm engine pools,
 //     dynamic micro-batching, HTTP API (internal/serve)
+//   - a multi-node sharding layer: consistent-hash model placement,
+//     health-probed backends, failover routing (internal/cluster)
 //   - serialization (internal/graphio)
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
@@ -40,6 +42,7 @@ import (
 	"io"
 	"math/big"
 
+	"github.com/radix-net/radixnet/internal/cluster"
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/dataset"
 	"github.com/radix-net/radixnet/internal/graphio"
@@ -230,6 +233,35 @@ func NewRegistry(pol ServePolicy) *Registry { return serve.NewRegistry(pol) }
 
 // NewServer wraps the registry in an HTTP inference server bound to addr.
 func NewServer(reg *Registry, addr string) *Server { return serve.NewServer(reg, addr) }
+
+// Ring is a consistent-hash ring with virtual nodes: the model-placement
+// function of a radixserve fleet. Adding or removing a backend moves only
+// ~1/N of the keyspace.
+type Ring = cluster.Ring
+
+// NewRing returns an empty ring placing each node at vnodes virtual
+// positions (≤ 0 selects the default of 128).
+func NewRing(vnodes int) *Ring { return cluster.NewRing(vnodes) }
+
+// Router is the sharding front end over a radixserve fleet: it exposes the
+// single-node HTTP API, forwards each inference request to the owning
+// healthy backend (placed by a Ring), fails over across replicas, probes
+// backend health, and merges /v1/models and /metrics across the fleet.
+// See cmd/radixrouter and README.md "Clustering".
+type Router = cluster.Router
+
+// RouterConfig assembles a Router: listen address, backend addresses,
+// replication factor, backoff cap, and health-probing knobs.
+type RouterConfig = cluster.RouterConfig
+
+// ClusterSetConfig tunes a Router's backend set: probe cadence and
+// timeout, the consecutive-failure ejection threshold, and ring virtual
+// nodes. Zero fields select defaults.
+type ClusterSetConfig = cluster.SetConfig
+
+// NewRouter validates the configuration, builds the fleet's ring and
+// health-probed backend set, and wires the routing front end.
+func NewRouter(cfg RouterConfig) (*Router, error) { return cluster.NewRouter(cfg) }
 
 // SearchSpec describes a desired topology: width, density, depth.
 type SearchSpec = core.SearchSpec
