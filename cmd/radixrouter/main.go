@@ -5,13 +5,17 @@
 // consecutive failures and re-admitting them on recovery), and exposes the
 // same HTTP API as a single radixserve node:
 //
-//	POST /v1/infer    forwarded to the model's owning healthy replica,
-//	                  with bounded retry-on-next-replica failover and
-//	                  Retry-After-honoring backoff on 429
-//	GET  /v1/models   the fleet's models merged, with ring placement
-//	GET  /healthz     router + per-backend health
-//	GET  /metrics     radixrouter_* series plus every backend's series,
-//	                  labeled backend="host:port", merged
+//	POST   /v1/infer          forwarded to the model's owning healthy
+//	                          replica, with bounded retry-on-next-replica
+//	                          failover and Retry-After-honoring backoff on 429
+//	GET    /v1/models         the fleet's models merged, with ring placement
+//	POST   /v1/models         register a model on its ring-intended replicas
+//	PUT    /v1/models/{name}  hot-reload the model on every backend
+//	                          reporting it
+//	DELETE /v1/models/{name}  unregister the model fleet-wide
+//	GET    /healthz           router + per-backend health
+//	GET    /metrics           radixrouter_* series plus every backend's
+//	                          series, labeled backend="host:port", merged
 //
 // Backends are given as repeated -backend flags ("host:port" or
 // "http://host:port"). Because every backend runs the same deterministic
@@ -20,9 +24,11 @@
 // With -selftest the binary instead builds an in-process fleet (-backends
 // radixserve instances plus the router on ephemeral ports), shards models
 // across it, verifies routed outputs bit-identical to direct Engine.Infer,
-// kills a backend mid-load to prove zero-failure retry failover, measures
-// routed throughput, appends a record to BENCH_cluster.json, and exits
-// nonzero on any failure.
+// exercises the fleet control plane (runtime registration on the ring
+// owners, hot-reload of every replica under concurrent routed load with
+// zero failures, fleet-wide unregister → 404), kills a backend mid-load to
+// prove zero-failure retry failover, measures routed throughput, appends a
+// record to BENCH_cluster.json, and exits nonzero on any failure.
 //
 // Usage:
 //

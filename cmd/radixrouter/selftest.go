@@ -17,6 +17,7 @@ import (
 	"github.com/radix-net/radixnet/internal/cluster"
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
@@ -27,19 +28,20 @@ import (
 // measurement of the routed fleet, appended per selftest run so the file
 // records the cluster-performance trajectory (see README.md).
 type clusterBenchRecord struct {
-	Benchmark    string               `json:"benchmark"`
-	Date         string               `json:"date"`
-	GoVersion    string               `json:"go_version"`
-	GOMAXPROCS   int                  `json:"gomaxprocs"`
-	GitSHA       string               `json:"git_sha"`
-	Backends     int                  `json:"backends"`
-	Replicas     int                  `json:"replicas"`
-	Vnodes       int                  `json:"vnodes"`
-	Models       int                  `json:"models"`
-	Network      clusterBenchNet      `json:"network"`
-	Levels       []clusterBenchLevel  `json:"levels"`
-	Failover     clusterBenchFailover `json:"failover"`
-	BitIdentical bool                 `json:"bit_identical"`
+	Benchmark    string                `json:"benchmark"`
+	Date         string                `json:"date"`
+	GoVersion    string                `json:"go_version"`
+	GOMAXPROCS   int                   `json:"gomaxprocs"`
+	GitSHA       string                `json:"git_sha"`
+	Backends     int                   `json:"backends"`
+	Replicas     int                   `json:"replicas"`
+	Vnodes       int                   `json:"vnodes"`
+	Models       int                   `json:"models"`
+	Network      clusterBenchNet       `json:"network"`
+	Levels       []clusterBenchLevel   `json:"levels"`
+	Failover     clusterBenchFailover  `json:"failover"`
+	HotReload    clusterBenchHotReload `json:"hot_reload"`
+	BitIdentical bool                  `json:"bit_identical"`
 }
 
 type clusterBenchNet struct {
@@ -59,6 +61,13 @@ type clusterBenchFailover struct {
 	Requests      int    `json:"requests"`
 	Failed        int    `json:"failed"`
 	Failovers     int64  `json:"failovers"`
+}
+
+type clusterBenchHotReload struct {
+	Replicas int `json:"replicas"`
+	Reloads  int `json:"reloads"`
+	Requests int `json:"requests"`
+	Failed   int `json:"failed"`
 }
 
 // selftestClient is tuned for many concurrent keep-alive connections to
@@ -276,7 +285,17 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 			conc, rows, elapsed.Round(time.Millisecond), lvl.RowsPerSec)
 	}
 
-	// Phase 3 — kill a backend mid-load. Every request must still succeed:
+	// Phase 3 — model control plane through the router: register a new
+	// model fleet-wide at runtime, prove bit-identity, hot-reload it on
+	// every replica under concurrent load with zero failures, unregister,
+	// observe 404. Runs while the whole fleet is alive, so placement-aware
+	// registration can reach every intended owner.
+	hr, err := runControlPlanePhase(client, url, rt, regs, cfg, expected, in)
+	if err != nil {
+		return err
+	}
+
+	// Phase 4 — kill a backend mid-load. Every request must still succeed:
 	// in-flight rows drain through the dying node's graceful shutdown, and
 	// everything after fails over to the surviving replica. Zero failures
 	// is the acceptance bar.
@@ -360,6 +379,7 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 			Failed:        int(failed.Load()),
 			Failovers:     failovers,
 		},
+		HotReload: hr,
 		// Any bitwise mismatch returned above, so reaching here proves it.
 		BitIdentical: true,
 	}
@@ -369,4 +389,136 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 	}
 	log.Printf("bench: appended record %d to %s", n, benchPath)
 	return nil
+}
+
+// runControlPlanePhase drives the fleet control plane end to end through
+// the router: POST /v1/models registers a model on its ring-intended
+// replicas, routed inference against it is bit-identical to direct
+// Engine.Infer, PUT /v1/models/{name} hot-reloads every replica under
+// concurrent routed load with zero failed requests, and DELETE removes it
+// fleet-wide (after which the router answers 404).
+func runControlPlanePhase(client *http.Client, url string, rt *cluster.Router, regs map[string]*serve.Registry, cfg core.Config, expected [][]float64, in *sparse.Dense) (clusterBenchHotReload, error) {
+	var hr clusterBenchHotReload
+	const model = "live"
+	cfgJSON, err := graphio.MarshalConfig(cfg)
+	if err != nil {
+		return hr, err
+	}
+	regBody, err := json.Marshal(serve.RegisterRequest{Name: model, Config: cfgJSON, Engines: 1})
+	if err != nil {
+		return hr, err
+	}
+	status, body, err := cliutil.DoJSON(client, http.MethodPost, url+"/v1/models", regBody)
+	if err != nil || status != http.StatusCreated {
+		return hr, fmt.Errorf("control plane: register: status %d err %v (%s)", status, err, body)
+	}
+	owners := rt.Placement(model)
+	for id, reg := range regs {
+		_, has := reg.Model(model)
+		if has != slices.Contains(owners, id) {
+			return hr, fmt.Errorf("control plane: backend %s hosts=%v, want placement %v", id, has, owners)
+		}
+	}
+	log.Printf("control plane: registered %q on its %d ring owners %v", model, len(owners), owners)
+
+	// Bit-identity through the router, answered only by intended owners.
+	rows := in.Rows()
+	for r := 0; r < rows; r++ {
+		status, by, resp, err := postRow(client, url, model, in.RowSlice(r))
+		if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+			return hr, fmt.Errorf("control plane: row %d: status %d err %v", r, status, err)
+		}
+		if !slices.Contains(owners, by) {
+			return hr, fmt.Errorf("control plane: row %d answered by %s, not an owner %v", r, by, owners)
+		}
+		for c, v := range resp.Outputs[0] {
+			if v != expected[r][c] {
+				return hr, fmt.Errorf("control plane: row %d col %d: runtime registration diverged (%v != %v)", r, c, v, expected[r][c])
+			}
+		}
+	}
+	log.Printf("control plane: %d routed rows bit-identical to direct Engine.Infer", rows)
+
+	// Hot-reload every replica under concurrent routed load.
+	const (
+		reloads     = 2
+		loadWorkers = 4
+	)
+	stop := make(chan struct{})
+	var completed, failed atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < loadWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := i % rows
+				status, _, resp, err := postRow(client, url, model, in.RowSlice(r))
+				if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("row %d: status %d err %v", r, status, err))
+					return
+				}
+				if resp.Outputs[0][0] != expected[r][0] {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("row %d diverged mid-reload", r))
+					return
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+	waitRows := func(target int64) {
+		deadline := time.Now().Add(15 * time.Second)
+		for completed.Load() < target && failed.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < reloads; i++ {
+		waitRows(int64((i + 1) * 16))
+		status, body, err := cliutil.DoJSON(client, http.MethodPut, url+"/v1/models/"+model, regBody)
+		if err != nil || status != http.StatusOK {
+			close(stop)
+			wg.Wait()
+			return hr, fmt.Errorf("control plane: fleet reload %d: status %d err %v (%s)", i, status, err, body)
+		}
+	}
+	waitRows(int64((reloads + 1) * 16))
+	close(stop)
+	wg.Wait()
+	hr = clusterBenchHotReload{
+		Replicas: len(owners),
+		Reloads:  reloads,
+		Requests: int(completed.Load() + failed.Load()),
+		Failed:   int(failed.Load()),
+	}
+	if failed.Load() > 0 {
+		return hr, fmt.Errorf("control plane: %d of %d routed requests failed across %d fleet reloads (first: %v)",
+			failed.Load(), hr.Requests, reloads, firstErr.Load())
+	}
+	for _, id := range owners {
+		m, ok := regs[id].Model(model)
+		if !ok || m.Generation() != 1+reloads {
+			return hr, fmt.Errorf("control plane: backend %s generation after fleet reload: want %d", id, 1+reloads)
+		}
+	}
+	log.Printf("control plane: %d fleet-wide reloads × %d replicas raced %d routed requests, zero failures", reloads, len(owners), hr.Requests)
+
+	// Unregister fleet-wide; the router must then 404.
+	status, body, err = cliutil.DoJSON(client, http.MethodDelete, url+"/v1/models/"+model, nil)
+	if err != nil || status != http.StatusOK {
+		return hr, fmt.Errorf("control plane: unregister: status %d err %v (%s)", status, err, body)
+	}
+	status, _, _, err = postRow(client, url, model, in.RowSlice(0))
+	if err != nil || status != http.StatusNotFound {
+		return hr, fmt.Errorf("control plane: infer after unregister: status %d err %v, want 404", status, err)
+	}
+	log.Printf("control plane: unregistered fleet-wide; routed inference now 404")
+	return hr, nil
 }

@@ -6,10 +6,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/infer    {"model":"e10","inputs":[[...]],"categories":true}
-//	GET  /v1/models   registered models and their batching policies
-//	GET  /healthz     liveness
-//	GET  /metrics     request/batch/latency counters (Prometheus text)
+//	POST   /v1/infer          {"model":"e10","inputs":[[...]],"categories":true}
+//	GET    /v1/models         registered models and their batching policies
+//	POST   /v1/models         register a model at runtime from graphio config
+//	                          JSON: {"name":"m","config":{"systems":[[8,8]]}}
+//	PUT    /v1/models/{name}  atomic hot-reload: swap the model's engine pool
+//	                          for one built from the request config; in-flight
+//	                          batches finish on the old engines
+//	DELETE /v1/models/{name}  drain and unregister the model
+//	GET    /healthz           liveness ("ok", or "draining" with 503 during
+//	                          graceful shutdown)
+//	GET    /metrics           request/batch/latency counters (Prometheus text)
 //
 // Models are given as repeated -model flags, "name=SPEC" where SPEC is
 // either a mixed-radix systems spec in the cliutil grammar (e.g. "8,8,8" or
@@ -21,9 +28,11 @@
 // With -selftest the binary instead starts an in-process server on an
 // ephemeral port, drives it end-to-end with concurrent HTTP load at several
 // concurrency levels, verifies that batched results are bit-identical to
-// per-row Engine.Infer and that saturation produces 429s rather than
-// unbounded queuing, appends a throughput record to BENCH_serve.json, and
-// exits nonzero on any failure.
+// per-row Engine.Infer, that saturation produces 429s rather than unbounded
+// queuing, and that the model control plane works live (runtime
+// registration bit-identical to boot-time, hot-reload under concurrent
+// load with zero failures, unregister → 404), appends a throughput record
+// to BENCH_serve.json, and exits nonzero on any failure.
 //
 // Usage:
 //

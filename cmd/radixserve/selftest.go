@@ -15,6 +15,7 @@ import (
 	"github.com/radix-net/radixnet/internal/cliutil"
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
@@ -25,16 +26,17 @@ import (
 // throughput measurement of the serving stack, appended per run so the file
 // records the repository's serving-performance trajectory (see README.md).
 type serveBenchRecord struct {
-	Benchmark    string            `json:"benchmark"`
-	Date         string            `json:"date"`
-	GoVersion    string            `json:"go_version"`
-	GOMAXPROCS   int               `json:"gomaxprocs"`
-	GitSHA       string            `json:"git_sha"`
-	Network      serveBenchNet     `json:"network"`
-	Policy       serveBenchPolicy  `json:"policy"`
-	Levels       []serveBenchLevel `json:"levels"`
-	Backpressure serveBenchBP      `json:"backpressure"`
-	BitIdentical bool              `json:"bit_identical"`
+	Benchmark    string              `json:"benchmark"`
+	Date         string              `json:"date"`
+	GoVersion    string              `json:"go_version"`
+	GOMAXPROCS   int                 `json:"gomaxprocs"`
+	GitSHA       string              `json:"git_sha"`
+	Network      serveBenchNet       `json:"network"`
+	Policy       serveBenchPolicy    `json:"policy"`
+	Levels       []serveBenchLevel   `json:"levels"`
+	Backpressure serveBenchBP        `json:"backpressure"`
+	HotReload    serveBenchHotReload `json:"hot_reload"`
+	BitIdentical bool                `json:"bit_identical"`
 }
 
 type serveBenchNet struct {
@@ -62,6 +64,12 @@ type serveBenchBP struct {
 	Sent     int `json:"sent"`
 	Accepted int `json:"accepted"`
 	Rejected int `json:"rejected"`
+}
+
+type serveBenchHotReload struct {
+	Reloads  int `json:"reloads"`
+	Requests int `json:"requests"`
+	Failed   int `json:"failed"`
 }
 
 // selftestClient is tuned for many concurrent keep-alive connections to one
@@ -276,6 +284,11 @@ func runSelftest(benchPath string, engines int, pol serve.Policy) error {
 		return fmt.Errorf("backpressure: %d unexpected responses", other.Load())
 	}
 
+	hr, err := runControlPlanePhase(client, url, cfg, engines, expected, in)
+	if err != nil {
+		return err
+	}
+
 	rec := serveBenchRecord{
 		Benchmark:  "serve-microbatch",
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -291,6 +304,7 @@ func runSelftest(benchPath string, engines int, pol serve.Policy) error {
 		},
 		Levels:       levels,
 		Backpressure: bp,
+		HotReload:    hr,
 		// Any bitwise mismatch returned above, so reaching here proves it.
 		BitIdentical: true,
 	}
@@ -300,4 +314,140 @@ func runSelftest(benchPath string, engines int, pol serve.Policy) error {
 	}
 	log.Printf("bench: appended record %d to %s", n, benchPath)
 	return nil
+}
+
+// modelGeneration reads GET /v1/models and returns the named model's
+// engine-pool generation.
+func modelGeneration(client *http.Client, url, name string) (int, error) {
+	infos, err := serve.ListModels(context.Background(), client, url)
+	if err != nil {
+		return 0, err
+	}
+	for _, info := range infos {
+		if info.Name == name {
+			return info.Generation, nil
+		}
+	}
+	return 0, fmt.Errorf("model %q not listed", name)
+}
+
+// runControlPlanePhase exercises the live model control plane end to end:
+// register a second model at runtime from graphio config JSON, prove its
+// outputs bit-identical to the boot-time registration of the same config,
+// hot-reload it repeatedly under concurrent load with zero failed or
+// bit-divergent requests, then unregister it and observe 404.
+func runControlPlanePhase(client *http.Client, url string, cfg core.Config, engines int, expected [][]float64, in *sparse.Dense) (serveBenchHotReload, error) {
+	var hr serveBenchHotReload
+	cfgJSON, err := graphio.MarshalConfig(cfg)
+	if err != nil {
+		return hr, err
+	}
+	regBody, err := json.Marshal(serve.RegisterRequest{Name: "hotswap", Config: cfgJSON, Engines: engines})
+	if err != nil {
+		return hr, err
+	}
+	status, body, err := cliutil.DoJSON(client, http.MethodPost, url+"/v1/models", regBody)
+	if err != nil || status != http.StatusCreated {
+		return hr, fmt.Errorf("control plane: register: status %d err %v (%s)", status, err, body)
+	}
+
+	// Bit-identity: a model registered over the wire must serve exactly
+	// what the boot-time registration of the same config serves.
+	rows := in.Rows()
+	for r := 0; r < rows; r++ {
+		status, resp, err := postRow(client, url, "hotswap", in.RowSlice(r))
+		if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+			return hr, fmt.Errorf("control plane: row %d: status %d err %v", r, status, err)
+		}
+		for c, v := range resp.Outputs[0] {
+			if v != expected[r][c] {
+				return hr, fmt.Errorf("control plane: row %d col %d: runtime registration diverged from boot-time (%v != %v)", r, c, v, expected[r][c])
+			}
+		}
+	}
+	log.Printf("control plane: runtime-registered model bit-identical to boot-time registration (%d rows)", rows)
+
+	// Hot-reload under concurrent load: every request across every swap
+	// must succeed and stay bit-identical (same config, deterministic
+	// generation → same weights in every pool generation).
+	const (
+		reloads     = 3
+		loadWorkers = 4
+	)
+	stop := make(chan struct{})
+	var completed, failed atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < loadWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := i % rows
+				status, resp, err := postRow(client, url, "hotswap", in.RowSlice(r))
+				if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("row %d: status %d err %v", r, status, err))
+					return
+				}
+				for c, v := range resp.Outputs[0] {
+					if v != expected[r][c] {
+						failed.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("row %d col %d diverged mid-reload", r, c))
+						return
+					}
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+	// Pace each swap against observed traffic so every reload genuinely
+	// races in-flight requests.
+	waitRows := func(target int64) {
+		deadline := time.Now().Add(15 * time.Second)
+		for completed.Load() < target && failed.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < reloads; i++ {
+		waitRows(int64((i + 1) * 16))
+		status, body, err := cliutil.DoJSON(client, http.MethodPut, url+"/v1/models/hotswap", regBody)
+		if err != nil || status != http.StatusOK {
+			close(stop)
+			wg.Wait()
+			return hr, fmt.Errorf("control plane: reload %d: status %d err %v (%s)", i, status, err, body)
+		}
+	}
+	waitRows(int64((reloads + 1) * 16))
+	close(stop)
+	wg.Wait()
+	hr = serveBenchHotReload{Reloads: reloads, Requests: int(completed.Load() + failed.Load()), Failed: int(failed.Load())}
+	if failed.Load() > 0 {
+		return hr, fmt.Errorf("control plane: %d of %d requests failed across %d hot reloads (first: %v)",
+			failed.Load(), hr.Requests, reloads, firstErr.Load())
+	}
+	gen, err := modelGeneration(client, url, "hotswap")
+	if err != nil {
+		return hr, err
+	}
+	if gen != 1+reloads {
+		return hr, fmt.Errorf("control plane: generation %d after %d reloads, want %d", gen, reloads, 1+reloads)
+	}
+	log.Printf("control plane: %d hot reloads raced %d requests, zero failures, generation %d", reloads, hr.Requests, gen)
+
+	status, body, err = cliutil.DoJSON(client, http.MethodDelete, url+"/v1/models/hotswap", nil)
+	if err != nil || status != http.StatusOK {
+		return hr, fmt.Errorf("control plane: unregister: status %d err %v (%s)", status, err, body)
+	}
+	status, _, err = postRow(client, url, "hotswap", in.RowSlice(0))
+	if err != nil || status != http.StatusNotFound {
+		return hr, fmt.Errorf("control plane: infer after unregister: status %d err %v, want 404", status, err)
+	}
+	log.Printf("control plane: unregistered; inference now 404")
+	return hr, nil
 }

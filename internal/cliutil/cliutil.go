@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
@@ -18,6 +20,31 @@ import (
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/radix"
 )
+
+// DoJSON issues one HTTP request with an optional JSON body and returns
+// the status code plus the raw response body. Shared by the cmd selftests'
+// model-control-plane drivers (register/reload/unregister verbs against
+// radixserve and radixrouter).
+func DoJSON(client *http.Client, method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
 
 // ParseSystems parses "(3,3,4);(3,3,4);(2,3)" into numeral systems.
 func ParseSystems(text string) ([]radix.System, error) {

@@ -40,4 +40,14 @@
 // routed results are bit-identical to single-node inference — cmd/
 // radixrouter's selftest proves exactly that, plus zero failed requests
 // across a mid-load backend kill.
+//
+// Control plane — the router fans the serve-tier admin verbs out
+// fleet-wide, so models move without restarting backends: POST /v1/models
+// registers a model on its ring-intended replicas (placement-aware),
+// while PUT and DELETE /v1/models/{name} reach every backend currently
+// reporting the model (discovered by scraping /v1/models), because a
+// reload or removal must hit every live copy — including copies parked on
+// ring successors by earlier fleet changes. Per-backend outcomes are
+// returned verbatim; partial failures answer 502 with the detail, and
+// placement drift in the interim is absorbed by the 404-failover path.
 package cluster

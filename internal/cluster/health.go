@@ -306,3 +306,49 @@ func (s *BackendSet) noteFailure(b *Backend, err error) {
 func (s *BackendSet) noteForwardSuccess(b *Backend) {
 	b.consecFails.Store(0)
 }
+
+// backendsHosting scrapes every backend's model listing concurrently —
+// health flag ignored, because an ejected-but-reachable backend may still
+// hold a copy — and returns those that report hosting model, in
+// construction order, plus the ids of backends whose listing could not be
+// fetched. This is the discovery step of the control plane's
+// reload/unregister fan-out: those verbs must reach every live copy of a
+// model (including copies on ring successors left over from fleet
+// changes), and a backend discovery cannot see must be surfaced to the
+// operator rather than silently skipped — it might rejoin still holding
+// the old generation.
+func (s *BackendSet) backendsHosting(ctx context.Context, model string, client *http.Client) (hosting []*Backend, unreachable []string) {
+	backends := s.Backends()
+	hosts := make([]bool, len(backends))
+	failed := make([]bool, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(ctx, s.cfg.ProbeTimeout)
+			defer cancel()
+			infos, err := serve.ListModels(ctx, client, b.url)
+			if err != nil {
+				failed[i] = true
+				return
+			}
+			for _, info := range infos {
+				if info.Name == model {
+					hosts[i] = true
+					return
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for i, b := range backends {
+		switch {
+		case hosts[i]:
+			hosting = append(hosting, b)
+		case failed[i]:
+			unreachable = append(unreachable, b.id)
+		}
+	}
+	return hosting, unreachable
+}

@@ -14,6 +14,7 @@ type routerMetrics struct {
 	failovers  atomic.Int64 // attempts moved to the next replica
 	backoffs   atomic.Int64 // 429 Retry-After backoffs honored
 	unroutable atomic.Int64 // requests with no healthy owner (502/503)
+	admin      atomic.Int64 // control-plane operations fanned out
 }
 
 // RouterMetricsSnapshot is a point-in-time copy of the router's counters.
@@ -22,6 +23,7 @@ type RouterMetricsSnapshot struct {
 	Failovers  int64 `json:"failovers"`
 	Backoffs   int64 `json:"backoffs"`
 	Unroutable int64 `json:"unroutable"`
+	Admin      int64 `json:"admin"`
 }
 
 func (m *routerMetrics) snapshot() RouterMetricsSnapshot {
@@ -30,6 +32,7 @@ func (m *routerMetrics) snapshot() RouterMetricsSnapshot {
 		Failovers:  m.failovers.Load(),
 		Backoffs:   m.backoffs.Load(),
 		Unroutable: m.unroutable.Load(),
+		Admin:      m.admin.Load(),
 	}
 }
 
@@ -43,6 +46,7 @@ func writeRouterMetrics(w io.Writer, met *routerMetrics, backends []*Backend, up
 	counter("radixrouter_failovers_total", "Forward attempts retried on the next replica.", met.failovers.Load())
 	counter("radixrouter_backoffs_total", "Retry-After backoffs honored on 429 responses.", met.backoffs.Load())
 	counter("radixrouter_unroutable_total", "Requests dropped with no healthy owner.", met.unroutable.Load())
+	counter("radixrouter_admin_total", "Model control-plane operations (register/reload/unregister) fanned out.", met.admin.Load())
 
 	perBackend := []struct {
 		name, help, typ string

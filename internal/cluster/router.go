@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,6 +36,12 @@ type RouterConfig struct {
 	// MaxBackoff caps the Retry-After backoff honored on a backend 429.
 	// Default 1s.
 	MaxBackoff time.Duration
+	// AdminTimeout bounds each per-backend request of a control-plane
+	// fan-out (register/reload/unregister). These run longer than probes —
+	// registration builds engines and unregister blocks on the model's
+	// drain — but must stay finite so one wedged backend cannot stall an
+	// admin verb forever. Default 60s.
+	AdminTimeout time.Duration
 	// Set tunes health probing (interval, timeout, ejection threshold,
 	// ring vnodes).
 	Set SetConfig
@@ -43,16 +50,21 @@ type RouterConfig struct {
 // Router is the fleet's HTTP front end: it exposes the single-node
 // radixserve API (POST /v1/infer, GET /v1/models, /healthz, /metrics) and
 // forwards each inference request to the owning healthy backend with
-// bounded retry-on-next-replica failover. Construct with NewRouter, start
-// with Start or ListenAndServe, stop with Shutdown.
+// bounded retry-on-next-replica failover. The model control plane fans out
+// fleet-wide: POST /v1/models registers a model on its ring-intended
+// replicas, PUT /v1/models/{name} hot-reloads it on every backend that
+// reports hosting it, DELETE /v1/models/{name} unregisters it likewise —
+// so a fleet is (re)shardable without restarting backends. Construct with
+// NewRouter, start with Start or ListenAndServe, stop with Shutdown.
 type Router struct {
-	set        *BackendSet
-	replicas   int
-	maxBackoff time.Duration
-	client     *http.Client
-	http       *http.Server
-	start      time.Time
-	met        routerMetrics
+	set          *BackendSet
+	replicas     int
+	maxBackoff   time.Duration
+	adminTimeout time.Duration
+	client       *http.Client
+	http         *http.Server
+	start        time.Time
+	met          routerMetrics
 }
 
 // NewRouter validates the config, builds the backend set and ring, and
@@ -74,16 +86,24 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if maxBackoff <= 0 {
 		maxBackoff = time.Second
 	}
+	adminTimeout := cfg.AdminTimeout
+	if adminTimeout <= 0 {
+		adminTimeout = 60 * time.Second
+	}
 	rt := &Router{
-		set:        set,
-		replicas:   replicas,
-		maxBackoff: maxBackoff,
-		client:     set.cfg.Client,
-		start:      time.Now(),
+		set:          set,
+		replicas:     replicas,
+		maxBackoff:   maxBackoff,
+		adminTimeout: adminTimeout,
+		client:       set.cfg.Client,
+		start:        time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", rt.handleInfer)
 	mux.HandleFunc("GET /v1/models", rt.handleModels)
+	mux.HandleFunc("POST /v1/models", rt.handleAdminRegister)
+	mux.HandleFunc("PUT /v1/models/{name}", rt.handleAdminReload)
+	mux.HandleFunc("DELETE /v1/models/{name}", rt.handleAdminUnregister)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.http = &http.Server{
@@ -258,6 +278,13 @@ func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend,
 	for attempt := 0; ; attempt++ {
 		resp, err := rt.forwardInfer(r.Context(), b, body)
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The *client* hung up mid-forward: the transport error is
+				// context cancellation propagating, not a backend fault.
+				// Charging it would let a burst of impatient clients eject
+				// every healthy backend.
+				return forwardDone // nothing left to write to a gone client
+			}
 			b.failed.Add(1)
 			rt.set.noteFailure(b, err)
 			return forwardFailed
@@ -309,12 +336,28 @@ func (rt *Router) forwardInfer(ctx context.Context, b *Backend, body []byte) (*h
 	return rt.client.Do(req)
 }
 
-// retryAfter parses a Retry-After header (delta-seconds form), bounded by
-// limit; unparsable or absent values back off 100ms.
+// retryAfter parses a Retry-After header (delta-seconds or HTTP-date form,
+// per RFC 9110), bounded by limit; unparsable or absent values back off
+// 100ms. Delta-seconds are clamped BEFORE the seconds→Duration multiply:
+// a huge value like 9999999999999 would overflow time.Duration to negative,
+// dodge the `d > limit` cap, and turn the backoff into an immediate hot
+// retry.
 func retryAfter(header string, limit time.Duration) time.Duration {
 	d := 100 * time.Millisecond
-	if secs, err := strconv.Atoi(header); err == nil && secs >= 0 {
-		d = time.Duration(secs) * time.Second
+	if secs, err := strconv.ParseInt(strings.TrimSpace(header), 10, 64); err == nil {
+		switch {
+		case secs < 0:
+			// Malformed; keep the default.
+		case secs > int64(limit/time.Second):
+			return limit
+		default:
+			d = time.Duration(secs) * time.Second
+		}
+	} else if t, err := http.ParseTime(header); err == nil {
+		d = time.Until(t)
+		if d < 0 {
+			d = 0 // a date already past means "retry now"
+		}
 	}
 	if d > limit {
 		d = limit
@@ -342,6 +385,180 @@ func relay(w http.ResponseWriter, resp *http.Response, backendID string) {
 	w.Header().Set("X-Radix-Backend", backendID)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body) //nolint:errcheck // client disconnects are benign
+}
+
+// AdminResult is one backend's verdict on a fanned-out control-plane
+// operation. Status 0 with Error set means the backend was unreachable.
+type AdminResult struct {
+	Backend string `json:"backend"`
+	Status  int    `json:"status"`
+	Error   string `json:"error,omitempty"`
+}
+
+// AdminFanoutResponse is the router's body for the control-plane verbs:
+// which backends were targeted and what each answered. Unreachable lists
+// backends whose model inventory could not be scraped during reload/
+// unregister discovery — they may still hold a stale copy, so their
+// presence demotes the response to 502 even when every reachable target
+// succeeded. The HTTP status summarizes: the action's success code when
+// every backend succeeded (and discovery saw the whole fleet), the
+// backends' unanimous error status when they all failed alike, 502 when
+// the fleet answered inconsistently (inspect Results, fix or wait out the
+// sick backend, and retry — admin verbs are idempotent on the serve side
+// up to 409/404).
+type AdminFanoutResponse struct {
+	Model       string        `json:"model"`
+	Action      string        `json:"action"`
+	Targets     []string      `json:"targets"`
+	Results     []AdminResult `json:"results"`
+	Unreachable []string      `json:"unreachable,omitempty"`
+}
+
+// fanOut performs one admin operation against every target backend
+// concurrently, each bounded by AdminTimeout (a wedged backend must not
+// stall the verb forever), and collects per-backend outcomes in target
+// order.
+func (rt *Router) fanOut(ctx context.Context, method, path string, body []byte, targets []*Backend) []AdminResult {
+	results := make([]AdminResult, len(targets))
+	var wg sync.WaitGroup
+	for i, b := range targets {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			res := AdminResult{Backend: b.id}
+			ctx, cancel := context.WithTimeout(ctx, rt.adminTimeout)
+			defer cancel()
+			var rd io.Reader
+			if body != nil {
+				rd = bytes.NewReader(body)
+			}
+			req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
+			if err != nil {
+				res.Error = err.Error()
+				results[i] = res
+				return
+			}
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				res.Error = err.Error()
+				results[i] = res
+				return
+			}
+			res.Status = resp.StatusCode
+			if resp.StatusCode >= 400 {
+				var e serve.ErrorResponse
+				if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil {
+					res.Error = e.Error
+				}
+			}
+			drain(resp)
+			results[i] = res
+		}(i, b)
+	}
+	wg.Wait()
+	return results
+}
+
+// writeAdminFanout summarizes fan-out results into one response status per
+// AdminFanoutResponse's contract. unreachable backends (discovery could
+// not inventory them) veto the success code: they may hold a copy the
+// operation did not reach.
+func writeAdminFanout(w http.ResponseWriter, model, action string, successCode int, targets []*Backend, results []AdminResult, unreachable []string) {
+	resp := AdminFanoutResponse{Model: model, Action: action, Results: results, Unreachable: unreachable}
+	for _, b := range targets {
+		resp.Targets = append(resp.Targets, b.id)
+	}
+	ok := 0
+	unanimous := -1
+	for _, res := range results {
+		switch {
+		case res.Status >= 200 && res.Status < 300:
+			ok++
+		case unanimous == -1:
+			unanimous = res.Status
+		case unanimous != res.Status:
+			unanimous = 0 // mixed failure statuses (0 also covers transport errors)
+		}
+	}
+	code := http.StatusBadGateway
+	switch {
+	case ok == len(results) && len(unreachable) == 0:
+		code = successCode
+	case ok == 0 && unanimous > 0 && len(unreachable) == 0:
+		code = unanimous
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleAdminRegister is POST /v1/models fleet-wide: the model is
+// registered on its ring-intended replicas (placement-aware, health
+// ignored — an ejected intended owner is reported as a failed target so
+// the operator can re-run registration once it recovers; meanwhile the
+// 404-failover path tolerates the placement drift).
+func (rt *Router) handleAdminRegister(w http.ResponseWriter, r *http.Request) {
+	rt.met.admin.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", "reading request body: %v", err)
+		return
+	}
+	var peek struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeError(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	if peek.Name == "" {
+		writeError(w, http.StatusUnprocessableEntity, "", "missing model name")
+		return
+	}
+	var targets []*Backend
+	for _, id := range rt.set.Placement(peek.Name, rt.replicas) {
+		if b, ok := rt.set.Backend(id); ok {
+			targets = append(targets, b)
+		}
+	}
+	results := rt.fanOut(r.Context(), http.MethodPost, "/v1/models", body, targets)
+	writeAdminFanout(w, peek.Name, "register", http.StatusCreated, targets, results, nil)
+}
+
+// handleAdminReload is PUT /v1/models/{name} fleet-wide: every backend
+// currently reporting the model hot-reloads it (not just the intended
+// owners — after a fleet change a model may live on ring successors, and a
+// reload must reach every copy or the fleet would serve mixed weights).
+func (rt *Router) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	rt.met.admin.Add(1)
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, name, "reading request body: %v", err)
+		return
+	}
+	targets, unreachable := rt.set.backendsHosting(r.Context(), name, rt.client)
+	if len(targets) == 0 && len(unreachable) == 0 {
+		writeError(w, http.StatusNotFound, name, "model %q not hosted by any reachable backend", name)
+		return
+	}
+	results := rt.fanOut(r.Context(), http.MethodPut, "/v1/models/"+name, body, targets)
+	writeAdminFanout(w, name, "reload", http.StatusOK, targets, results, unreachable)
+}
+
+// handleAdminUnregister is DELETE /v1/models/{name} fleet-wide, to every
+// backend reporting the model.
+func (rt *Router) handleAdminUnregister(w http.ResponseWriter, r *http.Request) {
+	rt.met.admin.Add(1)
+	name := r.PathValue("name")
+	targets, unreachable := rt.set.backendsHosting(r.Context(), name, rt.client)
+	if len(targets) == 0 && len(unreachable) == 0 {
+		writeError(w, http.StatusNotFound, name, "model %q not hosted by any reachable backend", name)
+		return
+	}
+	results := rt.fanOut(r.Context(), http.MethodDelete, "/v1/models/"+name, nil, targets)
+	writeAdminFanout(w, name, "unregister", http.StatusOK, targets, results, unreachable)
 }
 
 // ModelsResponse is the router's GET /v1/models body: the fleet's models
@@ -374,20 +591,8 @@ func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), rt.set.cfg.ProbeTimeout)
 			defer cancel()
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/models", nil)
-			if err != nil {
-				return
-			}
-			resp, err := rt.client.Do(req)
-			if err != nil {
-				return
-			}
-			defer resp.Body.Close()
-			var body struct {
-				Models []serve.ModelInfo `json:"models"`
-			}
-			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&body) == nil {
-				results[i] = scraped{id: b.id, infos: body.Models}
+			if infos, err := serve.ListModels(ctx, rt.client, b.url); err == nil {
+				results[i] = scraped{id: b.id, infos: infos}
 			}
 		}(i, b)
 	}

@@ -53,8 +53,9 @@ var (
 	// at QueueDepth. Callers should shed or retry with backoff; the HTTP
 	// layer maps it to 429.
 	ErrQueueFull = errors.New("serve: request queue full")
-	// ErrClosed reports a submission to a model whose registry has been
-	// closed (or is draining for shutdown). The HTTP layer maps it to 503.
+	// ErrClosed reports a submission to a model that has been unregistered
+	// or whose registry has been closed (or is draining for shutdown). The
+	// HTTP layer maps it to 503.
 	ErrClosed = errors.New("serve: model closed")
 )
 
@@ -125,7 +126,9 @@ func (b *batcher) submit(p *pending) error {
 }
 
 // close rejects future submissions, then drains: rows already accepted are
-// still executed before the workers exit. Blocks until the drain completes.
+// still executed (on whatever engine generation is current when their batch
+// leases) before the workers exit. Blocks until the drain completes. Called
+// by Registry.Unregister and Registry.Close; idempotent.
 func (b *batcher) close() {
 	b.mu.Lock()
 	already := b.closed

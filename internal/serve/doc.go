@@ -21,6 +21,18 @@
 // serially and parallelism comes from concurrent batches, avoiding core
 // oversubscription.
 //
+// Control plane — the registry is live: Unregister drains a model and
+// removes it, and Reload hot-swaps a model's entire engine pool for one
+// built from a new config of the same input/output shape. Because a pool's
+// engines share one weight stack, generations swap as a unit: the new pool
+// is built off-lock, installed with one atomic pointer swap, and the old
+// generation is retired only after lease counting shows its last
+// checked-out engine home — so in-flight batches finish on the weights
+// they started with and concurrent Infer callers never see a failure.
+// HTTP surfaces these as POST /v1/models (409 on duplicates), PUT
+// /v1/models/{name} (404 unknown, 422 shape change), and DELETE
+// /v1/models/{name} (404 unknown).
+//
 // Micro-batcher — each model runs Policy.Workers collector goroutines over
 // one bounded request queue (capacity Policy.QueueDepth). A collector takes
 // the first pending row, greedily drains whatever else is queued, and — if

@@ -9,7 +9,9 @@ import (
 
 // Health is the GET /healthz body: the wire shape a liveness probe decodes.
 // The cluster router probes backend radixserve instances with CheckHealth
-// and ejects nodes whose probes fail.
+// and ejects nodes whose probes fail. Status is "ok" while serving and
+// "draining" (with HTTP 503) once the registry has closed for shutdown, so
+// routers stop sending a stopping backend traffic before its listener dies.
 type Health struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -45,4 +47,33 @@ func CheckHealth(ctx context.Context, client *http.Client, baseURL string) (Heal
 		return h, fmt.Errorf("serve: healthz probe: backend status %q", h.Status)
 	}
 	return h, nil
+}
+
+// ListModels fetches one radixserve instance's GET /v1/models. The cluster
+// router uses it both to merge fleet-wide listings and to discover which
+// backends report a model when fanning out admin operations (reload,
+// unregister).
+func ListModels(ctx context.Context, client *http.Client, baseURL string) ([]ModelInfo, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/models", nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: models probe: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: models probe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: models probe: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("serve: models probe: %w", err)
+	}
+	return body.Models, nil
 }

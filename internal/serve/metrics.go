@@ -19,6 +19,7 @@ type Metrics struct {
 	BatchedRows atomic.Int64 // rows across engine invocations
 	LatencyNs   atomic.Int64 // total enqueue→delivery ns over completed rows
 	MaxLatency  atomic.Int64 // worst single-row enqueue→delivery ns
+	Reloads     atomic.Int64 // engine-pool hot swaps (Registry.Reload)
 }
 
 // MetricsSnapshot is a consistent-enough point-in-time copy of Metrics for
@@ -26,7 +27,7 @@ type Metrics struct {
 // guaranteed under concurrent load).
 type MetricsSnapshot struct {
 	Accepted, Rejected, Completed, Failed int64
-	Batches, BatchedRows                  int64
+	Batches, BatchedRows, Reloads         int64
 	MeanBatch                             float64
 	MeanLatency, MaxLatency               time.Duration
 }
@@ -41,6 +42,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Failed:      m.Failed.Load(),
 		Batches:     m.Batches.Load(),
 		BatchedRows: m.BatchedRows.Load(),
+		Reloads:     m.Reloads.Load(),
 		MaxLatency:  time.Duration(m.MaxLatency.Load()),
 	}
 	if s.Batches > 0 {
@@ -86,6 +88,8 @@ var promMetrics = []promMetric{
 		func(m *Metrics) float64 { return float64(m.LatencyNs.Load()) / 1e9 }},
 	{"radixserve_request_latency_seconds_max", "Worst single-row enqueue-to-delivery latency.", "gauge",
 		func(m *Metrics) float64 { return float64(m.MaxLatency.Load()) / 1e9 }},
+	{"radixserve_reloads_total", "Engine-pool hot swaps applied to the model.", "counter",
+		func(m *Metrics) float64 { return float64(m.Reloads.Load()) }},
 }
 
 // writePrometheus renders every model's counters in Prometheus text
@@ -105,5 +109,9 @@ func writePrometheus(w io.Writer, models []*Model) {
 	fmt.Fprintf(w, "# HELP radixserve_queue_capacity Request queue bound (backpressure threshold).\n# TYPE radixserve_queue_capacity gauge\n")
 	for _, m := range models {
 		fmt.Fprintf(w, "radixserve_queue_capacity{model=%q} %d\n", m.name, cap(m.bat.queue))
+	}
+	fmt.Fprintf(w, "# HELP radixserve_model_generation Engine-pool generation (1 at registration, +1 per reload).\n# TYPE radixserve_model_generation gauge\n")
+	for _, m := range models {
+		fmt.Fprintf(w, "radixserve_model_generation{model=%q} %d\n", m.name, m.Generation())
 	}
 }

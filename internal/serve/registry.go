@@ -2,8 +2,10 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/radix-net/radixnet/internal/core"
@@ -12,29 +14,127 @@ import (
 	"github.com/radix-net/radixnet/internal/parallel"
 )
 
-// Model is one registered RadiX-Net prepared for serving: a pool of warm
-// engines plus the micro-batching scheduler in front of them.
-type Model struct {
-	name    string
+var (
+	// ErrNotRegistered reports an Unregister or Reload of a model name the
+	// registry does not hold. The HTTP layer maps it to 404.
+	ErrNotRegistered = errors.New("serve: model not registered")
+	// ErrAlreadyRegistered reports a Register under a name already taken.
+	// The HTTP layer maps it to 409.
+	ErrAlreadyRegistered = errors.New("serve: model already registered")
+	// ErrIncompatible reports a Reload whose new configuration changes the
+	// model's input or output width: rows already queued for the old shape
+	// could not execute on the new engines, so the swap is refused. The
+	// HTTP layer maps it to 422.
+	ErrIncompatible = errors.New("serve: incompatible reload config")
+)
+
+// enginePool is one generation of a model's warm engines: the engines, their
+// private worker pools, and the configuration they were built from. Hot
+// reload swaps a model's entire generation atomically — engines of one
+// generation share a weight stack and kernels, so they can never mix with
+// the next generation's — and retires the old one once every outstanding
+// lease has come home.
+type enginePool struct {
+	gen     int // 1 at registration, +1 per reload
 	cfg     core.Config
-	inW     int
-	outW    int
 	layers  int
 	weights int
 	density float64
-	pol     Policy
 
 	engines chan *infer.Engine // the warm pool; lease = receive, release = send
-	pools   []*parallel.Pool   // private per-engine worker pools, closed by Registry.Close
-	bufs    sync.Pool          // staging buffers, MaxBatch×inW float64s each
-	met     Metrics
-	bat     *batcher
+	all     []*infer.Engine    // every member, for lease routing bookkeeping
+	workers []*parallel.Pool   // private per-engine worker pools, closed at retire
+
+	// leases counts engines checked out plus leases in progress. retire
+	// waits for it to reach zero (signaled by drained) before closing the
+	// worker pools, so in-flight batches always finish on the generation
+	// that started them.
+	leases  atomic.Int64
+	retired atomic.Bool
+	drained chan struct{}
+	once    sync.Once
+}
+
+// newEnginePool builds one generation: the base engine from cfg, clones
+// sharing its weight stack, and a private worker pool per engine sized to a
+// fair share of the machine.
+func newEnginePool(cfg core.Config, engines int) (*enginePool, error) {
+	if engines < 1 {
+		engines = 1
+	}
+	base, err := infer.FromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ep := &enginePool{
+		gen:     1,
+		cfg:     cfg,
+		layers:  base.NumLayers(),
+		weights: base.TotalNNZ(),
+		density: core.Density(cfg),
+		engines: make(chan *infer.Engine, engines),
+		drained: make(chan struct{}),
+	}
+	quota := parallel.Quota(engines)
+	for i := 0; i < engines; i++ {
+		e := base
+		if i > 0 {
+			e = base.Clone()
+		}
+		p := parallel.NewPool(quota)
+		e.SetPool(p)
+		ep.workers = append(ep.workers, p)
+		ep.all = append(ep.all, e)
+		ep.engines <- e
+	}
+	return ep, nil
+}
+
+// unlease drops one lease and, when the generation is retired and this was
+// the last one out, signals the retirer that every engine is home.
+func (ep *enginePool) unlease() {
+	if ep.leases.Add(-1) == 0 && ep.retired.Load() {
+		ep.once.Do(func() { close(ep.drained) })
+	}
+}
+
+// retire takes the generation out of service: new leases bounce to the
+// model's current pool, outstanding leases drain (retire blocks until the
+// last engine is released), then the worker pools close. Must be called at
+// most once, by whoever swapped or removed the generation.
+func (ep *enginePool) retire() {
+	ep.retired.Store(true)
+	if ep.leases.Load() == 0 {
+		ep.once.Do(func() { close(ep.drained) })
+	}
+	<-ep.drained
+	for _, p := range ep.workers {
+		p.Close()
+	}
+}
+
+// Model is one registered RadiX-Net prepared for serving: a pool of warm
+// engines (swappable as a unit by Registry.Reload) plus the micro-batching
+// scheduler in front of it.
+type Model struct {
+	name string
+	inW  int // invariant across reloads (queued rows must stay executable)
+	outW int // invariant across reloads
+	pol  Policy
+
+	pool atomic.Pointer[enginePool]
+	home sync.Map // *infer.Engine → *enginePool, routes Release across generations
+
+	bufs sync.Pool // staging buffers, MaxBatch×inW float64s each
+	met  Metrics
+	bat  *batcher
 }
 
 // ModelInfo is the externally visible description of a registered model,
 // also the JSON element of GET /v1/models.
 type ModelInfo struct {
 	Name         string  `json:"name"`
+	Generation   int     `json:"generation"`
 	InputWidth   int     `json:"input_width"`
 	OutputWidth  int     `json:"output_width"`
 	Layers       int     `json:"layers"`
@@ -49,7 +149,8 @@ type ModelInfo struct {
 
 // Registry loads and owns served models: it builds RadiX-Net engines by
 // config, keeps a warm engine pool per model, and runs each model's
-// micro-batcher. Safe for concurrent use.
+// micro-batcher. Models can be registered, hot-reloaded, and unregistered
+// at runtime. Safe for concurrent use.
 type Registry struct {
 	pol Policy // default policy for Register
 
@@ -94,39 +195,23 @@ func (r *Registry) RegisterWithPolicy(name string, cfg core.Config, engines int,
 
 	// Build outside the lock: generation is the expensive part and must not
 	// serialize against lookups.
-	base, err := infer.FromConfig(cfg)
+	ep, err := newEnginePool(cfg, engines)
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", name, err)
 	}
 	widths := cfg.LayerWidths()
 	m := &Model{
-		name:    name,
-		cfg:     cfg,
-		inW:     widths[0],
-		outW:    widths[len(widths)-1],
-		layers:  base.NumLayers(),
-		weights: base.TotalNNZ(),
-		density: core.Density(cfg),
-		pol:     pol,
-		engines: make(chan *infer.Engine, engines),
+		name: name,
+		inW:  widths[0],
+		outW: widths[len(widths)-1],
+		pol:  pol,
 	}
 	m.bufs.New = func() any {
 		s := make([]float64, pol.MaxBatch*m.inW)
 		return &s
 	}
-	// Clones share the weight stack; each engine gets a private worker pool
-	// sized to its fair share of the machine.
-	quota := parallel.Quota(engines)
-	for i := 0; i < engines; i++ {
-		e := base
-		if i > 0 {
-			e = base.Clone()
-		}
-		p := parallel.NewPool(quota)
-		e.SetPool(p)
-		m.pools = append(m.pools, p)
-		m.engines <- e
-	}
+	m.indexPool(ep)
+	m.pool.Store(ep)
 	m.bat = newBatcher(m, pol)
 
 	r.mu.Lock()
@@ -137,11 +222,116 @@ func (r *Registry) RegisterWithPolicy(name string, cfg core.Config, engines int,
 	}
 	if _, dup := r.models[name]; dup {
 		m.teardown()
-		return nil, fmt.Errorf("serve: model %q already registered", name)
+		return nil, fmt.Errorf("%w: %q", ErrAlreadyRegistered, name)
 	}
 	r.models[name] = m
 	r.names = append(r.names, name)
 	return m, nil
+}
+
+// Unregister removes the named model from the registry and tears it down:
+// new submissions fail with ErrClosed, rows already accepted finish on the
+// model's engines, then the engine pool is retired. Blocks until the drain
+// completes. Engines leased out through Model.Lease must be Released first.
+func (r *Registry) Unregister(name string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	m, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	delete(r.models, name)
+	for i, n := range r.names {
+		if n == name {
+			r.names = append(r.names[:i], r.names[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+	m.teardown()
+	return nil
+}
+
+// Reload hot-swaps the named model's engines for a pool built from cfg:
+// the new pool is built off-lock, then installed atomically — in-flight
+// batches finish on the old engines (the old generation is retired only
+// after its last lease comes home), new leases get the new pool. The
+// model's batcher, queue, and policy survive the swap, so concurrent
+// Infer calls observe zero failures. The new configuration must keep the
+// model's input and output widths (ErrIncompatible otherwise); interior
+// topology, weights, and pool size may all change. engines < 1 keeps the
+// current pool size, so a weights-only reload preserves the model's
+// serving capacity.
+func (r *Registry) Reload(name string, cfg core.Config, engines int) (*Model, error) {
+	r.mu.RLock()
+	m, ok := r.models[name]
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	// Validate before touching LayerWidths: a malformed config must error
+	// like Register does, not panic on an empty systems slice.
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	widths := cfg.LayerWidths()
+	if widths[0] != m.inW || widths[len(widths)-1] != m.outW {
+		return nil, fmt.Errorf("%w: model %q serves %d→%d, new config is %d→%d",
+			ErrIncompatible, name, m.inW, m.outW, widths[0], widths[len(widths)-1])
+	}
+	if engines < 1 {
+		// Unspecified pool size means "same as now": a weights-only reload
+		// must not quietly collapse an 8-engine pool to 1.
+		engines = cap(m.pool.Load().engines)
+	}
+
+	// The expensive build happens with no locks held and the old pool
+	// still serving traffic.
+	ep, err := newEnginePool(cfg, engines)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+
+	r.mu.Lock()
+	if closedNow := r.closed; closedNow || r.models[name] != m {
+		// Closed or unregistered while we were building: the new pool was
+		// never visible, so it can be torn down directly.
+		r.mu.Unlock()
+		ep.retire()
+		if closedNow {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	ep.gen = m.pool.Load().gen + 1
+	m.indexPool(ep)
+	old := m.pool.Swap(ep)
+	r.mu.Unlock()
+
+	m.met.Reloads.Add(1)
+	// Retire off-lock: this blocks until the old generation's in-flight
+	// batches release their engines, which must not stall lookups or
+	// further registrations.
+	old.retire()
+	m.dropPool(old)
+	return m, nil
+}
+
+// ReloadJSON is Reload for a configuration in the graphio JSON wire format.
+func (r *Registry) ReloadJSON(name string, cfgJSON []byte, engines int) (*Model, error) {
+	cfg, err := graphio.UnmarshalConfig(cfgJSON)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	return r.Reload(name, cfg, engines)
 }
 
 // Model returns the named model.
@@ -174,6 +364,16 @@ func (r *Registry) all() []*Model {
 	return ms
 }
 
+// Closed reports whether Close has begun: the registry is draining for
+// shutdown and refuses new work. The HTTP health endpoint uses it to flip
+// /healthz to "draining" so cluster routers take the backend out of
+// rotation proactively.
+func (r *Registry) Closed() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.closed
+}
+
 // Close drains every model — new submissions fail with ErrClosed, rows
 // already accepted still execute — then releases the engines' private
 // worker pools. Engines leased out through Model.Lease must be Released
@@ -195,22 +395,44 @@ func (r *Registry) Close() {
 	}
 }
 
-// teardown drains the batcher (when it exists) and closes the private
-// worker pools.
+// teardown drains the batcher (when it exists) and retires the current
+// engine generation. Callers must ensure it runs at most once per model
+// (the registry does: a model is torn down by whoever removed it).
 func (m *Model) teardown() {
 	if m.bat != nil {
 		m.bat.close()
 	}
-	for _, p := range m.pools {
-		p.Close()
+	ep := m.pool.Load()
+	ep.retire()
+	m.dropPool(ep)
+}
+
+// indexPool records a generation's engines for Release routing. The home
+// entries must exist before the pool becomes visible to Lease, so a lease
+// taken the instant after the swap can already release.
+func (m *Model) indexPool(ep *enginePool) {
+	for _, e := range ep.all {
+		m.home.Store(e, ep)
+	}
+}
+
+// dropPool forgets a retired generation's engines.
+func (m *Model) dropPool(ep *enginePool) {
+	for _, e := range ep.all {
+		m.home.Delete(e)
 	}
 }
 
 // Name returns the model's registry name.
 func (m *Model) Name() string { return m.name }
 
-// Config returns the model's RadiX-Net configuration.
-func (m *Model) Config() core.Config { return m.cfg }
+// Config returns the RadiX-Net configuration of the model's current engine
+// generation.
+func (m *Model) Config() core.Config { return m.pool.Load().cfg }
+
+// Generation returns the model's engine-pool generation: 1 at registration,
+// incremented by every successful Reload.
+func (m *Model) Generation() int { return m.pool.Load().gen }
 
 // InputWidth returns the width a request row must have.
 func (m *Model) InputWidth() int { return m.inW }
@@ -223,14 +445,16 @@ func (m *Model) Metrics() *Metrics { return &m.met }
 
 // Info describes the model and its batching policy.
 func (m *Model) Info() ModelInfo {
+	ep := m.pool.Load()
 	return ModelInfo{
 		Name:         m.name,
+		Generation:   ep.gen,
 		InputWidth:   m.inW,
 		OutputWidth:  m.outW,
-		Layers:       m.layers,
-		Weights:      m.weights,
-		Density:      m.density,
-		Engines:      cap(m.engines),
+		Layers:       ep.layers,
+		Weights:      ep.weights,
+		Density:      ep.density,
+		Engines:      cap(ep.engines),
 		MaxBatch:     m.pol.MaxBatch,
 		MaxLatencyMs: float64(m.pol.MaxLatency) / float64(time.Millisecond),
 		QueueDepth:   m.pol.QueueDepth,
@@ -238,15 +462,40 @@ func (m *Model) Info() ModelInfo {
 	}
 }
 
-// Lease checks a warm engine out of the pool, blocking until one is free.
-// The caller owns the engine exclusively until Release; the batcher leases
-// one per batch, and direct callers may lease around the batcher for bulk
-// offline work. Every Lease must be paired with Release before the registry
-// is closed.
-func (m *Model) Lease() *infer.Engine { return <-m.engines }
+// Lease checks a warm engine out of the current generation's pool, blocking
+// until one is free. The caller owns the engine exclusively until Release;
+// the batcher leases one per batch, and direct callers may lease around the
+// batcher for bulk offline work. Every Lease must be paired with Release
+// before the model is unregistered or the registry closed. A Reload
+// concurrent with Lease is safe: the lease either lands on the old
+// generation (which is retired only after the matching Release) or the new
+// one.
+func (m *Model) Lease() *infer.Engine {
+	for {
+		ep := m.pool.Load()
+		ep.leases.Add(1)
+		if ep.retired.Load() {
+			// A reload swapped generations between the Load and the lease
+			// count; back out and take the current pool. The counter order
+			// (count first, then check) means retire() can never miss us:
+			// either it sees our lease and waits, or we see its flag.
+			ep.unlease()
+			continue
+		}
+		return <-ep.engines
+	}
+}
 
-// Release returns a leased engine to the pool.
-func (m *Model) Release(e *infer.Engine) { m.engines <- e }
+// Release returns a leased engine to the generation it came from.
+func (m *Model) Release(e *infer.Engine) {
+	v, ok := m.home.Load(e)
+	if !ok {
+		panic("serve: Release of an engine this model did not lease")
+	}
+	ep := v.(*enginePool)
+	ep.engines <- e
+	ep.unlease()
+}
 
 // batchBuf takes a MaxBatch×InputWidth staging buffer from the model's
 // buffer pool.

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"github.com/radix-net/radixnet/internal/graphio"
 )
 
 // maxRequestBody bounds a POST /v1/infer body; a full MaxBatch of rows at
@@ -47,13 +49,48 @@ type ErrorResponse struct {
 	Model string `json:"model,omitempty"`
 }
 
+// RegisterRequest is the POST /v1/models (register) and
+// PUT /v1/models/{name} (hot-reload) body. Config is a RadiX-Net
+// configuration in the graphio JSON wire format. The policy fields apply
+// only to registration (a reload keeps the model's batcher and policy);
+// zero policy fields take the server registry's defaults.
+type RegisterRequest struct {
+	// Name is the model's registry name. Required for POST /v1/models;
+	// ignored on PUT, where the path names the model.
+	Name string `json:"name,omitempty"`
+	// Config is the graphio config JSON ({"systems":[[...]],"shape":[...]}).
+	Config json.RawMessage `json:"config"`
+	// Engines sizes the warm engine pool. On registration, min 1; on
+	// reload, 0 (or omitted) keeps the model's current pool size.
+	Engines int `json:"engines,omitempty"`
+	// MaxBatch, MaxLatencyMs, QueueDepth, Workers override the batching
+	// policy at registration.
+	MaxBatch     int     `json:"max_batch,omitempty"`
+	MaxLatencyMs float64 `json:"max_latency_ms,omitempty"`
+	QueueDepth   int     `json:"queue_depth,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+}
+
+// AdminResponse is the success body of DELETE /v1/models/{name}.
+type AdminResponse struct {
+	Model  string `json:"model"`
+	Status string `json:"status"`
+}
+
 // Server exposes a Registry over HTTP: POST /v1/infer, GET /v1/models,
-// GET /healthz, GET /metrics. Construct with NewServer, start with Start or
-// ListenAndServe, stop with Shutdown.
+// GET /healthz, GET /metrics, plus the model control plane —
+// POST /v1/models (register), PUT /v1/models/{name} (atomic hot-reload),
+// DELETE /v1/models/{name} (unregister). Construct with NewServer, start
+// with Start or ListenAndServe, stop with Shutdown.
 type Server struct {
 	reg   *Registry
 	http  *http.Server
 	start time.Time
+
+	// draining is set at Shutdown entry, before the listener closes, so
+	// health probes racing the drain window already see 503 and the
+	// cluster tier routes around this backend proactively.
+	draining atomic.Bool
 
 	// HTTP-level counters by status class, exported on /metrics.
 	status2xx, status4xx, status5xx atomic.Int64
@@ -66,6 +103,9 @@ func NewServer(reg *Registry, addr string) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models", s.handleRegister)
+	mux.HandleFunc("PUT /v1/models/{name}", s.handleReload)
+	mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnregister)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.http = &http.Server{
@@ -105,6 +145,7 @@ func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
 // submissions fail with ErrClosed while rows already accepted drain through
 // the engines.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	err := s.http.Shutdown(ctx)
 	s.reg.Close()
 	return err
@@ -120,6 +161,20 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards http.Flusher to the underlying writer when it supports
+// flushing, so streaming/long-poll handlers behind the status middleware
+// keep their flushes instead of silently buffering. A no-op otherwise —
+// matching net/http's own contract that Flush may do nothing.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, the
+// modern way for handlers to reach Flush/SetWriteDeadline through wrappers.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func (s *Server) countStatus(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -211,12 +266,128 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]ModelInfo{"models": s.reg.List()})
 }
 
+// decodeRegisterRequest reads and validates an admin body shared by
+// register and reload: well-formed JSON (else 400 was written) with a
+// parseable config (else 422 was written). Returns ok=false once a
+// response has been written.
+func decodeRegisterRequest(w http.ResponseWriter, r *http.Request) (req RegisterRequest, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return req, false
+	}
+	if len(req.Config) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, "missing config")
+		return req, false
+	}
+	return req, true
+}
+
+// adminPolicy maps a request's policy overrides to a Policy; all-zero means
+// "use the registry default".
+func (req RegisterRequest) adminPolicy() (Policy, bool) {
+	pol := Policy{
+		MaxBatch:   req.MaxBatch,
+		MaxLatency: time.Duration(req.MaxLatencyMs * float64(time.Millisecond)),
+		QueueDepth: req.QueueDepth,
+		Workers:    req.Workers,
+	}
+	return pol, pol != Policy{}
+}
+
+// writeAdminError maps control-plane registry errors to status codes:
+// 409 duplicate, 404 unknown, 503 draining, 422 anything the config or
+// shape check refused.
+func writeAdminError(w http.ResponseWriter, model string, err error) {
+	switch {
+	case errors.Is(err, ErrAlreadyRegistered):
+		writeModelError(w, http.StatusConflict, model, "%v", err)
+	case errors.Is(err, ErrNotRegistered):
+		writeModelError(w, http.StatusNotFound, model, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeModelError(w, http.StatusServiceUnavailable, model, "%v", err)
+	default:
+		writeModelError(w, http.StatusUnprocessableEntity, model, "%v", err)
+	}
+}
+
+// handleRegister is POST /v1/models: build the model from graphio config
+// JSON and put it in rotation. 201 on success; 409 if the name is taken,
+// 422 on an unusable config, 503 while draining.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRegisterRequest(w, r)
+	if !ok {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusUnprocessableEntity, "missing model name")
+		return
+	}
+	cfg, err := graphio.UnmarshalConfig(req.Config)
+	if err != nil {
+		writeModelError(w, http.StatusUnprocessableEntity, req.Name, "bad config: %v", err)
+		return
+	}
+	var m *Model
+	if pol, override := req.adminPolicy(); override {
+		m, err = s.reg.RegisterWithPolicy(req.Name, cfg, req.Engines, pol)
+	} else {
+		m, err = s.reg.Register(req.Name, cfg, req.Engines)
+	}
+	if err != nil {
+		writeAdminError(w, req.Name, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, m.Info())
+}
+
+// handleReload is PUT /v1/models/{name}: atomically hot-swap the model's
+// engine pool for one built from the request config. In-flight and queued
+// rows are unaffected — they finish on whichever generation their batch
+// leases. 200 with the new ModelInfo on success; 404 unknown model, 422 on
+// an unusable or shape-changing config, 503 while draining.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	req, ok := decodeRegisterRequest(w, r)
+	if !ok {
+		return
+	}
+	m, err := s.reg.ReloadJSON(name, req.Config, req.Engines)
+	if err != nil {
+		writeAdminError(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Info())
+}
+
+// handleUnregister is DELETE /v1/models/{name}: drain the model and remove
+// it. 200 on success (the response is written only after the drain, so a
+// 200 means the model is fully gone); 404 unknown model, 503 while
+// draining for shutdown.
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Unregister(name); err != nil {
+		writeAdminError(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdminResponse{Model: name, Status: "unregistered"})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Models:        len(s.reg.List()),
-	})
+	}
+	if s.draining.Load() || s.reg.Closed() {
+		// Graceful shutdown in progress: answer probes honestly so the
+		// cluster tier routes around this backend before its listener dies,
+		// instead of keeping it in rotation until forwards start failing.
+		h.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -28,10 +28,12 @@
 //   - X-Net / dense / random-prune baselines (internal/xnet)
 //   - a training substrate with sparse layers (internal/nn)
 //   - a Graph Challenge–style sparse inference engine (internal/infer)
-//   - a production inference service: model registry, warm engine pools,
+//   - a production inference service: model registry with a live control
+//     plane (register/unregister/atomic hot-reload), warm engine pools,
 //     dynamic micro-batching, HTTP API (internal/serve)
 //   - a multi-node sharding layer: consistent-hash model placement,
-//     health-probed backends, failover routing (internal/cluster)
+//     health-probed backends, failover routing, fleet-wide model
+//     administration (internal/cluster)
 //   - serialization (internal/graphio)
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
@@ -198,13 +200,17 @@ var ErrEngineBusy = infer.ErrBusy
 
 // Registry loads and owns served models: it builds engines by
 // configuration, keeps a pool of warm engine instances per model, and runs
-// each model's micro-batching scheduler.
+// each model's micro-batching scheduler. The registry is live — models can
+// be registered, atomically hot-reloaded (Reload swaps the whole engine
+// pool as a unit once in-flight batches drain), and unregistered at
+// runtime.
 type Registry = serve.Registry
 
 // Server exposes a Registry over HTTP: POST /v1/infer with dynamic
 // micro-batching and explicit backpressure (429), GET /v1/models, GET
-// /healthz, and GET /metrics, with graceful shutdown. See README.md
-// "Serving" for the API and semantics.
+// /healthz, GET /metrics, and the model control plane (POST /v1/models,
+// PUT and DELETE /v1/models/{name}), with graceful shutdown. See README.md
+// "Serving" and "Model administration" for the API and semantics.
 type Server = serve.Server
 
 // ServedModel is one registered model: a warm engine pool behind a
@@ -223,9 +229,21 @@ type ServedModelInfo = serve.ModelInfo
 // request queue is at capacity. Mapped to HTTP 429 by Server.
 var ErrQueueFull = serve.ErrQueueFull
 
-// ErrServeClosed reports a submission to a closed (draining) registry.
-// Mapped to HTTP 503 by Server.
+// ErrServeClosed reports a submission to an unregistered model or a closed
+// (draining) registry. Mapped to HTTP 503 by Server.
 var ErrServeClosed = serve.ErrClosed
+
+// ErrModelNotRegistered reports an Unregister or Reload of an unknown
+// model name. Mapped to HTTP 404 by Server.
+var ErrModelNotRegistered = serve.ErrNotRegistered
+
+// ErrModelExists reports a Register under a taken name. Mapped to HTTP 409
+// by Server.
+var ErrModelExists = serve.ErrAlreadyRegistered
+
+// ErrReloadIncompatible reports a Reload whose new configuration would
+// change the model's input or output width. Mapped to HTTP 422 by Server.
+var ErrReloadIncompatible = serve.ErrIncompatible
 
 // NewRegistry returns an empty model registry whose registrations default
 // to the given batching policy.
@@ -246,8 +264,10 @@ func NewRing(vnodes int) *Ring { return cluster.NewRing(vnodes) }
 // Router is the sharding front end over a radixserve fleet: it exposes the
 // single-node HTTP API, forwards each inference request to the owning
 // healthy backend (placed by a Ring), fails over across replicas, probes
-// backend health, and merges /v1/models and /metrics across the fleet.
-// See cmd/radixrouter and README.md "Clustering".
+// backend health, merges /v1/models and /metrics across the fleet, and
+// fans the model control plane out fleet-wide (register to the ring's
+// intended replicas; reload/unregister to every backend reporting the
+// model). See cmd/radixrouter and README.md "Clustering".
 type Router = cluster.Router
 
 // RouterConfig assembles a Router: listen address, backend addresses,
