@@ -21,14 +21,23 @@
 // "http://host:port"). Because every backend runs the same deterministic
 // engines, routed results are bit-identical to single-node inference.
 //
+// The router is QoS-aware: a request's "class" and "deadline_ms" are
+// forwarded to backends as X-Radix-Class and X-Radix-Deadline-Ms headers
+// (the deadline recomputed per attempt to the remaining budget), and retry
+// budgets are per class (-class-retries; by default background requests
+// get one backend attempt and no 429 backoff wait, so low-priority floods
+// cannot burn the failover budget interactive traffic needs).
+//
 // With -selftest the binary instead builds an in-process fleet (-backends
 // radixserve instances plus the router on ephemeral ports), shards models
 // across it, verifies routed outputs bit-identical to direct Engine.Infer,
 // exercises the fleet control plane (runtime registration on the ring
 // owners, hot-reload of every replica under concurrent routed load with
 // zero failures, fleet-wide unregister → 404), kills a backend mid-load to
-// prove zero-failure retry failover, measures routed throughput, appends a
-// record to BENCH_cluster.json, and exits nonzero on any failure.
+// prove zero-failure retry failover, proves QoS starvation-freedom through
+// the router (a saturating background flood cannot starve interactive
+// probes), measures routed throughput, appends a record with per-class
+// rates to BENCH_cluster.json, and exits nonzero on any failure.
 //
 // Usage:
 //
@@ -49,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/radix-net/radixnet/internal/cliutil"
 	"github.com/radix-net/radixnet/internal/cluster"
 )
 
@@ -76,6 +86,8 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "single probe budget")
 		failAfter     = flag.Int("fail-after", 3, "consecutive failures (probe or forward) that eject a backend")
 		maxBackoff    = flag.Duration("max-backoff", time.Second, "cap on Retry-After backoff honored for backend 429s")
+		classRetries  = flag.String("class-retries", "", "per-QoS-class backend attempt caps, NAME=N,... (default background=1,batch=2; unlisted classes walk every replica)")
+		classNames    = flag.String("classes", "", "extra QoS class names to label in per-class metrics, comma-separated (unknown classes bucket as \"other\")")
 		selftest      = flag.Bool("selftest", false, "run the in-process fleet selftest and exit")
 		nBackends     = flag.Int("backends", 3, "selftest: in-process radixserve backends to spin up")
 		benchJSON     = flag.String("bench-json", "BENCH_cluster.json", "selftest: append the throughput record to this file")
@@ -96,11 +108,23 @@ func main() {
 	if len(backends) == 0 {
 		log.Fatal("no backends: pass at least one -backend host:port (or run -selftest)")
 	}
+	retries, err := cliutil.ParseClassWeights(*classRetries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var metricsClasses []string
+	for _, name := range strings.Split(*classNames, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			metricsClasses = append(metricsClasses, name)
+		}
+	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
-		Addr:       *addr,
-		Backends:   backends,
-		Replicas:   *replicas,
-		MaxBackoff: *maxBackoff,
+		Addr:           *addr,
+		Backends:       backends,
+		Replicas:       *replicas,
+		MaxBackoff:     *maxBackoff,
+		ClassRetries:   retries,
+		MetricsClasses: metricsClasses,
 		Set: cluster.SetConfig{
 			ProbeInterval: *probeInterval,
 			ProbeTimeout:  *probeTimeout,

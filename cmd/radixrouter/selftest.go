@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
 	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +43,21 @@ type clusterBenchRecord struct {
 	Levels       []clusterBenchLevel   `json:"levels"`
 	Failover     clusterBenchFailover  `json:"failover"`
 	HotReload    clusterBenchHotReload `json:"hot_reload"`
+	QoS          clusterBenchQoS       `json:"qos"`
 	BitIdentical bool                  `json:"bit_identical"`
+}
+
+// clusterBenchQoS records the routed starvation-freedom phase: interactive
+// p99 through the router with the fleet idle vs under a saturating routed
+// background flood, plus both classes' delivered rates.
+type clusterBenchQoS struct {
+	UnloadedP99Ms         float64 `json:"interactive_unloaded_p99_ms"`
+	LoadedP99Ms           float64 `json:"interactive_loaded_p99_ms"`
+	P99Bound              float64 `json:"p99_bound_ms"`
+	QueueWaitP99Ms        float64 `json:"interactive_queue_wait_p99_ms"`
+	InteractiveRowsPerSec float64 `json:"interactive_rows_per_sec"`
+	BackgroundRowsPerSec  float64 `json:"background_rows_per_sec"`
+	BackgroundRows        int     `json:"background_rows"`
 }
 
 type clusterBenchNet struct {
@@ -82,7 +98,13 @@ func selftestClient() *http.Client {
 // returns the HTTP status, the answering backend id, and the decoded
 // response (valid only for status 200).
 func postRow(client *http.Client, url, model string, row []float64) (int, string, serve.InferResponse, error) {
-	body, err := json.Marshal(serve.InferRequest{Model: model, Inputs: [][]float64{row}})
+	return postReq(client, url, serve.InferRequest{Model: model, Inputs: [][]float64{row}})
+}
+
+// postReq sends one inference request (any rows, class, deadline) through
+// the router.
+func postReq(client *http.Client, url string, req serve.InferRequest) (int, string, serve.InferResponse, error) {
+	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, "", serve.InferResponse{}, err
 	}
@@ -295,6 +317,15 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 		return err
 	}
 
+	// Phase 3b — QoS through the router: a saturating routed background
+	// flood must not starve interactive probes of the same model, and the
+	// class must round-trip (body → router header → backend scheduler →
+	// response). Runs while the fleet is whole, before the kill phase.
+	qosRec, err := runQoSPhase(client, url, models[1], expected, in)
+	if err != nil {
+		return err
+	}
+
 	// Phase 4 — kill a backend mid-load. Every request must still succeed:
 	// in-flight rows drain through the dying node's graceful shutdown, and
 	// everything after fails over to the surviving replica. Zero failures
@@ -380,6 +411,7 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 			Failovers:     failovers,
 		},
 		HotReload: hr,
+		QoS:       qosRec,
 		// Any bitwise mismatch returned above, so reaching here proves it.
 		BitIdentical: true,
 	}
@@ -389,6 +421,159 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 	}
 	log.Printf("bench: appended record %d to %s", n, benchPath)
 	return nil
+}
+
+// percentile returns the p-th percentile (0–100) of the latencies.
+func percentile(lat []time.Duration, p int) time.Duration {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s) * p) / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// runQoSPhase proves starvation-freedom through the router: interactive
+// p99 against one model stays bounded while a background flood saturates
+// the same model, background still progresses, and the class annotation
+// survives the body → router header → backend scheduler round trip. As in
+// the radixserve selftest, the scheduler queue-wait p99 is the precise
+// starvation bound and the end-to-end p99 (with an absolute floor for
+// small CI machines, where a saturating flood contends for the CPU itself)
+// the gross one.
+func runQoSPhase(client *http.Client, url, model string, expected [][]float64, in *sparse.Dense) (clusterBenchQoS, error) {
+	var q clusterBenchQoS
+	baseRows := in.Rows()
+
+	const probes = 120
+	probe := func() (lat, qwait []time.Duration, err error) {
+		lat = make([]time.Duration, 0, probes)
+		qwait = make([]time.Duration, 0, probes)
+		for i := 0; i < probes; i++ {
+			r := i % baseRows
+			start := time.Now()
+			status, _, resp, err := postReq(client, url, serve.InferRequest{
+				Model: model, Class: "interactive", Inputs: [][]float64{in.RowSlice(r)},
+			})
+			if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+				return nil, nil, fmt.Errorf("qos: interactive probe %d: status %d err %v", i, status, err)
+			}
+			if resp.Class != "interactive" {
+				return nil, nil, fmt.Errorf("qos: probe %d scheduled as class %q, want interactive (class lost in routing?)", i, resp.Class)
+			}
+			if resp.Outputs[0][0] != expected[r][0] {
+				return nil, nil, fmt.Errorf("qos: probe %d diverged under priority scheduling", i)
+			}
+			lat = append(lat, time.Since(start))
+			qwait = append(qwait, time.Duration(resp.QueueWaitMs*float64(time.Millisecond)))
+		}
+		return lat, qwait, nil
+	}
+
+	unloaded, _, err := probe()
+	if err != nil {
+		return q, err
+	}
+
+	const (
+		floodWorkers = 4
+		rowsPerReq   = 16
+	)
+	stop := make(chan struct{})
+	var bgRows atomic.Int64
+	var bgErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < floodWorkers; w++ {
+		reqRows := make([][]float64, rowsPerReq)
+		for i := range reqRows {
+			reqRows[i] = in.RowSlice((w + i) % baseRows)
+		}
+		body, err := json.Marshal(serve.InferRequest{Model: model, Class: "background", Inputs: reqRows})
+		if err != nil {
+			close(stop)
+			return q, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					bgErr.CompareAndSwap(nil, fmt.Errorf("qos: background flood: %w", err))
+					return
+				}
+				status := resp.StatusCode
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case status == http.StatusOK:
+					bgRows.Add(rowsPerReq)
+				case status == http.StatusTooManyRequests:
+					// Background gets no router-side backoff by design; the
+					// client owns the pacing.
+					time.Sleep(2 * time.Millisecond)
+				default:
+					bgErr.CompareAndSwap(nil, fmt.Errorf("qos: background flood: status %d", status))
+					return
+				}
+			}
+		}()
+	}
+	warmDeadline := time.Now().Add(10 * time.Second)
+	for bgRows.Load() < rowsPerReq && bgErr.Load() == nil && time.Now().Before(warmDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	loadedStart := time.Now()
+	bgBefore := bgRows.Load()
+	loaded, loadedWait, probeErr := probe()
+	loadedElapsed := time.Since(loadedStart)
+	bgDuring := bgRows.Load() - bgBefore
+	close(stop)
+	wg.Wait()
+	if probeErr != nil {
+		return q, probeErr
+	}
+	if e := bgErr.Load(); e != nil {
+		return q, e.(error)
+	}
+
+	p99u := percentile(unloaded, 99)
+	p99l := percentile(loaded, 99)
+	waitP99 := percentile(loadedWait, 99)
+	if waitBound := 25 * time.Millisecond; waitP99 > waitBound {
+		return q, fmt.Errorf("qos: interactive queue-wait p99 %v under routed background flood exceeds %v: starved in the scheduler",
+			waitP99.Round(time.Microsecond), waitBound)
+	}
+	bound := 5 * p99u
+	if floor := 100 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if p99l > bound {
+		return q, fmt.Errorf("qos: interactive p99 %v under routed background flood exceeds bound %v (5× unloaded %v): starved",
+			p99l.Round(time.Microsecond), bound, p99u.Round(time.Microsecond))
+	}
+	if bgDuring == 0 {
+		return q, fmt.Errorf("qos: background completed no routed rows during the %v probe window: background starved", loadedElapsed.Round(time.Millisecond))
+	}
+	q = clusterBenchQoS{
+		UnloadedP99Ms:         float64(p99u) / float64(time.Millisecond),
+		LoadedP99Ms:           float64(p99l) / float64(time.Millisecond),
+		P99Bound:              float64(bound) / float64(time.Millisecond),
+		QueueWaitP99Ms:        float64(waitP99) / float64(time.Millisecond),
+		InteractiveRowsPerSec: float64(probes) / loadedElapsed.Seconds(),
+		BackgroundRowsPerSec:  float64(bgDuring) / loadedElapsed.Seconds(),
+		BackgroundRows:        int(bgDuring),
+	}
+	log.Printf("qos: routed interactive p99 %.2fms unloaded → %.2fms under background flood (bound %.2fms, queue-wait p99 %.3fms); interactive %.0f rows/s, background %.0f rows/s (%d rows, no starvation)",
+		q.UnloadedP99Ms, q.LoadedP99Ms, q.P99Bound, q.QueueWaitP99Ms, q.InteractiveRowsPerSec, q.BackgroundRowsPerSec, q.BackgroundRows)
+	return q, nil
 }
 
 // runControlPlanePhase drives the fleet control plane end to end through

@@ -4,9 +4,19 @@
 // explicit backpressure (HTTP 429), Prometheus-style metrics, and graceful
 // shutdown on SIGINT/SIGTERM.
 //
+// Requests are QoS-aware: the /v1/infer body may carry "class" (one of the
+// configured priority classes; default set interactive/batch/background
+// with weights 8/2/1, overridable via -class-weight) and "deadline_ms" (a
+// budget after which still-queued rows are shed with 504 instead of
+// executing). Each model schedules its per-class queues by deficit
+// round-robin, so a background flood cannot starve interactive traffic;
+// -exec-slots bounds batch executions across models, granted
+// share-weighted when models contend.
+//
 // Endpoints:
 //
-//	POST   /v1/infer          {"model":"e10","inputs":[[...]],"categories":true}
+//	POST   /v1/infer          {"model":"e10","inputs":[[...]],"class":"interactive",
+//	                           "deadline_ms":250,"categories":true}
 //	GET    /v1/models         registered models and their batching policies
 //	POST   /v1/models         register a model at runtime from graphio config
 //	                          JSON: {"name":"m","config":{"systems":[[8,8]]}}
@@ -29,15 +39,20 @@
 // ephemeral port, drives it end-to-end with concurrent HTTP load at several
 // concurrency levels, verifies that batched results are bit-identical to
 // per-row Engine.Infer, that saturation produces 429s rather than unbounded
-// queuing, and that the model control plane works live (runtime
+// queuing, that the model control plane works live (runtime
 // registration bit-identical to boot-time, hot-reload under concurrent
-// load with zero failures, unregister → 404), appends a throughput record
-// to BENCH_serve.json, and exits nonzero on any failure.
+// load with zero failures, unregister → 404), and that QoS holds under
+// pressure (a saturating background flood cannot starve interactive
+// traffic: interactive p99 stays within its bound while background still
+// progresses), appends a throughput record with per-class rates to
+// BENCH_serve.json, and exits nonzero on any failure.
 //
 // Usage:
 //
 //	radixserve [-addr :8080] [-model e10=8,8,8,8]... [-engines 2]
 //	           [-max-batch 32] [-max-latency 2ms] [-queue 256]
+//	           [-class-weight interactive=8,batch=2,background=1]
+//	           [-default-class interactive] [-exec-slots 0]
 //	radixserve -selftest [-bench-json BENCH_serve.json]
 package main
 
@@ -113,23 +128,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("radixserve: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		engines    = flag.Int("engines", 2, "warm engines per model (the pool leased per batch)")
-		maxBatch   = flag.Int("max-batch", 32, "rows coalesced into one engine invocation")
-		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "how long a short batch waits for more rows (negative: no waiting)")
-		queue      = flag.Int("queue", 256, "pending-row bound; beyond it requests get 429")
-		selftest   = flag.Bool("selftest", false, "run the end-to-end load-generator selftest and exit")
-		benchJSON  = flag.String("bench-json", "BENCH_serve.json", "selftest: append the throughput record to this file")
-		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
-		models     modelFlags
+		addr         = flag.String("addr", ":8080", "listen address")
+		engines      = flag.Int("engines", 2, "warm engines per model (the pool leased per batch)")
+		maxBatch     = flag.Int("max-batch", 32, "rows coalesced into one engine invocation")
+		maxLatency   = flag.Duration("max-latency", 2*time.Millisecond, "how long a short batch waits for more rows (negative: no waiting)")
+		queue        = flag.Int("queue", 256, "pending-row bound PER CLASS; beyond it requests get 429")
+		classWeights = flag.String("class-weight", "", "QoS classes and weighted-fair-queuing weights, NAME=N,... (default interactive=8,batch=2,background=1)")
+		defaultClass = flag.String("default-class", "", "class for requests that name none (default interactive)")
+		execSlots    = flag.Int("exec-slots", 0, "cross-model concurrent batch executions (engine quota; 0: GOMAXPROCS, negative: unlimited)")
+		selftest     = flag.Bool("selftest", false, "run the end-to-end load-generator selftest and exit")
+		benchJSON    = flag.String("bench-json", "BENCH_serve.json", "selftest: append the throughput record to this file")
+		shutdownTO   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
+		models       modelFlags
 	)
 	flag.Var(&models, "model", "model to serve, NAME=SPEC (repeatable); SPEC is a radix systems spec like 8,8,8 or gc:WIDTHxLAYERS")
 	flag.Parse()
 
 	pol := serve.Policy{MaxBatch: *maxBatch, MaxLatency: *maxLatency, QueueDepth: *queue}
+	weights, err := cliutil.ParseClassWeights(*classWeights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qos := serve.QoSConfig{Weights: weights, DefaultClass: *defaultClass, ExecSlots: *execSlots}
 
 	if *selftest {
-		if err := runSelftest(*benchJSON, *engines, pol); err != nil {
+		if err := runSelftest(*benchJSON, *engines, pol, qos); err != nil {
 			log.Fatalf("selftest FAILED: %v", err)
 		}
 		log.Printf("selftest PASSED")
@@ -149,7 +172,11 @@ func main() {
 		}
 	}
 
-	reg := serve.NewRegistry(pol)
+	reg, err := serve.NewRegistryQoS(pol, qos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("QoS classes %v (default %q)", reg.Classes(), reg.DefaultClass())
 	for _, ms := range models {
 		start := time.Now()
 		m, err := reg.Register(ms.name, ms.cfg, *engines)

@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,7 +38,23 @@ type serveBenchRecord struct {
 	Levels       []serveBenchLevel   `json:"levels"`
 	Backpressure serveBenchBP        `json:"backpressure"`
 	HotReload    serveBenchHotReload `json:"hot_reload"`
+	QoS          serveBenchQoS       `json:"qos"`
 	BitIdentical bool                `json:"bit_identical"`
+}
+
+// serveBenchQoS records the starvation-freedom phase: interactive p99 with
+// the machine idle vs under a saturating background flood (end-to-end and
+// scheduler queue wait), plus both classes' delivered rates during the
+// loaded window.
+type serveBenchQoS struct {
+	UnloadedP99Ms         float64 `json:"interactive_unloaded_p99_ms"`
+	LoadedP99Ms           float64 `json:"interactive_loaded_p99_ms"`
+	P99Bound              float64 `json:"p99_bound_ms"`
+	QueueWaitP99Ms        float64 `json:"interactive_queue_wait_p99_ms"`
+	InteractiveRowsPerSec float64 `json:"interactive_rows_per_sec"`
+	BackgroundRowsPerSec  float64 `json:"background_rows_per_sec"`
+	BackgroundRows        int     `json:"background_rows"`
+	ExpiredShed           int64   `json:"expired_shed"`
 }
 
 type serveBenchNet struct {
@@ -83,7 +101,13 @@ func selftestClient() *http.Client {
 // postRow sends one single-row inference request and returns the HTTP
 // status plus the decoded response (valid only for status 200).
 func postRow(client *http.Client, url, model string, row []float64) (int, serve.InferResponse, error) {
-	body, err := json.Marshal(serve.InferRequest{Model: model, Inputs: [][]float64{row}})
+	return postRows(client, url, serve.InferRequest{Model: model, Inputs: [][]float64{row}})
+}
+
+// postRows sends one inference request (any rows, class, deadline) and
+// returns the HTTP status plus the decoded response (valid only for 200).
+func postRows(client *http.Client, url string, req serve.InferRequest) (int, serve.InferResponse, error) {
+	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, serve.InferResponse{}, err
 	}
@@ -103,10 +127,10 @@ func postRow(client *http.Client, url, model string, row []float64) (int, serve.
 
 // runSelftest drives the full serving stack end-to-end over real HTTP:
 // correctness (batched results bit-identical to per-row Engine.Infer),
-// throughput at several client concurrency levels, and backpressure under
-// deliberate saturation. On success it appends the measurement to
-// benchPath.
-func runSelftest(benchPath string, engines int, pol serve.Policy) error {
+// throughput at several client concurrency levels, backpressure under
+// deliberate saturation, and QoS starvation-freedom under a background
+// flood. On success it appends the measurement to benchPath.
+func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSConfig) error {
 	if engines < 1 {
 		engines = 1
 	}
@@ -116,7 +140,10 @@ func runSelftest(benchPath string, engines int, pol serve.Policy) error {
 	if err != nil {
 		return err
 	}
-	reg := serve.NewRegistry(pol)
+	reg, err := serve.NewRegistryQoS(pol, qos)
+	if err != nil {
+		return err
+	}
 	buildStart := time.Now()
 	m, err := reg.Register("selftest", cfg, engines)
 	if err != nil {
@@ -289,6 +316,11 @@ func runSelftest(benchPath string, engines int, pol serve.Policy) error {
 		return err
 	}
 
+	qosRec, err := runQoSPhase(client, url, reg, m, expected, in)
+	if err != nil {
+		return err
+	}
+
 	rec := serveBenchRecord{
 		Benchmark:  "serve-microbatch",
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -305,6 +337,7 @@ func runSelftest(benchPath string, engines int, pol serve.Policy) error {
 		Levels:       levels,
 		Backpressure: bp,
 		HotReload:    hr,
+		QoS:          qosRec,
 		// Any bitwise mismatch returned above, so reaching here proves it.
 		BitIdentical: true,
 	}
@@ -314,6 +347,199 @@ func runSelftest(benchPath string, engines int, pol serve.Policy) error {
 	}
 	log.Printf("bench: appended record %d to %s", n, benchPath)
 	return nil
+}
+
+// percentile returns the p-th percentile (0–100) of the latencies.
+func percentile(lat []time.Duration, p int) time.Duration {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s) * p) / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// runQoSPhase is the starvation-freedom acceptance phase: measure
+// interactive p99 latency on an idle server, saturate the model with a
+// background flood, and prove that (a) interactive traffic is not starved —
+// its scheduler queue-wait p99 stays tightly bounded, and its end-to-end
+// p99 stays within 5× the unloaded value (with an absolute floor, because
+// on small CI machines a saturating flood contends for the CPU itself,
+// which no in-process scheduler can prevent — the queue-wait bound is the
+// precise starvation signal, the end-to-end bound the gross one); (b) the
+// background class still makes progress (no starvation either way); and
+// (c) an already-expired deadline is shed with 504 instead of executing.
+// Interactive responses under flood are also checked bit-identical, so
+// priority scheduling never changes results.
+func runQoSPhase(client *http.Client, url string, reg *serve.Registry, m *serve.Model, expected [][]float64, in *sparse.Dense) (serveBenchQoS, error) {
+	var q serveBenchQoS
+	classes := reg.Classes()
+	if _, ok := classes[serve.ClassInteractive]; !ok {
+		log.Printf("qos: class set %v has no %q class; skipping starvation phase", classes, serve.ClassInteractive)
+		return q, nil
+	}
+	if _, ok := classes[serve.ClassBackground]; !ok {
+		log.Printf("qos: class set %v has no %q class; skipping starvation phase", classes, serve.ClassBackground)
+		return q, nil
+	}
+	baseRows := in.Rows()
+
+	const probes = 200
+	probe := func() (lat, qwait []time.Duration, err error) {
+		lat = make([]time.Duration, 0, probes)
+		qwait = make([]time.Duration, 0, probes)
+		for i := 0; i < probes; i++ {
+			r := i % baseRows
+			start := time.Now()
+			status, resp, err := postRows(client, url, serve.InferRequest{
+				Model: "selftest", Class: serve.ClassInteractive, Inputs: [][]float64{in.RowSlice(r)},
+			})
+			if err != nil || status != http.StatusOK || len(resp.Outputs) != 1 {
+				return nil, nil, fmt.Errorf("qos: interactive probe %d: status %d err %v", i, status, err)
+			}
+			if resp.Class != serve.ClassInteractive {
+				return nil, nil, fmt.Errorf("qos: probe %d scheduled as class %q, want %q", i, resp.Class, serve.ClassInteractive)
+			}
+			for c, v := range resp.Outputs[0] {
+				if v != expected[r][c] {
+					return nil, nil, fmt.Errorf("qos: probe %d col %d diverged under priority scheduling", i, c)
+				}
+			}
+			lat = append(lat, time.Since(start))
+			qwait = append(qwait, time.Duration(resp.QueueWaitMs*float64(time.Millisecond)))
+		}
+		return lat, qwait, nil
+	}
+
+	unloaded, _, err := probe()
+	if err != nil {
+		return q, err
+	}
+
+	// Saturating background flood: multi-row requests from several workers
+	// (bodies pre-marshaled so the flood's pressure lands on the server's
+	// queues, not on client-side JSON encoding), shedding 429s with
+	// client-side pacing, until the phase ends.
+	const (
+		floodWorkers = 4
+		rowsPerReq   = 16
+	)
+	stop := make(chan struct{})
+	var bgRows atomic.Int64
+	var bgErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < floodWorkers; w++ {
+		reqRows := make([][]float64, rowsPerReq)
+		for i := range reqRows {
+			reqRows[i] = in.RowSlice((w + i) % baseRows)
+		}
+		body, err := json.Marshal(serve.InferRequest{
+			Model: "selftest", Class: serve.ClassBackground, Inputs: reqRows,
+		})
+		if err != nil {
+			close(stop)
+			return q, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					bgErr.CompareAndSwap(nil, fmt.Errorf("qos: background flood: %w", err))
+					return
+				}
+				status := resp.StatusCode
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case status == http.StatusOK:
+					bgRows.Add(rowsPerReq)
+				case status == http.StatusTooManyRequests:
+					time.Sleep(2 * time.Millisecond) // backpressure; pace and re-offer
+				default:
+					bgErr.CompareAndSwap(nil, fmt.Errorf("qos: background flood: status %d", status))
+					return
+				}
+			}
+		}()
+	}
+	// Let the flood saturate the queues before measuring.
+	warmDeadline := time.Now().Add(10 * time.Second)
+	for bgRows.Load() < rowsPerReq && bgErr.Load() == nil && time.Now().Before(warmDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	loadedStart := time.Now()
+	bgBefore := bgRows.Load()
+	loaded, loadedWait, probeErr := probe()
+	loadedElapsed := time.Since(loadedStart)
+	bgDuring := bgRows.Load() - bgBefore
+	close(stop)
+	wg.Wait()
+	if probeErr != nil {
+		return q, probeErr
+	}
+	if e := bgErr.Load(); e != nil {
+		return q, e.(error)
+	}
+
+	p99u := percentile(unloaded, 99)
+	p99l := percentile(loaded, 99)
+	waitP99 := percentile(loadedWait, 99)
+	// The precise starvation signal: time interactive rows sat in the
+	// scheduler's queues. With weight 8 against a saturated background
+	// queue, an interactive row rides one of the next couple of batches;
+	// 25ms is orders of magnitude above that but far below what a starved
+	// row (behind hundreds of queued background rows) would see.
+	if waitBound := 25 * time.Millisecond; waitP99 > waitBound {
+		return q, fmt.Errorf("qos: interactive queue-wait p99 %v under background flood exceeds %v: interactive traffic starved in the scheduler",
+			waitP99.Round(time.Microsecond), waitBound)
+	}
+	bound := 5 * p99u
+	if floor := 100 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if p99l > bound {
+		return q, fmt.Errorf("qos: interactive p99 %v under background flood exceeds bound %v (5× unloaded %v): interactive traffic starved",
+			p99l.Round(time.Microsecond), bound, p99u.Round(time.Microsecond))
+	}
+	if bgDuring == 0 {
+		return q, fmt.Errorf("qos: background completed no rows during the %v probe window: background starved", loadedElapsed.Round(time.Millisecond))
+	}
+
+	// Deadline shedding: a request whose budget is already dead must be
+	// answered 504 without executing.
+	status, _, err := postRows(client, url, serve.InferRequest{
+		Model: "selftest", Class: serve.ClassBackground, DeadlineMs: 0.0001, Inputs: [][]float64{in.RowSlice(0)},
+	})
+	if err != nil || status != http.StatusGatewayTimeout {
+		return q, fmt.Errorf("qos: expired deadline: status %d err %v, want 504", status, err)
+	}
+	expired := m.Metrics().Expired.Load()
+	if expired == 0 {
+		return q, fmt.Errorf("qos: expired-row counter still zero after a shed")
+	}
+
+	q = serveBenchQoS{
+		UnloadedP99Ms:         float64(p99u) / float64(time.Millisecond),
+		LoadedP99Ms:           float64(p99l) / float64(time.Millisecond),
+		P99Bound:              float64(bound) / float64(time.Millisecond),
+		QueueWaitP99Ms:        float64(waitP99) / float64(time.Millisecond),
+		InteractiveRowsPerSec: float64(probes) / loadedElapsed.Seconds(),
+		BackgroundRowsPerSec:  float64(bgDuring) / loadedElapsed.Seconds(),
+		BackgroundRows:        int(bgDuring),
+		ExpiredShed:           expired,
+	}
+	log.Printf("qos: interactive p99 %.2fms unloaded → %.2fms under background flood (bound %.2fms, queue-wait p99 %.3fms); during probes interactive %.0f rows/s, background %.0f rows/s (%d rows, no starvation); expired deadline shed with 504",
+		q.UnloadedP99Ms, q.LoadedP99Ms, q.P99Bound, q.QueueWaitP99Ms, q.InteractiveRowsPerSec, q.BackgroundRowsPerSec, q.BackgroundRows)
+	return q, nil
 }
 
 // modelGeneration reads GET /v1/models and returns the named model's

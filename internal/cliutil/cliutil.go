@@ -80,6 +80,33 @@ func ParseShape(text string) ([]int, error) {
 	return shape, nil
 }
 
+// ParseClassWeights parses a "-class-weight"/"-class-retries"–style flag,
+// "name=N,name=N,..." (e.g. "interactive=8,batch=2,background=1"), into a
+// map. Names must be nonempty and unique; values must be positive
+// integers. Empty input yields nil (the caller's default).
+func ParseClassWeights(text string) (map[string]int, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(text, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("cliutil: class weight %q: want NAME=N", part)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("cliutil: class %q given twice", name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("cliutil: class %q: weight %q, want a positive integer", name, val)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
 // GitSHA returns the short commit hash of the working tree the tool runs
 // in, or "unknown" outside a git checkout — benchmark records carry it so a
 // BENCH_*.json trajectory can be tied back to the code that produced each

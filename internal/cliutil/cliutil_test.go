@@ -48,6 +48,25 @@ func TestParseShape(t *testing.T) {
 	}
 }
 
+func TestParseClassWeights(t *testing.T) {
+	w, err := ParseClassWeights("interactive=8, batch=2 ,background=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 3 || w["interactive"] != 8 || w["batch"] != 2 || w["background"] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+	empty, err := ParseClassWeights("  ")
+	if err != nil || empty != nil {
+		t.Fatalf("empty spec: %v %v", empty, err)
+	}
+	for _, bad := range []string{"interactive", "=3", "a=0", "a=-1", "a=x", "a=1,a=2"} {
+		if _, err := ParseClassWeights(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
 func TestLoadConfigFromFlags(t *testing.T) {
 	cfg, err := LoadConfig("", "(2,2);(4)", "1,2,1,1")
 	if err != nil {

@@ -41,6 +41,17 @@
 // radixrouter's selftest proves exactly that, plus zero failed requests
 // across a mid-load backend kill.
 //
+// QoS — the router is class-aware. It peeks the request's "class" and
+// "deadline_ms" alongside the model name and forwards both to backends as
+// the X-Radix-Class and X-Radix-Deadline-Ms headers, the latter recomputed
+// per attempt to the budget REMAINING after earlier forwards and backoffs
+// (a request that exhausts its budget router-side answers 504 without
+// burning a forward). Retry budgets are class-aware (ClassRetries):
+// background requests get one backend attempt and no 429 backoff wait by
+// default, so a low-priority flood cannot burn the failover attempts and
+// router goroutines that interactive traffic needs on a degraded fleet.
+// Per-class request counts are exported as radixrouter_class_requests_total.
+//
 // Control plane — the router fans the serve-tier admin verbs out
 // fleet-wide, so models move without restarting backends: POST /v1/models
 // registers a model on its ring-intended replicas (placement-aware),

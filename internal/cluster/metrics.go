@@ -3,7 +3,9 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -14,26 +16,73 @@ type routerMetrics struct {
 	failovers  atomic.Int64 // attempts moved to the next replica
 	backoffs   atomic.Int64 // 429 Retry-After backoffs honored
 	unroutable atomic.Int64 // requests with no healthy owner (502/503)
+	deadlines  atomic.Int64 // requests whose budget expired router-side (504)
 	admin      atomic.Int64 // control-plane operations fanned out
+
+	// classes counts requests by QoS class name (unlabeled requests under
+	// "default"). Written on the request path via sync.Map so an unbounded
+	// client-chosen class vocabulary never needs a lock.
+	classes sync.Map // string → *atomic.Int64
+}
+
+// classRequest counts one routed request against its class label. Callers
+// must pass a label from the router's bounded vocabulary (Router.classLabel
+// buckets unknown client strings as "other"), never a raw request string —
+// the map and the exported series grow one entry per distinct label.
+func (m *routerMetrics) classRequest(class string) {
+	v, ok := m.classes.Load(class)
+	if !ok {
+		v, _ = m.classes.LoadOrStore(class, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// classCounts snapshots the per-class request counters, sorted by name.
+func (m *routerMetrics) classCounts() (names []string, counts []int64) {
+	byName := make(map[string]int64)
+	m.classes.Range(func(k, v any) bool {
+		byName[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counts = make([]int64, len(names))
+	for i, name := range names {
+		counts[i] = byName[name]
+	}
+	return names, counts
 }
 
 // RouterMetricsSnapshot is a point-in-time copy of the router's counters.
 type RouterMetricsSnapshot struct {
-	Requests   int64 `json:"requests"`
-	Failovers  int64 `json:"failovers"`
-	Backoffs   int64 `json:"backoffs"`
-	Unroutable int64 `json:"unroutable"`
-	Admin      int64 `json:"admin"`
+	Requests      int64            `json:"requests"`
+	Failovers     int64            `json:"failovers"`
+	Backoffs      int64            `json:"backoffs"`
+	Unroutable    int64            `json:"unroutable"`
+	Deadlines     int64            `json:"deadlines"`
+	Admin         int64            `json:"admin"`
+	ClassRequests map[string]int64 `json:"class_requests,omitempty"`
 }
 
 func (m *routerMetrics) snapshot() RouterMetricsSnapshot {
-	return RouterMetricsSnapshot{
+	s := RouterMetricsSnapshot{
 		Requests:   m.requests.Load(),
 		Failovers:  m.failovers.Load(),
 		Backoffs:   m.backoffs.Load(),
 		Unroutable: m.unroutable.Load(),
+		Deadlines:  m.deadlines.Load(),
 		Admin:      m.admin.Load(),
 	}
+	names, counts := m.classCounts()
+	if len(names) > 0 {
+		s.ClassRequests = make(map[string]int64, len(names))
+		for i, name := range names {
+			s.ClassRequests[name] = counts[i]
+		}
+	}
+	return s
 }
 
 // writeRouterMetrics renders the router's own series plus per-backend
@@ -46,7 +95,14 @@ func writeRouterMetrics(w io.Writer, met *routerMetrics, backends []*Backend, up
 	counter("radixrouter_failovers_total", "Forward attempts retried on the next replica.", met.failovers.Load())
 	counter("radixrouter_backoffs_total", "Retry-After backoffs honored on 429 responses.", met.backoffs.Load())
 	counter("radixrouter_unroutable_total", "Requests dropped with no healthy owner.", met.unroutable.Load())
+	counter("radixrouter_deadlines_total", "Requests whose deadline budget expired router-side (504 without a forward).", met.deadlines.Load())
 	counter("radixrouter_admin_total", "Model control-plane operations (register/reload/unregister) fanned out.", met.admin.Load())
+	if names, counts := met.classCounts(); len(names) > 0 {
+		fmt.Fprintf(w, "# HELP radixrouter_class_requests_total Inference requests received, by QoS class.\n# TYPE radixrouter_class_requests_total counter\n")
+		for i, name := range names {
+			fmt.Fprintf(w, "radixrouter_class_requests_total{class=%q} %d\n", name, counts[i])
+		}
+	}
 
 	perBackend := []struct {
 		name, help, typ string

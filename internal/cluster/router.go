@@ -36,6 +36,21 @@ type RouterConfig struct {
 	// MaxBackoff caps the Retry-After backoff honored on a backend 429.
 	// Default 1s.
 	MaxBackoff time.Duration
+	// ClassRetries caps the backend attempts (first try + failovers) spent
+	// on a request per QoS class, so low-priority traffic does not burn the
+	// failover budget interactive requests need when the fleet is degraded.
+	// A class capped at 1 also skips the router-side 429 Retry-After wait —
+	// the backpressure is relayed for the client to pace itself. Classes
+	// absent from the map (and unlabeled requests) get the full replica
+	// walk. Nil selects DefaultClassRetries.
+	ClassRetries map[string]int
+	// MetricsClasses adds class names to the router's per-class metrics
+	// vocabulary (the built-in serve classes and the ClassRetries keys are
+	// always included). Requests naming a class outside the vocabulary are
+	// counted under "other" — the label set must stay bounded against
+	// client-chosen strings — so a fleet serving custom classes lists them
+	// here to get real labels without touching retry policy.
+	MetricsClasses []string
 	// AdminTimeout bounds each per-backend request of a control-plane
 	// fan-out (register/reload/unregister). These run longer than probes —
 	// registration builds engines and unregister blocks on the model's
@@ -61,10 +76,20 @@ type Router struct {
 	replicas     int
 	maxBackoff   time.Duration
 	adminTimeout time.Duration
+	classRetries map[string]int
+	knownClasses map[string]bool
 	client       *http.Client
 	http         *http.Server
 	start        time.Time
 	met          routerMetrics
+}
+
+// DefaultClassRetries is the per-class backend-attempt budget used when
+// RouterConfig.ClassRetries is nil: background requests get one shot (no
+// failover, no 429 wait), batch requests one failover, and everything else
+// the full replica walk.
+func DefaultClassRetries() map[string]int {
+	return map[string]int{"background": 1, "batch": 2}
 }
 
 // NewRouter validates the config, builds the backend set and ring, and
@@ -90,11 +115,31 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if adminTimeout <= 0 {
 		adminTimeout = 60 * time.Second
 	}
+	classRetries := cfg.ClassRetries
+	if classRetries == nil {
+		classRetries = DefaultClassRetries()
+	}
+	// The per-class metrics vocabulary: the serve tier's built-ins, the
+	// retry-policy classes, and any explicitly configured extras. Client-
+	// supplied class strings outside this set are bucketed as "other" —
+	// the label set (and routerMetrics.classes map) must not grow with
+	// attacker-chosen request bodies.
+	knownClasses := map[string]bool{
+		serve.ClassInteractive: true, serve.ClassBatch: true, serve.ClassBackground: true,
+	}
+	for name := range classRetries {
+		knownClasses[name] = true
+	}
+	for _, name := range cfg.MetricsClasses {
+		knownClasses[name] = true
+	}
 	rt := &Router{
 		set:          set,
 		replicas:     replicas,
 		maxBackoff:   maxBackoff,
 		adminTimeout: adminTimeout,
+		classRetries: classRetries,
+		knownClasses: knownClasses,
 		client:       set.cfg.Client,
 		start:        time.Now(),
 	}
@@ -181,12 +226,74 @@ func writeError(w http.ResponseWriter, code int, model, format string, args ...a
 	writeJSON(w, code, serve.ErrorResponse{Error: fmt.Sprintf(format, args...), Model: model})
 }
 
-// handleInfer routes one inference request: peek at the model name, walk
-// its healthy owners in ring order, and forward until a backend answers.
-// A transport error, 5xx, or 404 (placement drift) moves on to the next
-// replica; a 429 is retried once on the same backend after honoring its
-// Retry-After. 4xx responses pass through — they are deterministic client
-// errors every replica would repeat.
+// inferForward is one routed inference request's QoS state: the class the
+// router peeked (forwarded verbatim), the absolute deadline derived from
+// the body's deadline_ms at arrival (each forward attempt carries only the
+// REMAINING budget, so failovers and backoffs shrink it instead of
+// resetting it), and whether the class's attempt budget permits waiting
+// out a backend's 429 Retry-After.
+type inferForward struct {
+	model        string
+	class        string
+	deadline     time.Time // zero = none
+	allowBackoff bool
+}
+
+// remainingMs reports the milliseconds left in the request's budget, or 0
+// when it has no deadline. ok=false means the budget is exhausted.
+func (f *inferForward) remainingMs() (ms float64, ok bool) {
+	if f.deadline.IsZero() {
+		return 0, true
+	}
+	rem := time.Until(f.deadline)
+	if rem <= 0 {
+		return 0, false
+	}
+	return float64(rem) / float64(time.Millisecond), true
+}
+
+// classAttempts returns the backend-attempt budget for a class: the
+// configured cap, bounded to [1, owners]; unlisted classes walk every
+// owner.
+func (rt *Router) classAttempts(class string, owners int) int {
+	if n, ok := rt.classRetries[class]; ok && n > 0 && n < owners {
+		return n
+	}
+	return owners
+}
+
+// classLabel maps a request's class string onto the router's bounded
+// metrics vocabulary: "" → "default", unknown values → "other".
+func (rt *Router) classLabel(class string) string {
+	switch {
+	case class == "":
+		return "default"
+	case rt.knownClasses[class]:
+		return class
+	default:
+		return "other"
+	}
+}
+
+// classAllowsBackoff reports whether a class may wait out a backend's 429
+// Retry-After (a same-backend retry, so it is judged by the configured cap
+// alone, not by how many owners happen to be alive): only classes capped
+// at a single attempt skip it.
+func (rt *Router) classAllowsBackoff(class string) bool {
+	n, ok := rt.classRetries[class]
+	return !ok || n != 1
+}
+
+// handleInfer routes one inference request: peek at the model name and QoS
+// class, walk its healthy owners in ring order (bounded by the class's
+// attempt budget), and forward until a backend answers. A transport error,
+// 5xx, or 404 (placement drift) moves on to the next replica; a 429 is
+// retried once on the same backend after honoring its Retry-After — unless
+// the class's budget is 1, in which case the 429 is relayed and the client
+// owns the pacing. Class and remaining deadline budget travel to the
+// backend as headers; a request whose budget expires router-side is
+// answered 504 without burning a forward. 4xx responses pass through —
+// they are deterministic client errors every replica would repeat.
 func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	rt.met.requests.Add(1)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
@@ -195,7 +302,9 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var peek struct {
-		Model string `json:"model"`
+		Model      string  `json:"model"`
+		Class      string  `json:"class"`
+		DeadlineMs float64 `json:"deadline_ms"`
 	}
 	if err := json.Unmarshal(body, &peek); err != nil {
 		writeError(w, http.StatusBadRequest, "", "bad request body: %v", err)
@@ -205,18 +314,29 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "", "missing model name")
 		return
 	}
+	rt.met.classRequest(rt.classLabel(peek.Class))
 	owners := rt.set.Owners(peek.Model, rt.replicas)
 	if len(owners) == 0 {
 		rt.met.unroutable.Add(1)
 		writeError(w, http.StatusServiceUnavailable, peek.Model, "no healthy backend for model %q", peek.Model)
 		return
 	}
+	attempts := rt.classAttempts(peek.Class, len(owners))
+	if attempts < len(owners) {
+		owners = owners[:attempts]
+	}
+	fwd := &inferForward{
+		model:        peek.Model,
+		class:        peek.Class,
+		deadline:     serve.DeadlineFromMs(peek.DeadlineMs), // overflow-clamped
+		allowBackoff: rt.classAllowsBackoff(peek.Class),
+	}
 	notFound := 0
 	for i, b := range owners {
 		if i > 0 {
 			rt.met.failovers.Add(1)
 		}
-		switch rt.tryBackend(w, r, b, body) {
+		switch rt.tryBackend(w, r, b, body, fwd) {
 		case forwardDone:
 			return
 		case forwardNotFound:
@@ -274,9 +394,16 @@ const (
 // forwardDone means a response was written to the client; anything else
 // tells the caller whether the replica failed or simply doesn't host the
 // model.
-func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend, body []byte) forwardOutcome {
+func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend, body []byte, fwd *inferForward) forwardOutcome {
 	for attempt := 0; ; attempt++ {
-		resp, err := rt.forwardInfer(r.Context(), b, body)
+		if _, ok := fwd.remainingMs(); !ok {
+			// The request's budget died router-side (earlier slow attempts,
+			// backoffs): answer like a backend shed would, without burning a
+			// forward — and critically without charging the backend a
+			// failure it did not cause.
+			return rt.writeDeadline(w, fwd, "before backend "+b.id+" was tried")
+		}
+		resp, err := rt.forwardInfer(r.Context(), b, body, fwd)
 		if err != nil {
 			if r.Context().Err() != nil {
 				// The *client* hung up mid-forward: the transport error is
@@ -285,22 +412,40 @@ func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend,
 				// every healthy backend.
 				return forwardDone // nothing left to write to a gone client
 			}
+			if errors.Is(err, errBudgetExhausted) {
+				// The budget expired between the check above and the header
+				// computation: same verdict, same non-charge.
+				return rt.writeDeadline(w, fwd, "before backend "+b.id+" was tried")
+			}
 			b.failed.Add(1)
 			rt.set.noteFailure(b, err)
 			return forwardFailed
 		}
 		switch {
-		case resp.StatusCode == http.StatusTooManyRequests && attempt == 0:
+		case resp.StatusCode == http.StatusTooManyRequests && attempt == 0 && fwd.allowBackoff:
 			// Backpressure from a healthy backend: honor its Retry-After
 			// once, then retry the same owner — its queue drains in
-			// milliseconds under the serve policy defaults.
+			// milliseconds under the serve policy defaults. Single-attempt
+			// classes (background by default) skip this wait entirely: their
+			// 429 is relayed below and the client owns the pacing, so a
+			// background flood never parks router goroutines in backoffs
+			// that interactive traffic is paying for.
 			drain(resp)
 			rt.set.noteForwardSuccess(b)
 			rt.met.backoffs.Add(1)
+			wait := retryAfter(resp.Header.Get("Retry-After"), rt.maxBackoff)
+			if !fwd.deadline.IsZero() {
+				if rem := time.Until(fwd.deadline); rem <= wait {
+					// The backoff would outlive the request's budget; tell
+					// the client the deadline lost instead of sleeping past
+					// it.
+					return rt.writeDeadline(w, fwd, "during backpressure backoff on backend "+b.id)
+				}
+			}
 			select {
 			case <-r.Context().Done():
 				return forwardDone // client gone; nothing left to write
-			case <-time.After(retryAfter(resp.Header.Get("Retry-After"), rt.maxBackoff)):
+			case <-time.After(wait):
 			}
 			continue
 		case resp.StatusCode == http.StatusNotFound:
@@ -326,13 +471,42 @@ func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend,
 	}
 }
 
-// forwardInfer reposts the buffered request body to one backend.
-func (rt *Router) forwardInfer(ctx context.Context, b *Backend, body []byte) (*http.Response, error) {
+// errBudgetExhausted is forwardInfer's sentinel for a request whose
+// deadline budget died before the forward could be issued. tryBackend maps
+// it to a 504 without charging the backend.
+var errBudgetExhausted = errors.New("cluster: request deadline budget exhausted")
+
+// writeDeadline answers a router-side deadline expiry: 504 with model and
+// class attribution, counted on the deadlines series. Always forwardDone —
+// a response has been written.
+func (rt *Router) writeDeadline(w http.ResponseWriter, fwd *inferForward, where string) forwardOutcome {
+	rt.met.deadlines.Add(1)
+	writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{
+		Error: "deadline exceeded " + where,
+		Model: fwd.model,
+		Class: fwd.class,
+	})
+	return forwardDone
+}
+
+// forwardInfer reposts the buffered request body to one backend, stamping
+// the QoS headers: the class travels verbatim, the deadline as the budget
+// REMAINING at this attempt — the backend sheds queued rows against the
+// real end-to-end deadline, not a fresh copy of the original budget.
+func (rt *Router) forwardInfer(ctx context.Context, b *Backend, body []byte, fwd *inferForward) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/infer", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if fwd.class != "" {
+		req.Header.Set(serve.HeaderClass, fwd.class)
+	}
+	if ms, ok := fwd.remainingMs(); !ok {
+		return nil, errBudgetExhausted
+	} else if ms > 0 {
+		req.Header.Set(serve.HeaderDeadlineMs, strconv.FormatFloat(ms, 'f', 3, 64))
+	}
 	return rt.client.Do(req)
 }
 

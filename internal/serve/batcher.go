@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,15 +21,21 @@ type Policy struct {
 	// latency for batch density; negative disables waiting (a batch takes
 	// only what is already queued), zero selects the default of 2ms.
 	MaxLatency time.Duration
-	// QueueDepth bounds pending rows; a submission finding the queue full
-	// fails with ErrQueueFull instead of queuing unboundedly. Rows already
-	// held by collecting workers are outside this bound, so total in-flight
-	// rows are at most QueueDepth + Workers×MaxBatch. Default 256.
+	// QueueDepth bounds pending rows PER CLASS; a submission finding its
+	// class's queue full fails with ErrQueueFull instead of queuing
+	// unboundedly, and a flood in one class can never crowd another class
+	// out of queue space. Rows already held by collecting workers are
+	// outside this bound, so total in-flight rows are at most
+	// classes×QueueDepth + Workers×MaxBatch. Default 256.
 	QueueDepth int
 	// Workers is the number of collector goroutines executing batches
 	// concurrently. Default: the model's engine-pool size (so a collector
 	// never waits long for an engine lease).
 	Workers int
+	// Share is the model's weight when models contend for the registry's
+	// engine quota (QoSConfig.ExecSlots): contended execution slots are
+	// granted in Share proportion. Default 1.
+	Share int
 }
 
 // withDefaults fills zero fields; engines is the model's pool size.
@@ -45,13 +52,17 @@ func (p Policy) withDefaults(engines int) Policy {
 	if p.Workers <= 0 {
 		p.Workers = engines
 	}
+	if p.Share <= 0 {
+		p.Share = 1
+	}
 	return p
 }
 
 var (
-	// ErrQueueFull is the backpressure signal: the model's request queue is
+	// ErrQueueFull is the backpressure signal: the request's class queue is
 	// at QueueDepth. Callers should shed or retry with backoff; the HTTP
-	// layer maps it to 429.
+	// layer maps it to 429 with a Retry-After derived from the queue's
+	// drain rate.
 	ErrQueueFull = errors.New("serve: request queue full")
 	// ErrClosed reports a submission to a model that has been unregistered
 	// or whose registry has been closed (or is draining for shutdown). The
@@ -59,22 +70,29 @@ var (
 	ErrClosed = errors.New("serve: model closed")
 )
 
-// pending is one enqueued row: input, destination for the output, and the
-// completion signal. The batcher owns it from submit until done is closed.
+// pending is one enqueued row: input, destination for the output, QoS
+// metadata, and the completion signal. The batcher owns it from submit
+// until done is closed.
 type pending struct {
-	row  []float64 // input, length inW; read-only to the batcher
-	out  []float64 // output destination, length outW, written before done
-	err  error     // terminal row status, written before done
-	done chan struct{}
-	enq  time.Time
+	row      []float64 // input, length inW; read-only to the batcher
+	out      []float64 // output destination, length outW, written before done
+	err      error     // terminal row status, written before done
+	done     chan struct{}
+	enq      time.Time
+	class    int           // class id in the registry's qosSet
+	deadline time.Time     // zero = none; checked at dequeue
+	wait     time.Duration // enqueue → engine dispatch, set before done
+	exec     time.Duration // engine invocation elapsed, set before done
 }
 
-// batcher is one model's dynamic micro-batching scheduler: a bounded queue
-// of pending rows drained by Workers collector goroutines.
+// batcher is one model's QoS scheduler: per-class bounded queues drained by
+// Workers collector goroutines running deficit round-robin across classes.
 type batcher struct {
 	model *Model
 	pol   Policy
 	met   *Metrics
+	qos   *qosSet
+	disp  *dispatcher // registry engine quota; nil when disabled
 
 	// inflight counts rows between submit and completion; incoming counts
 	// rows a multi-row request has announced but not yet submitted. Together
@@ -84,14 +102,26 @@ type batcher struct {
 	inflight atomic.Int64
 	incoming atomic.Int64
 
-	mu     sync.RWMutex // guards closed and, with it, sends into queue
+	mu     sync.Mutex // guards closed and sched
 	closed bool
-	queue  chan *pending
+	sched  *classSched
+
+	notify chan struct{} // capacity 1; pinged whenever queued work may exist
+	done   chan struct{} // closed by close()
 	wg     sync.WaitGroup
 }
 
-func newBatcher(m *Model, pol Policy) *batcher {
-	b := &batcher{model: m, pol: pol, met: &m.met, queue: make(chan *pending, pol.QueueDepth)}
+func newBatcher(m *Model, pol Policy, qos *qosSet, disp *dispatcher) *batcher {
+	b := &batcher{
+		model:  m,
+		pol:    pol,
+		met:    &m.met,
+		qos:    qos,
+		disp:   disp,
+		sched:  newClassSched(qos, pol.QueueDepth),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
 	b.wg.Add(pol.Workers)
 	for i := 0; i < pol.Workers; i++ {
 		go b.worker()
@@ -99,35 +129,49 @@ func newBatcher(m *Model, pol Policy) *batcher {
 	return b
 }
 
-// submit enqueues one row without blocking: ErrQueueFull when the queue is
-// at capacity, ErrClosed after close. The read-lock excludes the
-// close()-side channel close, so sends never race it.
+// ping wakes one sleeping collector. The buffered channel keeps the wakeup
+// even when no collector is in its select yet, so submit→sleep races never
+// lose a signal; a collector that takes a batch and leaves rows behind
+// re-pings so its peers pick up the rest.
+func (b *batcher) ping() {
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// submit enqueues one row without blocking: ErrQueueFull when the row's
+// class queue is at capacity, ErrClosed after close.
 func (b *batcher) submit(p *pending) error {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.mu.Lock()
 	if b.closed {
+		b.mu.Unlock()
 		// Shutdown, not backpressure: keep the Rejected (queue-full) series
 		// clean for operators alerting on it.
 		b.met.Failed.Add(1)
 		return ErrClosed
 	}
-	// Count the row in flight before it becomes visible in the queue, so a
-	// collector that receives it never observes inflight < rows it holds.
+	// Count the row in flight before it becomes visible to collectors, so a
+	// collector never observes inflight < rows it holds.
 	b.inflight.Add(1)
-	select {
-	case b.queue <- p:
-		b.met.Accepted.Add(1)
-		return nil
-	default:
+	if err := b.sched.enqueue(p); err != nil {
+		b.mu.Unlock()
 		b.inflight.Add(-1)
 		b.met.Rejected.Add(1)
-		return ErrQueueFull
+		b.met.class(p.class).Rejected.Add(1)
+		return fmt.Errorf("%w (class %q)", ErrQueueFull, b.qos.name(p.class))
 	}
+	b.mu.Unlock()
+	b.met.Accepted.Add(1)
+	b.met.class(p.class).Accepted.Add(1)
+	b.ping()
+	return nil
 }
 
 // close rejects future submissions, then drains: rows already accepted are
 // still executed (on whatever engine generation is current when their batch
-// leases) before the workers exit. Blocks until the drain completes. Called
+// leases) before the workers exit, except rows whose deadline has already
+// passed, which are shed as usual. Blocks until the drain completes. Called
 // by Registry.Unregister and Registry.Close; idempotent.
 func (b *batcher) close() {
 	b.mu.Lock()
@@ -135,14 +179,46 @@ func (b *batcher) close() {
 	b.closed = true
 	b.mu.Unlock()
 	if !already {
-		close(b.queue)
+		close(b.done)
 	}
 	b.wg.Wait()
 }
 
-// worker is one collector loop: block for the first row of a batch, drain
-// greedily, wait out the latency budget if the batch is still short, then
-// execute. Exits when the queue is closed and empty.
+// depth reports the rows currently queued (all classes).
+func (b *batcher) depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sched.pending
+}
+
+// classDepth reports one class's queued rows.
+func (b *batcher) classDepth(class int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sched.depth(class)
+}
+
+// classBacklog reports, under one lock, a class's queued rows and its DRR
+// share of the dispatch stream right now: weight over the summed weights
+// of every currently backlogged class (1.0 when it would be the only
+// backlogged class). The Retry-After estimate uses it — a low-weight class
+// drains at its share of the engine rate, not the whole rate.
+func (b *batcher) classBacklog(class int) (depth int, share float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	depth = b.sched.depth(class)
+	weights := 0
+	for i := range b.sched.classes {
+		if i == class || b.sched.classes[i].n > 0 {
+			weights += b.sched.classes[i].weight
+		}
+	}
+	return depth, float64(b.sched.classes[class].weight) / float64(weights)
+}
+
+// worker is one collector loop: take a weighted-fair batch, wait out the
+// latency budget if the batch is still short, then execute. Exits when the
+// batcher is closed and every queue is empty.
 func (b *batcher) worker() {
 	defer b.wg.Done()
 	reqs := make([]*pending, 0, b.pol.MaxBatch)
@@ -151,13 +227,30 @@ func (b *batcher) worker() {
 		<-timer.C
 	}
 	for {
-		p, ok := <-b.queue
-		if !ok {
-			return
+		var shed []*pending
+		b.mu.Lock()
+		reqs, shed = b.sched.take(reqs[:0], b.pol.MaxBatch, time.Now())
+		left := b.sched.pending
+		closed := b.closed
+		b.mu.Unlock()
+		b.expire(shed)
+		if left > 0 {
+			b.ping() // more work than one batch: wake a peer
 		}
-		reqs = append(reqs[:0], p)
-		open := b.drain(&reqs)
-		if open && len(reqs) < b.pol.MaxBatch && b.pol.MaxLatency > 0 {
+		if len(reqs) == 0 {
+			if closed {
+				if left == 0 {
+					return
+				}
+				continue // shed-only take; keep draining
+			}
+			select {
+			case <-b.notify:
+			case <-b.done:
+			}
+			continue
+		}
+		if !closed && len(reqs) < b.pol.MaxBatch && b.pol.MaxLatency > 0 {
 			wait := b.pol.MaxLatency
 			if !b.companyPossible(len(reqs)) {
 				// Single-client fast path: the batch already holds every row
@@ -171,16 +264,22 @@ func (b *batcher) worker() {
 				}
 			}
 			timer.Reset(wait)
-		wait:
+		collect:
 			for len(reqs) < b.pol.MaxBatch {
 				select {
-				case q, ok := <-b.queue:
-					if !ok {
-						break wait
+				case <-b.notify:
+					b.mu.Lock()
+					reqs, shed = b.sched.take(reqs, b.pol.MaxBatch, time.Now())
+					left = b.sched.pending
+					b.mu.Unlock()
+					b.expire(shed)
+					if left > 0 {
+						b.ping()
 					}
-					reqs = append(reqs, q)
 				case <-timer.C:
-					break wait
+					break collect
+				case <-b.done:
+					break collect
 				}
 			}
 			if !timer.Stop() {
@@ -215,38 +314,47 @@ func (b *batcher) companyPossible(held int) bool {
 	return b.inflight.Load()+b.incoming.Load() > int64(held)
 }
 
-// drain moves whatever is already queued into reqs, up to MaxBatch, without
-// blocking. Returns false once the queue is closed.
-func (b *batcher) drain(reqs *[]*pending) bool {
-	for len(*reqs) < b.pol.MaxBatch {
-		select {
-		case q, ok := <-b.queue:
-			if !ok {
-				return false
-			}
-			*reqs = append(*reqs, q)
-		default:
-			return true
-		}
+// expire completes rows shed at dequeue for a passed deadline: never
+// executed, failed with ErrDeadlineExceeded, counted per class.
+func (b *batcher) expire(shed []*pending) {
+	if len(shed) == 0 {
+		return
 	}
-	return true
+	for _, p := range shed {
+		p.err = ErrDeadlineExceeded
+		b.met.Expired.Add(1)
+		b.met.class(p.class).Expired.Add(1)
+		close(p.done)
+	}
+	b.inflight.Add(-int64(len(shed)))
 }
 
-// execute leases an engine, runs one fused forward pass over the coalesced
-// batch, copies each row's output into its pending slot, and completes
-// every request. Output rows are copied out of the engine's ping-pong view
-// before the engine is released, so the view is never read after the next
-// lease-holder overwrites it.
+// execute leases an engine (bounded by the registry's cross-model engine
+// quota when one is configured), runs one fused forward pass over the
+// coalesced batch, copies each row's output into its pending slot, and
+// completes every request. Output rows are copied out of the engine's
+// ping-pong view before the engine is released, so the view is never read
+// after the next lease-holder overwrites it.
 func (b *batcher) execute(reqs []*pending) {
 	m := b.model
 	n := len(reqs)
+	if b.disp != nil {
+		b.disp.acquire(&m.dispC)
+		defer b.disp.release()
+	}
 	buf := m.batchBuf()
 	for i, p := range reqs {
 		copy(buf[i*m.inW:(i+1)*m.inW], p.row)
 	}
+	dispatch := time.Now()
+	for _, p := range reqs {
+		p.wait = dispatch.Sub(p.enq)
+	}
+	var execDur time.Duration
 	batch, err := sparse.DenseFromSlice(n, m.inW, buf[:n*m.inW])
 	if err == nil {
 		eng := m.Lease()
+		execStart := time.Now()
 		var out *sparse.Dense
 		if out, err = eng.Infer(batch); err == nil {
 			data := out.Data()
@@ -254,19 +362,25 @@ func (b *batcher) execute(reqs []*pending) {
 				copy(p.out, data[i*m.outW:(i+1)*m.outW])
 			}
 		}
+		execDur = time.Since(execStart)
 		m.Release(eng)
 	}
 	m.putBatchBuf(buf)
 	b.met.Batches.Add(1)
 	b.met.BatchedRows.Add(int64(n))
+	b.met.ExecNs.Add(execDur.Nanoseconds())
 	now := time.Now()
 	for _, p := range reqs {
 		p.err = err
+		p.exec = execDur
 		if err != nil {
 			b.met.Failed.Add(1)
 		} else {
 			b.met.Completed.Add(1)
 			b.met.observe(now.Sub(p.enq).Nanoseconds())
+			cm := b.met.class(p.class)
+			cm.Completed.Add(1)
+			cm.observeWait(p.wait.Nanoseconds())
 		}
 		close(p.done)
 	}

@@ -33,29 +33,50 @@
 // /v1/models/{name} (404 unknown, 422 shape change), and DELETE
 // /v1/models/{name} (404 unknown).
 //
-// Micro-batcher — each model runs Policy.Workers collector goroutines over
-// one bounded request queue (capacity Policy.QueueDepth). A collector takes
-// the first pending row, greedily drains whatever else is queued, and — if
-// the batch is still short of Policy.MaxBatch — waits up to
-// Policy.MaxLatency for more rows before leasing an engine and running one
-// fused forward pass over the coalesced batch. Single-row latency is
-// therefore bounded by MaxLatency plus one batch execution, while
-// throughput under load approaches the engine's dense-batch rate. A batch
-// already holding every in-flight row waits only a short grace window
-// rather than the full budget (the single-client fast path: a closed-loop
-// client pays microseconds, not the batching budget; multi-row requests
-// announce their rows up front so they still coalesce whole). Because
-// every batch goes through the same Engine.Infer gather/scatter kernels,
-// batched results are bit-identical to per-row inference.
+// QoS scheduler — the request path is QoS-aware end to end. Callers submit
+// a Request carrying a priority class (default set: interactive/batch/
+// background with weights 8/2/1, configurable via QoSConfig), an optional
+// deadline, and a multi-row payload; Model.Do returns a Response with
+// queue-wait and execute timings. Each model keeps one bounded FIFO per
+// class (capacity Policy.QueueDepth each) drained by Policy.Workers
+// collector goroutines running deficit round-robin: every visit to a
+// backlogged class credits it weight rows, so dispatch converges to weight
+// proportions under contention and any backlogged class with nonzero
+// weight makes progress within a bounded number of dispatches — a
+// saturating background flood cannot starve interactive traffic. Rows
+// whose deadline has passed are shed at dequeue (ErrDeadlineExceeded,
+// HTTP 504), never executed. Model.Infer and Model.InferBatch remain as
+// thin compatibility wrappers scheduling the registry's default class.
 //
-// Backpressure — the queue is a hard bound. A submission that finds it full
-// fails immediately with ErrQueueFull (surfaced as HTTP 429) instead of
-// queuing unboundedly; shutdown fails new submissions with ErrClosed
-// (HTTP 503) while draining rows already accepted.
+// Micro-batching — a collector takes a weighted-fair batch and — if still
+// short of Policy.MaxBatch — waits up to Policy.MaxLatency for more rows
+// before leasing an engine and running one fused forward pass over the
+// coalesced batch (classes share batches; priority decides dequeue order,
+// not batch membership). Single-row latency is therefore bounded by
+// MaxLatency plus one batch execution, while throughput under load
+// approaches the engine's dense-batch rate. A batch already holding every
+// in-flight row waits only a short grace window rather than the full
+// budget (the single-client fast path: a closed-loop client pays
+// microseconds, not the batching budget; multi-row requests announce their
+// rows up front so they still coalesce whole). Because every batch goes
+// through the same Engine.Infer gather/scatter kernels, batched results
+// are bit-identical to per-row inference. When QoSConfig.ExecSlots bounds
+// the registry's engine quota, models contending for slots are granted
+// them share-weighted (Policy.Share) by a stride scheduler.
 //
-// HTTP API — POST /v1/infer runs rows through the batcher; GET /v1/models
-// lists registered models; GET /healthz reports liveness; GET /metrics
-// exposes request/batch/latency counters in Prometheus text format. The
-// Server wraps net/http with graceful shutdown: stop accepting, drain
-// in-flight handlers, then drain the batchers.
+// Backpressure — each class queue is a hard bound. A submission that finds
+// its class full fails immediately with ErrQueueFull (surfaced as HTTP 429
+// with the class attributed and a Retry-After derived from queue depth and
+// drain rate) instead of queuing unboundedly; shutdown fails new
+// submissions with ErrClosed (HTTP 503) while draining rows already
+// accepted.
+//
+// HTTP API — POST /v1/infer runs rows through the batcher (body fields
+// "class" and "deadline_ms", or the X-Radix-Class/X-Radix-Deadline-Ms
+// headers a cluster router forwards); GET /v1/models lists registered
+// models; GET /healthz reports liveness; GET /metrics exposes
+// request/batch/latency counters plus per-class queue-wait series in
+// Prometheus text format. The Server wraps net/http with graceful
+// shutdown: stop accepting, drain in-flight handlers, then drain the
+// batchers.
 package serve

@@ -9,24 +9,55 @@ import (
 
 // Metrics counts one model's serving activity. All fields are atomic and
 // updated lock-free on the hot path; read them with Load (or through
-// Snapshot) at any time.
+// Snapshot) at any time. The classes slice (one entry per registry class,
+// in qosSet order) is sized at registration and never resized, so per-class
+// counters are lock-free too.
 type Metrics struct {
-	Accepted    atomic.Int64 // rows admitted to the queue
+	Accepted    atomic.Int64 // rows admitted to a class queue
 	Rejected    atomic.Int64 // rows refused with ErrQueueFull (backpressure)
 	Completed   atomic.Int64 // rows inferred and delivered
 	Failed      atomic.Int64 // rows failed (engine error or shutdown)
+	Expired     atomic.Int64 // rows shed at dequeue for a passed deadline
 	Batches     atomic.Int64 // engine invocations
 	BatchedRows atomic.Int64 // rows across engine invocations
+	ExecNs      atomic.Int64 // total engine-busy ns over invocations
 	LatencyNs   atomic.Int64 // total enqueue→delivery ns over completed rows
 	MaxLatency  atomic.Int64 // worst single-row enqueue→delivery ns
 	Reloads     atomic.Int64 // engine-pool hot swaps (Registry.Reload)
+
+	classes []ClassMetrics
 }
+
+// ClassMetrics counts one priority class's activity within a model.
+type ClassMetrics struct {
+	Accepted    atomic.Int64 // rows admitted to this class's queue
+	Rejected    atomic.Int64 // rows refused: this class's queue was full
+	Completed   atomic.Int64 // rows inferred and delivered
+	Expired     atomic.Int64 // rows shed at dequeue for a passed deadline
+	QueueWaitNs atomic.Int64 // total enqueue→dispatch ns over completed rows
+	MaxWaitNs   atomic.Int64 // worst single-row enqueue→dispatch ns
+}
+
+// observeWait records one dispatched row's enqueue→dispatch queue wait.
+func (c *ClassMetrics) observeWait(ns int64) {
+	c.QueueWaitNs.Add(ns)
+	for {
+		old := c.MaxWaitNs.Load()
+		if ns <= old || c.MaxWaitNs.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// class returns the per-class counters for a class id.
+func (m *Metrics) class(i int) *ClassMetrics { return &m.classes[i] }
 
 // MetricsSnapshot is a consistent-enough point-in-time copy of Metrics for
 // reporting (fields are loaded individually; exactness across fields is not
 // guaranteed under concurrent load).
 type MetricsSnapshot struct {
 	Accepted, Rejected, Completed, Failed int64
+	Expired                               int64
 	Batches, BatchedRows, Reloads         int64
 	MeanBatch                             float64
 	MeanLatency, MaxLatency               time.Duration
@@ -40,6 +71,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Rejected:    m.Rejected.Load(),
 		Completed:   m.Completed.Load(),
 		Failed:      m.Failed.Load(),
+		Expired:     m.Expired.Load(),
 		Batches:     m.Batches.Load(),
 		BatchedRows: m.BatchedRows.Load(),
 		Reloads:     m.Reloads.Load(),
@@ -52,6 +84,35 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.MeanLatency = time.Duration(m.LatencyNs.Load() / s.Completed)
 	}
 	return s
+}
+
+// ClassSnapshot is a point-in-time copy of one class's counters.
+type ClassSnapshot struct {
+	Class                                  string
+	Accepted, Rejected, Completed, Expired int64
+	MeanQueueWait, MaxQueueWait            time.Duration
+}
+
+// ClassSnapshots reports every class's counters in the registry's class
+// order (the Model's registry defines the class set).
+func (m *Model) ClassSnapshots() []ClassSnapshot {
+	out := make([]ClassSnapshot, m.qos.size())
+	for i := range out {
+		c := m.met.class(i)
+		s := ClassSnapshot{
+			Class:        m.qos.name(i),
+			Accepted:     c.Accepted.Load(),
+			Rejected:     c.Rejected.Load(),
+			Completed:    c.Completed.Load(),
+			Expired:      c.Expired.Load(),
+			MaxQueueWait: time.Duration(c.MaxWaitNs.Load()),
+		}
+		if s.Completed > 0 {
+			s.MeanQueueWait = time.Duration(c.QueueWaitNs.Load() / s.Completed)
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // observe records one delivered row's enqueue→delivery latency.
@@ -74,16 +135,20 @@ type promMetric struct {
 var promMetrics = []promMetric{
 	{"radixserve_rows_accepted_total", "Rows admitted to the request queue.", "counter",
 		func(m *Metrics) float64 { return float64(m.Accepted.Load()) }},
-	{"radixserve_rows_rejected_total", "Rows rejected with backpressure (queue full).", "counter",
+	{"radixserve_rows_rejected_total", "Rows rejected with backpressure (class queue full).", "counter",
 		func(m *Metrics) float64 { return float64(m.Rejected.Load()) }},
 	{"radixserve_rows_completed_total", "Rows inferred and delivered.", "counter",
 		func(m *Metrics) float64 { return float64(m.Completed.Load()) }},
 	{"radixserve_rows_failed_total", "Rows failed by engine error or shutdown.", "counter",
 		func(m *Metrics) float64 { return float64(m.Failed.Load()) }},
+	{"radixserve_rows_expired_total", "Rows shed at dequeue for a passed deadline (never executed).", "counter",
+		func(m *Metrics) float64 { return float64(m.Expired.Load()) }},
 	{"radixserve_batches_total", "Engine invocations (coalesced batches).", "counter",
 		func(m *Metrics) float64 { return float64(m.Batches.Load()) }},
 	{"radixserve_batched_rows_total", "Rows summed over engine invocations.", "counter",
 		func(m *Metrics) float64 { return float64(m.BatchedRows.Load()) }},
+	{"radixserve_engine_busy_seconds_total", "Engine time summed over invocations (drain-capacity basis).", "counter",
+		func(m *Metrics) float64 { return float64(m.ExecNs.Load()) / 1e9 }},
 	{"radixserve_request_latency_seconds_sum", "Total enqueue-to-delivery latency of completed rows.", "counter",
 		func(m *Metrics) float64 { return float64(m.LatencyNs.Load()) / 1e9 }},
 	{"radixserve_request_latency_seconds_max", "Worst single-row enqueue-to-delivery latency.", "gauge",
@@ -92,9 +157,32 @@ var promMetrics = []promMetric{
 		func(m *Metrics) float64 { return float64(m.Reloads.Load()) }},
 }
 
+// promClassMetric describes one exported per-class Prometheus series.
+type promClassMetric struct {
+	name, help, typ string
+	value           func(m *Model, class int) float64
+}
+
+var promClassMetrics = []promClassMetric{
+	{"radixserve_class_rows_accepted_total", "Rows admitted to the class queue.", "counter",
+		func(m *Model, c int) float64 { return float64(m.met.class(c).Accepted.Load()) }},
+	{"radixserve_class_rows_rejected_total", "Rows rejected because the class queue was full.", "counter",
+		func(m *Model, c int) float64 { return float64(m.met.class(c).Rejected.Load()) }},
+	{"radixserve_class_rows_completed_total", "Rows inferred and delivered for the class.", "counter",
+		func(m *Model, c int) float64 { return float64(m.met.class(c).Completed.Load()) }},
+	{"radixserve_class_rows_expired_total", "Rows of the class shed at dequeue for a passed deadline.", "counter",
+		func(m *Model, c int) float64 { return float64(m.met.class(c).Expired.Load()) }},
+	{"radixserve_queue_wait_seconds_sum", "Total enqueue-to-dispatch queue wait of completed rows.", "counter",
+		func(m *Model, c int) float64 { return float64(m.met.class(c).QueueWaitNs.Load()) / 1e9 }},
+	{"radixserve_queue_wait_seconds_max", "Worst single-row enqueue-to-dispatch queue wait.", "gauge",
+		func(m *Model, c int) float64 { return float64(m.met.class(c).MaxWaitNs.Load()) / 1e9 }},
+	{"radixserve_class_queue_depth", "Rows currently queued in the class.", "gauge",
+		func(m *Model, c int) float64 { return float64(m.bat.classDepth(c)) }},
+}
+
 // writePrometheus renders every model's counters in Prometheus text
-// exposition format, one labeled series per model, plus per-model queue
-// gauges.
+// exposition format, one labeled series per model (and per model×class for
+// the QoS series), plus per-model queue gauges.
 func writePrometheus(w io.Writer, models []*Model) {
 	for _, pm := range promMetrics {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", pm.name, pm.help, pm.name, pm.typ)
@@ -102,13 +190,21 @@ func writePrometheus(w io.Writer, models []*Model) {
 			fmt.Fprintf(w, "%s{model=%q} %g\n", pm.name, m.name, pm.value(&m.met))
 		}
 	}
-	fmt.Fprintf(w, "# HELP radixserve_queue_depth Pending rows in the request queue.\n# TYPE radixserve_queue_depth gauge\n")
-	for _, m := range models {
-		fmt.Fprintf(w, "radixserve_queue_depth{model=%q} %d\n", m.name, len(m.bat.queue))
+	for _, pm := range promClassMetrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", pm.name, pm.help, pm.name, pm.typ)
+		for _, m := range models {
+			for c := 0; c < m.qos.size(); c++ {
+				fmt.Fprintf(w, "%s{model=%q,class=%q} %g\n", pm.name, m.name, m.qos.name(c), pm.value(m, c))
+			}
+		}
 	}
-	fmt.Fprintf(w, "# HELP radixserve_queue_capacity Request queue bound (backpressure threshold).\n# TYPE radixserve_queue_capacity gauge\n")
+	fmt.Fprintf(w, "# HELP radixserve_queue_depth Pending rows in the request queues (all classes).\n# TYPE radixserve_queue_depth gauge\n")
 	for _, m := range models {
-		fmt.Fprintf(w, "radixserve_queue_capacity{model=%q} %d\n", m.name, cap(m.bat.queue))
+		fmt.Fprintf(w, "radixserve_queue_depth{model=%q} %d\n", m.name, m.bat.depth())
+	}
+	fmt.Fprintf(w, "# HELP radixserve_queue_capacity Request queue bound summed over classes (depth/capacity is a valid utilization ratio; each class's own bound is capacity/classes).\n# TYPE radixserve_queue_capacity gauge\n")
+	for _, m := range models {
+		fmt.Fprintf(w, "radixserve_queue_capacity{model=%q} %d\n", m.name, m.qos.size()*m.pol.QueueDepth)
 	}
 	fmt.Fprintf(w, "# HELP radixserve_model_generation Engine-pool generation (1 at registration, +1 per reload).\n# TYPE radixserve_model_generation gauge\n")
 	for _, m := range models {

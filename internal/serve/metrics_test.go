@@ -132,7 +132,10 @@ func TestMetricsExpositionAfterKnownSequence(t *testing.T) {
 		`radixserve_batches_total{model="m"}`:        3,
 		`radixserve_batched_rows_total{model="m"}`:   3,
 		`radixserve_queue_depth{model="m"}`:          0,
-		`radixserve_queue_capacity{model="m"}`:       7,
+		// Capacity sums the per-class bounds (3 default classes × QueueDepth
+		// 7) so depth/capacity stays a valid utilization ratio now that
+		// depth sums all classes.
+		`radixserve_queue_capacity{model="m"}`:       21,
 	} {
 		if got := p.value(t, series); got != want {
 			t.Errorf("%s = %g, want %g", series, got, want)
@@ -186,6 +189,78 @@ func TestMetricsExpositionAfterKnownSequence(t *testing.T) {
 		}
 		if !isCounter && typ != "gauge" {
 			t.Errorf("metric %s TYPE %s, want gauge", name, typ)
+		}
+	}
+}
+
+// TestClassQueueWaitExposition drives rows of two classes and asserts the
+// per-class QoS series on /metrics: queue-wait (previously recorded on
+// pending.enq but never exported) now appears as
+// radixserve_queue_wait_seconds_sum/_max per model×class, alongside the
+// per-class row counters and depth gauge, all with HELP/TYPE declared.
+func TestClassQueueWaitExposition(t *testing.T) {
+	pol := Policy{MaxBatch: 4, MaxLatency: time.Millisecond, QueueDepth: 7}
+	_, m, ts := newTestServer(t, pol, 1)
+
+	row := make([]float64, m.InputWidth())
+	row[1] = 1
+	for i := 0; i < 2; i++ {
+		if _, err := m.Do(context.Background(), &Request{Rows: [][]float64{row}, Class: ClassInteractive}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Do(context.Background(), &Request{Rows: [][]float64{row}, Class: ClassBackground}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parsePrometheus(t, string(text))
+
+	for series, want := range map[string]float64{
+		`radixserve_class_rows_accepted_total{model="m",class="interactive"}`:  2,
+		`radixserve_class_rows_completed_total{model="m",class="interactive"}`: 2,
+		`radixserve_class_rows_accepted_total{model="m",class="background"}`:   1,
+		`radixserve_class_rows_completed_total{model="m",class="background"}`:  1,
+		`radixserve_class_rows_completed_total{model="m",class="batch"}`:       0,
+		`radixserve_class_rows_rejected_total{model="m",class="interactive"}`:  0,
+		`radixserve_class_rows_expired_total{model="m",class="interactive"}`:   0,
+		`radixserve_class_queue_depth{model="m",class="interactive"}`:          0,
+	} {
+		if got := p.value(t, series); got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	// Completed rows sat in the queue a nonzero time; max ≤ sum and an idle
+	// class exports zero wait.
+	for _, class := range []string{"interactive", "background"} {
+		sum := p.value(t, fmt.Sprintf("radixserve_queue_wait_seconds_sum{model=%q,class=%q}", "m", class))
+		max := p.value(t, fmt.Sprintf("radixserve_queue_wait_seconds_max{model=%q,class=%q}", "m", class))
+		if sum <= 0 || max <= 0 || max > sum {
+			t.Errorf("class %s queue-wait sum %g / max %g inconsistent", class, sum, max)
+		}
+	}
+	if idle := p.value(t, `radixserve_queue_wait_seconds_sum{model="m",class="batch"}`); idle != 0 {
+		t.Errorf("idle class accumulated queue wait %g", idle)
+	}
+	for _, name := range []string{
+		"radixserve_class_rows_accepted_total", "radixserve_class_rows_rejected_total",
+		"radixserve_class_rows_completed_total", "radixserve_class_rows_expired_total",
+		"radixserve_queue_wait_seconds_sum", "radixserve_queue_wait_seconds_max",
+		"radixserve_class_queue_depth", "radixserve_rows_expired_total",
+	} {
+		if p.helps[name] == "" {
+			t.Errorf("metric %s has no HELP", name)
+		}
+		if _, ok := p.types[name]; !ok {
+			t.Errorf("metric %s has no TYPE", name)
 		}
 	}
 }

@@ -1,0 +1,599 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// schedHarness builds a classSched over the default class universe.
+func schedHarness(t *testing.T, depth int) (*qosSet, *classSched) {
+	t.Helper()
+	qos, err := newQoSSet(QoSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qos, newClassSched(qos, depth)
+}
+
+func mkPending(class int) *pending {
+	return &pending{class: class, done: make(chan struct{}), enq: time.Now()}
+}
+
+// TestFairSchedulerWeightedShares backs the WFQ claim: with every class
+// continuously backlogged, dispatched rows converge to weight proportions.
+func TestFairSchedulerWeightedShares(t *testing.T) {
+	qos, s := schedHarness(t, 4096)
+	now := time.Now()
+	served := make([]int, qos.size())
+	// Keep every queue topped up and take batches until enough dispatches
+	// accumulate to judge proportions.
+	const rounds = 200
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < qos.size(); c++ {
+			for s.depth(c) < 64 {
+				if err := s.enqueue(mkPending(c)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, shed := s.take(nil, 32, now)
+		if len(shed) != 0 {
+			t.Fatalf("shed %d rows without deadlines", len(shed))
+		}
+		for _, p := range got {
+			served[p.class]++
+		}
+	}
+	total := 0
+	totalWeight := 0
+	for c := 0; c < qos.size(); c++ {
+		total += served[c]
+		totalWeight += qos.weights[c]
+	}
+	for c := 0; c < qos.size(); c++ {
+		want := float64(qos.weights[c]) / float64(totalWeight)
+		got := float64(served[c]) / float64(total)
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("class %q served %.3f of rows, want %.3f ± 10%% (weights %v, served %v)",
+				qos.name(c), got, want, qos.weights, served)
+		}
+	}
+}
+
+// TestFairSchedulerNoStarvationAdversarial is the property-style starvation
+// test: under adversarial arrival patterns (the heavy class refilled to a
+// full backlog before every single take), any class with pending work and
+// nonzero weight makes progress within a bounded number of dispatches.
+func TestFairSchedulerNoStarvationAdversarial(t *testing.T) {
+	qos, s := schedHarness(t, 4096)
+	now := time.Now()
+	interactive, err := qos.id(ClassInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalWeight := 0
+	for _, w := range qos.weights {
+		totalWeight += w
+	}
+	rng := rand.New(rand.NewSource(7)) //nolint:gosec // deterministic test pattern
+	for victim := 0; victim < qos.size(); victim++ {
+		if victim == interactive {
+			continue // interactive is the flooder below
+		}
+		// One row of the victim class arrives behind an adversarial flood.
+		target := mkPending(victim)
+		if err := s.enqueue(target); err != nil {
+			t.Fatal(err)
+		}
+		const maxBatch = 8
+		// Bound: one full round-robin cycle dispatches ≤ totalWeight rows
+		// of other classes before the victim's turn; with takes of maxBatch
+		// rows each, the victim must surface within cycle/maxBatch (+1 for
+		// a mid-quantum resume, +1 slack) takes.
+		bound := totalWeight/maxBatch + 2
+		served := false
+		for i := 0; i < bound && !served; i++ {
+			// Adversary: refill the flood to a deep backlog before every
+			// take, in random bursts.
+			for s.depth(interactive) < 512 {
+				burst := 1 + rng.Intn(64)
+				for b := 0; b < burst && s.depth(interactive) < 1024; b++ {
+					if err := s.enqueue(mkPending(interactive)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			got, _ := s.take(nil, maxBatch, now)
+			for _, p := range got {
+				if p == target {
+					served = true
+				}
+			}
+		}
+		if !served {
+			t.Fatalf("class %q starved: its row not dispatched within %d takes under an interactive flood",
+				qos.name(victim), bound)
+		}
+	}
+}
+
+// TestFairSchedulerDeadlineShed: rows whose deadline passed are returned as
+// shed at dequeue, never dispatched, and cost their class no deficit.
+func TestFairSchedulerDeadlineShed(t *testing.T) {
+	qos, s := schedHarness(t, 16)
+	interactive, _ := qos.id(ClassInteractive)
+	now := time.Now()
+	expired := mkPending(interactive)
+	expired.deadline = now.Add(-time.Millisecond)
+	live := mkPending(interactive)
+	live.deadline = now.Add(time.Hour)
+	plain := mkPending(interactive)
+	for _, p := range []*pending{expired, live, plain} {
+		if err := s.enqueue(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, shed := s.take(nil, 8, now)
+	if len(shed) != 1 || shed[0] != expired {
+		t.Fatalf("shed = %v, want exactly the expired row", shed)
+	}
+	if len(got) != 2 {
+		t.Fatalf("dispatched %d rows, want 2", len(got))
+	}
+	if s.pending != 0 {
+		t.Fatalf("pending = %d after full drain", s.pending)
+	}
+}
+
+// TestQoSPerClassQueueIsolation: one class's queue at capacity must not
+// reject another class's rows — queue space is per class by design.
+func TestQoSPerClassQueueIsolation(t *testing.T) {
+	qos, s := schedHarness(t, 4)
+	interactive, _ := qos.id(ClassInteractive)
+	background, _ := qos.id(ClassBackground)
+	for i := 0; i < 4; i++ {
+		if err := s.enqueue(mkPending(background)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.enqueue(mkPending(background)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("5th background row: %v, want ErrQueueFull", err)
+	}
+	if err := s.enqueue(mkPending(interactive)); err != nil {
+		t.Fatalf("interactive row rejected while only background is full: %v", err)
+	}
+}
+
+// TestQoSDispatcherStrideShares: contended execution slots are granted in
+// share proportion. With the slot held and 4+4 waiters queued from a
+// share-4 and a share-1 model, the share-4 model's grants all land before
+// the share-1 model's 2nd grant.
+func TestQoSDispatcherStrideShares(t *testing.T) {
+	d := newDispatcher(1)
+	hold := newDispClient(1)
+	d.acquire(&hold) // pin the only slot so waiters pile up
+
+	big := newDispClient(4)
+	small := newDispClient(1)
+	type grant struct{ who string }
+	grants := make(chan grant, 8)
+	var wg sync.WaitGroup
+	queued := 0
+	enqueue := func(who string, c *dispClient, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.acquire(c)
+				grants <- grant{who}
+				d.release()
+			}()
+			// Serialize enqueues so every waiter is in the heap (with its
+			// pass assigned in order) before the first grant.
+			queued++
+			waitFor(t, "waiter queued", func() bool {
+				d.mu.Lock()
+				defer d.mu.Unlock()
+				return d.waiters.Len() == queued
+			})
+		}
+	}
+	enqueue("big", &big, 4)
+	enqueue("small", &small, 4)
+	d.release() // let the chain run: each grant releases for the next
+	wg.Wait()
+	close(grants)
+	var order []string
+	for g := range grants {
+		order = append(order, g.who)
+	}
+	if len(order) != 8 {
+		t.Fatalf("got %d grants, want 8", len(order))
+	}
+	// Stride math: big's passes are {0,s,2s,3s} (s = scale/4), small's
+	// {0,4s,8s,12s}. Sorted, positions 3..5 are big's remaining grants and
+	// 6..8 small's: all four big grants land in the first five, and small
+	// never gets its second grant before big finishes.
+	bigIn5 := 0
+	for _, who := range order[:5] {
+		if who == "big" {
+			bigIn5++
+		}
+	}
+	if bigIn5 != 4 {
+		t.Fatalf("share-4 model got %d of the first 5 grants, want 4 (order %v)", bigIn5, order)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQoSDoClassAndTimings: Do schedules by class, echoes the canonical
+// class, reports timings, and rejects unknown classes.
+func TestQoSDoClassAndTimings(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: time.Millisecond})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, m.InputWidth())
+	row[2] = 1
+
+	resp, err := m.Do(context.Background(), &Request{Rows: [][]float64{row}, Class: ClassBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Class != ClassBatch {
+		t.Fatalf("Class = %q, want %q", resp.Class, ClassBatch)
+	}
+	if len(resp.Outputs) != 1 || len(resp.Outputs[0]) != m.OutputWidth() {
+		t.Fatalf("outputs shape wrong: %d rows", len(resp.Outputs))
+	}
+	if resp.Execute <= 0 {
+		t.Fatalf("Execute = %v, want > 0", resp.Execute)
+	}
+	if resp.QueueWait < 0 {
+		t.Fatalf("QueueWait = %v", resp.QueueWait)
+	}
+
+	// Default class for unlabeled requests.
+	resp, err = m.Do(context.Background(), &Request{Rows: [][]float64{row}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Class != ClassInteractive {
+		t.Fatalf("default class = %q, want %q", resp.Class, ClassInteractive)
+	}
+
+	// Unknown class fails before queuing anything.
+	if _, err := m.Do(context.Background(), &Request{Rows: [][]float64{row}, Class: "vip"}); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("unknown class: %v, want ErrUnknownClass", err)
+	}
+	if got := m.Metrics().Accepted.Load(); got != 2 {
+		t.Fatalf("accepted = %d, want 2 (unknown class must not queue)", got)
+	}
+
+	// Per-class counters saw one batch row and one interactive row.
+	snaps := m.ClassSnapshots()
+	byName := make(map[string]ClassSnapshot, len(snaps))
+	for _, s := range snaps {
+		byName[s.Class] = s
+	}
+	if byName[ClassBatch].Completed != 1 || byName[ClassInteractive].Completed != 1 {
+		t.Fatalf("class completions: %+v", byName)
+	}
+}
+
+// TestQoSDoDeadlineShedsQueuedRows: with the engine starved, queued rows
+// whose deadline passes are shed with ErrDeadlineExceeded and never
+// executed.
+func TestQoSDoDeadlineShedsQueuedRows(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 4, MaxLatency: time.Millisecond, QueueDepth: 8, Workers: 1})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, m.InputWidth())
+
+	// Dead on arrival: shed without queueing, booked as accepted+expired so
+	// the counter identity (accepted = completed+failed+expired+queued)
+	// holds.
+	_, err = m.Do(context.Background(), &Request{
+		Rows: [][]float64{row}, Deadline: time.Now().Add(-time.Second),
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired request: %v, want ErrDeadlineExceeded", err)
+	}
+	if s := m.Metrics().Snapshot(); s.Expired != 1 || s.Accepted != 1 {
+		t.Fatalf("after DOA shed: expired %d accepted %d, want 1/1", s.Expired, s.Accepted)
+	}
+
+	// Queued past its deadline: starve the worker (lease the only engine,
+	// and occupy the worker with a batch that blocks on the lease), then
+	// submit a short-deadline row behind it and release.
+	eng := m.Lease()
+	blocker := make(chan error, 1)
+	go func() {
+		out := make([]float64, m.OutputWidth())
+		blocker <- m.Infer(context.Background(), row, out)
+	}()
+	// Wait until the worker has actually DEQUEUED the blocker (it is now
+	// blocked on the engine lease) — only then is the next submission
+	// guaranteed to sit in the queue rather than join the blocker's batch.
+	waitFor(t, "worker holds the blocker", func() bool {
+		return m.bat.inflight.Load() == 1 && m.bat.depth() == 0
+	})
+	// Outwait the collector's company-grace window (200µs) so the next
+	// submission cannot join the blocker's still-collecting batch.
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Do(context.Background(), &Request{
+			Rows: [][]float64{row}, Deadline: time.Now().Add(20 * time.Millisecond),
+		})
+		done <- err
+	}()
+	waitFor(t, "row queued", func() bool { return m.bat.depth() == 1 })
+	time.Sleep(40 * time.Millisecond) // let the deadline die while queued
+	m.Release(eng)
+	if err := <-blocker; err != nil {
+		t.Fatalf("blocker row failed: %v", err)
+	}
+	if err := <-done; !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued-expired request: %v, want ErrDeadlineExceeded", err)
+	}
+	if got := m.Metrics().Expired.Load(); got != 2 {
+		t.Fatalf("Expired = %d, want 2", got)
+	}
+}
+
+// TestQoSHTTPClassDeadlineWire covers the wire plumbing: class echoes and
+// timing fields on 200, 422 on an unknown class, 504 with class
+// attribution on an expired deadline, and header precedence over the body.
+func TestQoSHTTPClassDeadlineWire(t *testing.T) {
+	_, m, ts := newTestServer(t, Policy{MaxBatch: 8, MaxLatency: time.Millisecond}, 1)
+	row := make([]float64, m.InputWidth())
+	row[1] = 1
+
+	resp, body := postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{row}, Class: ClassBackground})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ok InferResponse
+	if err := json.Unmarshal(body, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Class != ClassBackground {
+		t.Fatalf("response class %q, want background", ok.Class)
+	}
+	if ok.ExecuteMs <= 0 {
+		t.Fatalf("execute_ms = %v, want > 0", ok.ExecuteMs)
+	}
+
+	// Unknown class → 422 with attribution, before any row queues.
+	before := m.Metrics().Accepted.Load()
+	resp, body = postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{row}, Class: "vip"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown class: status %d: %s", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Model != "m" || e.Class != "vip" {
+		t.Fatalf("422 body %s: want model and class attribution (err %v)", body, err)
+	}
+	if m.Metrics().Accepted.Load() != before {
+		t.Fatal("unknown-class request queued rows")
+	}
+
+	// Expired deadline → 504 with class attribution.
+	resp, body = postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{row}, DeadlineMs: 0.000001})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Class != ClassInteractive {
+		t.Fatalf("504 body %s: want default-class attribution (err %v)", body, err)
+	}
+
+	// Router headers beat the body: the body says batch, the header (the
+	// canonical class a router forwards) says background.
+	reqBody, err := json.Marshal(InferRequest{Model: "m", Inputs: [][]float64{row}, Class: ClassBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(HeaderClass, ClassBackground)
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Class != ClassBackground {
+		t.Fatalf("header class ignored: scheduled as %q", ok.Class)
+	}
+
+	// Header deadline (already expired) beats the body's absent one.
+	hreq2, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq2.Header.Set("Content-Type", "application/json")
+	hreq2.Header.Set(HeaderDeadlineMs, "0.000001")
+	hresp2, err := http.DefaultClient.Do(hreq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp2.Body.Close()
+	if hresp2.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("header deadline: status %d, want 504", hresp2.StatusCode)
+	}
+}
+
+// TestQoSHTTP429ClassAttributionAndRetryAfter: a saturated class queue
+// answers 429 naming the class, with a positive integer Retry-After
+// derived from queue depth and drain rate.
+func TestQoSHTTP429ClassAttributionAndRetryAfter(t *testing.T) {
+	pol := Policy{MaxBatch: 2, MaxLatency: 2 * time.Millisecond, QueueDepth: 2, Workers: 1}
+	_, m, ts := newTestServer(t, pol, 1)
+	row := make([]float64, m.InputWidth())
+	row[0] = 1
+	eng := m.Lease() // starve the worker
+
+	var got429 atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postInfer(t, ts.URL, InferRequest{Model: "m", Inputs: [][]float64{row}, Class: ClassBackground})
+			if resp.StatusCode != http.StatusTooManyRequests {
+				return
+			}
+			got429.Add(1)
+			ra := resp.Header.Get("Retry-After")
+			if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+				t.Errorf("Retry-After %q, want a positive integer", ra)
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Model != "m" || e.Class != ClassBackground {
+				t.Errorf("429 body %s: want model+class attribution (err %v)", body, err)
+			}
+		}()
+	}
+	waitFor(t, "rejections", func() bool { return m.Metrics().Rejected.Load() >= 8 })
+	m.Release(eng)
+	wg.Wait()
+	if got429.Load() == 0 {
+		t.Fatal("no 429s under class saturation")
+	}
+	// The rejections were attributed to the background class only.
+	snaps := m.ClassSnapshots()
+	for _, s := range snaps {
+		if s.Class == ClassBackground && s.Rejected == 0 {
+			t.Error("background rejections not counted per class")
+		}
+		if s.Class != ClassBackground && s.Rejected != 0 {
+			t.Errorf("class %q charged %d rejections for a background flood", s.Class, s.Rejected)
+		}
+	}
+}
+
+// TestQoSDoConcurrentReloadUnregisterRace is the race-mode test for the new
+// request path: concurrent Do calls across classes while the model is
+// hot-reloaded and finally unregistered. No request may fail for any
+// reason other than the terminal ErrClosed.
+func TestQoSDoConcurrentReloadUnregisterRace(t *testing.T) {
+	cfg := testConfig(t)
+	reg := NewRegistry(Policy{MaxBatch: 8, MaxLatency: time.Millisecond})
+	defer reg.Close()
+	m, err := reg.Register("m", cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []string{ClassInteractive, ClassBatch, ClassBackground, ""}
+	row := make([]float64, m.InputWidth())
+	row[3] = 1
+
+	stop := make(chan struct{})
+	var unexpected atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := &Request{Rows: [][]float64{row}, Class: classes[(w+i)%len(classes)]}
+				if (w+i)%5 == 0 {
+					req.Deadline = time.Now().Add(time.Second)
+				}
+				if _, err := m.Do(context.Background(), req); err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) {
+					unexpected.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := reg.Reload("m", cfg, 2); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	if err := reg.Unregister("m"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if n := unexpected.Load(); n != 0 {
+		t.Fatalf("%d unexpected errors during reload/unregister (first: %v)", n, firstErr.Load())
+	}
+}
+
+// TestQoSRegistryConfigValidation: bad QoS configs are refused, good ones
+// resolve classes as documented.
+func TestQoSRegistryConfigValidation(t *testing.T) {
+	if _, err := NewRegistryQoS(Policy{}, QoSConfig{Weights: map[string]int{"a": 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewRegistryQoS(Policy{}, QoSConfig{Weights: map[string]int{"": 3}}); err == nil {
+		t.Error("empty class name accepted")
+	}
+	if _, err := NewRegistryQoS(Policy{}, QoSConfig{DefaultClass: "nope"}); err == nil {
+		t.Error("default class outside the set accepted")
+	}
+	reg, err := NewRegistryQoS(Policy{}, QoSConfig{Weights: map[string]int{"gold": 4, "bronze": 1}, ExecSlots: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	// No "interactive" in a custom set: the heaviest class is the default.
+	if got := reg.DefaultClass(); got != "gold" {
+		t.Fatalf("default class %q, want gold", got)
+	}
+	if w := reg.Classes(); w["gold"] != 4 || w["bronze"] != 1 {
+		t.Fatalf("classes = %v", w)
+	}
+	m, err := reg.Register("m", testConfig(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ResolveClass("interactive"); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("interactive resolved in a custom set: %v", err)
+	}
+	if name, err := m.ResolveClass(""); err != nil || name != "gold" {
+		t.Fatalf("ResolveClass(\"\") = %q, %v", name, err)
+	}
+}
+

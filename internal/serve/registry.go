@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -114,20 +116,22 @@ func (ep *enginePool) retire() {
 }
 
 // Model is one registered RadiX-Net prepared for serving: a pool of warm
-// engines (swappable as a unit by Registry.Reload) plus the micro-batching
-// scheduler in front of it.
+// engines (swappable as a unit by Registry.Reload) plus the weighted-fair
+// micro-batching scheduler in front of it.
 type Model struct {
 	name string
 	inW  int // invariant across reloads (queued rows must stay executable)
 	outW int // invariant across reloads
 	pol  Policy
+	qos  *qosSet // the registry's class universe, shared by every model
 
 	pool atomic.Pointer[enginePool]
 	home sync.Map // *infer.Engine → *enginePool, routes Release across generations
 
-	bufs sync.Pool // staging buffers, MaxBatch×inW float64s each
-	met  Metrics
-	bat  *batcher
+	bufs  sync.Pool  // staging buffers, MaxBatch×inW float64s each
+	met   Metrics
+	bat   *batcher
+	dispC dispClient // stride state for the registry's engine quota
 }
 
 // ModelInfo is the externally visible description of a registered model,
@@ -145,14 +149,19 @@ type ModelInfo struct {
 	MaxLatencyMs float64 `json:"max_latency_ms"`
 	QueueDepth   int     `json:"queue_depth"`
 	Workers      int     `json:"workers"`
+	Share        int     `json:"share,omitempty"`
 }
 
 // Registry loads and owns served models: it builds RadiX-Net engines by
 // config, keeps a warm engine pool per model, and runs each model's
-// micro-batcher. Models can be registered, hot-reloaded, and unregistered
-// at runtime. Safe for concurrent use.
+// weighted-fair micro-batcher. Every model shares the registry's class set
+// and, when configured, its cross-model engine quota. Models can be
+// registered, hot-reloaded, and unregistered at runtime. Safe for
+// concurrent use.
 type Registry struct {
-	pol Policy // default policy for Register
+	pol  Policy // default policy for Register
+	qos  *qosSet
+	disp *dispatcher // nil when the engine quota is disabled
 
 	mu     sync.RWMutex
 	models map[string]*Model
@@ -161,10 +170,48 @@ type Registry struct {
 }
 
 // NewRegistry returns an empty registry whose Register calls default to the
-// given policy (zero fields of which default per Policy's docs).
+// given policy (zero fields of which default per Policy's docs), with the
+// default QoS configuration (DefaultClassWeights, unlabeled requests
+// scheduled as interactive).
 func NewRegistry(pol Policy) *Registry {
-	return &Registry{pol: pol, models: make(map[string]*Model)}
+	r, err := NewRegistryQoS(pol, QoSConfig{})
+	if err != nil {
+		// The zero QoSConfig is valid by construction.
+		panic(err)
+	}
+	return r
 }
+
+// NewRegistryQoS is NewRegistry with an explicit QoS configuration: the
+// class set and weights the weighted-fair scheduler uses, the default class
+// for unlabeled requests, and the registry-wide engine quota.
+func NewRegistryQoS(pol Policy, qos QoSConfig) (*Registry, error) {
+	qs, err := newQoSSet(qos)
+	if err != nil {
+		return nil, err
+	}
+	r := &Registry{pol: pol, qos: qs, models: make(map[string]*Model)}
+	if qos.ExecSlots >= 0 {
+		slots := qos.ExecSlots
+		if slots == 0 {
+			slots = runtime.GOMAXPROCS(0)
+		}
+		r.disp = newDispatcher(slots)
+	}
+	return r, nil
+}
+
+// Classes reports the registry's class set with its scheduling weights.
+func (r *Registry) Classes() map[string]int {
+	out := make(map[string]int, r.qos.size())
+	for i, name := range r.qos.names {
+		out[name] = r.qos.weights[i]
+	}
+	return out
+}
+
+// DefaultClass reports the class unlabeled requests are scheduled as.
+func (r *Registry) DefaultClass() string { return r.qos.name(r.qos.def) }
 
 // Register builds the RadiX-Net of cfg with Graph Challenge weighting and
 // registers it under name with a pool of `engines` warm engine instances
@@ -201,18 +248,21 @@ func (r *Registry) RegisterWithPolicy(name string, cfg core.Config, engines int,
 	}
 	widths := cfg.LayerWidths()
 	m := &Model{
-		name: name,
-		inW:  widths[0],
-		outW: widths[len(widths)-1],
-		pol:  pol,
+		name:  name,
+		inW:   widths[0],
+		outW:  widths[len(widths)-1],
+		pol:   pol,
+		qos:   r.qos,
+		dispC: newDispClient(pol.Share),
 	}
+	m.met.classes = make([]ClassMetrics, r.qos.size())
 	m.bufs.New = func() any {
 		s := make([]float64, pol.MaxBatch*m.inW)
 		return &s
 	}
 	m.indexPool(ep)
 	m.pool.Store(ep)
-	m.bat = newBatcher(m, pol)
+	m.bat = newBatcher(m, pol, r.qos, r.disp)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -459,6 +509,7 @@ func (m *Model) Info() ModelInfo {
 		MaxLatencyMs: float64(m.pol.MaxLatency) / float64(time.Millisecond),
 		QueueDepth:   m.pol.QueueDepth,
 		Workers:      m.pol.Workers,
+		Share:        m.pol.Share,
 	}
 }
 
@@ -504,56 +555,128 @@ func (m *Model) batchBuf() []float64 { return *m.bufs.Get().(*[]float64) }
 // putBatchBuf returns a staging buffer to the pool.
 func (m *Model) putBatchBuf(b []float64) { m.bufs.Put(&b) }
 
-// Infer submits one input row (length InputWidth) to the micro-batcher and
-// blocks until the result lands in out (length OutputWidth) or ctx is done.
-// Returns ErrQueueFull under backpressure and ErrClosed during shutdown.
-// On a ctx error the row may still execute later and write out — callers
-// abandoning a row must also abandon its out slice.
-func (m *Model) Infer(ctx context.Context, row, out []float64) error {
-	if len(row) != m.inW {
-		return fmt.Errorf("serve: model %q: input width %d, want %d", m.name, len(row), m.inW)
+// ResolveClass canonicalizes a request class name ("" → the registry's
+// default class), or fails with ErrUnknownClass. The HTTP layer uses it to
+// validate and attribute a request's class before any row is queued.
+func (m *Model) ResolveClass(name string) (string, error) {
+	id, err := m.qos.id(name)
+	if err != nil {
+		return "", err
 	}
-	if len(out) != m.outW {
-		return fmt.Errorf("serve: model %q: output width %d, want %d", m.name, len(out), m.outW)
-	}
-	p := &pending{row: row, out: out, done: make(chan struct{}), enq: time.Now()}
-	if err := m.bat.submit(p); err != nil {
-		return err
-	}
-	select {
-	case <-p.done:
-		return p.err
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return m.qos.name(id), nil
 }
 
-// InferBatch submits every row of a multi-row request to the micro-batcher
-// — rows coalesce with concurrent callers' rows — and returns the outputs
-// in request order. The request fails as a unit: on the first submission
+// RetryAfterSeconds estimates how long a backpressured client of the given
+// class ("" → default class) should wait before retrying, derived from the
+// class's current queue depth and its share of the model's drain capacity,
+// clamped to [1s, 30s]. The HTTP layer emits it as the Retry-After header
+// on 429 so the cluster router's backoff path engages with a real number
+// instead of a constant.
+//
+// The capacity basis is the ENGINE's measured throughput (rows per second
+// of engine-busy time, accumulated over every batch ever executed) — a
+// property of the model, stable across idle periods — not the recent
+// completion rate, which reads near-zero for a long-idle model and would
+// tell the first burst's clients to park for the full 30s cap while the
+// queue actually drains in milliseconds. The class drains at its DRR share
+// of that rate when other classes are backlogged too, so the estimate is
+// scaled by the share; single-stream capacity is used (no Workers
+// multiplier), so it errs conservative.
+func (m *Model) RetryAfterSeconds(class string) int {
+	id, err := m.qos.id(class)
+	if err != nil {
+		id = m.qos.def // unknown classes never reach the queue; be safe anyway
+	}
+	depth, share := m.bat.classBacklog(id)
+	rate := 1.0 // rows/s floor: a model that never executed answers something sane
+	if rows, busyNs := m.met.BatchedRows.Load(), m.met.ExecNs.Load(); rows > 0 && busyNs > 0 {
+		if r := float64(rows) / (float64(busyNs) / 1e9) * share; r > rate {
+			rate = r
+		}
+	}
+	secs := int(math.Ceil(float64(depth) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// Do submits one QoS-aware request — multi-row payload, priority class,
+// optional deadline — to the weighted-fair micro-batcher and blocks until
+// every row completes or ctx is done. Rows coalesce with concurrent
+// requests' rows into shared engine batches; the scheduler dispatches
+// across classes by deficit round-robin, so a flood in one class cannot
+// starve another. The request fails as a unit: on the first submission
 // rejection the remaining rows are not submitted, already-submitted rows
-// are awaited, and the rejection error is returned (so an HTTP 429 means
-// the whole request should be retried).
-func (m *Model) InferBatch(ctx context.Context, rows [][]float64) ([][]float64, error) {
-	if len(rows) == 0 {
+// are awaited, and the first error is returned (ErrQueueFull under
+// backpressure, ErrDeadlineExceeded when rows expired queued, ErrClosed
+// during shutdown, ErrUnknownClass for a class the registry does not
+// serve). On a ctx error rows may still execute later and write their out
+// slices — callers abandoning a request must also abandon its outputs.
+func (m *Model) Do(ctx context.Context, req *Request) (*Response, error) {
+	if req == nil || len(req.Rows) == 0 {
 		return nil, fmt.Errorf("serve: model %q: empty batch", m.name)
 	}
-	outs := make([][]float64, len(rows))
-	pendings := make([]*pending, 0, len(rows))
-	// Announce the whole request up front so collectors holding its first
-	// rows keep waiting for the rest instead of taking the single-client
-	// fast path and splitting the request into many tiny batches.
-	announced := int64(len(rows))
-	m.bat.incoming.Add(announced)
-	defer func() { m.bat.incoming.Add(-announced) }()
+	class, err := m.qos.id(req.Class)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", m.name, err)
+	}
+	if !req.Deadline.IsZero() && !time.Now().Before(req.Deadline) {
+		// Already dead on arrival: shed without touching the queues, with
+		// the books identical to a dequeue-time shed — Accepted AND Expired,
+		// exactly as if the rows had queued and expired instantly, so the
+		// accepted = completed + failed + expired + queued identity that
+		// dashboards derive in-flight counts from keeps holding.
+		n := int64(len(req.Rows))
+		m.met.Accepted.Add(n)
+		m.met.Expired.Add(n)
+		cm := m.met.class(class)
+		cm.Accepted.Add(n)
+		cm.Expired.Add(n)
+		return nil, fmt.Errorf("serve: model %q: %w", m.name, ErrDeadlineExceeded)
+	}
+	outs := req.outs
+	if outs == nil {
+		outs = make([][]float64, len(req.Rows))
+	}
+	pendings := make([]*pending, 0, len(req.Rows))
+	// Announce multi-row requests up front so collectors holding their
+	// first rows keep waiting for the rest instead of taking the
+	// single-client fast path and splitting the request into tiny batches.
+	// Single rows are not announced: the announcement window would defeat
+	// the fast path for closed-loop clients.
+	var announced int64
+	if len(req.Rows) > 1 {
+		announced = int64(len(req.Rows))
+		m.bat.incoming.Add(announced)
+	}
+	withdraw := func() {
+		if announced != 0 {
+			m.bat.incoming.Add(-announced)
+			announced = 0
+		}
+	}
+	defer withdraw()
 	var firstErr error
-	for i, row := range rows {
+	for i, row := range req.Rows {
 		if len(row) != m.inW {
 			firstErr = fmt.Errorf("serve: model %q: row %d width %d, want %d", m.name, i, len(row), m.inW)
 			break
 		}
-		outs[i] = make([]float64, m.outW)
-		p := &pending{row: row, out: outs[i], done: make(chan struct{}), enq: time.Now()}
+		if outs[i] == nil {
+			outs[i] = make([]float64, m.outW)
+		}
+		p := &pending{
+			row:      row,
+			out:      outs[i],
+			done:     make(chan struct{}),
+			enq:      time.Now(),
+			class:    class,
+			deadline: req.Deadline,
+		}
 		if err := m.bat.submit(p); err != nil {
 			firstErr = err
 			break
@@ -563,13 +686,19 @@ func (m *Model) InferBatch(ctx context.Context, rows [][]float64) ([][]float64, 
 	// Every row is now either in flight (counted by the batcher) or never
 	// going to arrive; withdraw the announcement before awaiting results so
 	// collectors don't wait on rows that will not come.
-	m.bat.incoming.Add(-announced)
-	announced = 0
+	withdraw()
+	resp := &Response{Outputs: outs, Class: m.qos.name(class)}
 	for _, p := range pendings {
 		select {
 		case <-p.done:
 			if p.err != nil && firstErr == nil {
 				firstErr = p.err
+			}
+			if p.wait > resp.QueueWait {
+				resp.QueueWait = p.wait
+			}
+			if p.exec > resp.Execute {
+				resp.Execute = p.exec
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -578,5 +707,42 @@ func (m *Model) InferBatch(ctx context.Context, rows [][]float64) ([][]float64, 
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return outs, nil
+	return resp, nil
+}
+
+// Infer submits one input row (length InputWidth) to the micro-batcher and
+// blocks until the result lands in out (length OutputWidth) or ctx is done.
+// Returns ErrQueueFull under backpressure and ErrClosed during shutdown.
+// On a ctx error the row may still execute later and write out — callers
+// abandoning a row must also abandon its out slice.
+//
+// Compatibility wrapper over Do: the row is scheduled as the registry's
+// default class with no deadline, so pre-QoS callers behave bit-identically
+// to the pre-QoS scheduler.
+func (m *Model) Infer(ctx context.Context, row, out []float64) error {
+	if len(row) != m.inW {
+		return fmt.Errorf("serve: model %q: input width %d, want %d", m.name, len(row), m.inW)
+	}
+	if len(out) != m.outW {
+		return fmt.Errorf("serve: model %q: output width %d, want %d", m.name, len(out), m.outW)
+	}
+	_, err := m.Do(ctx, &Request{Rows: [][]float64{row}, outs: [][]float64{out}})
+	return err
+}
+
+// InferBatch submits every row of a multi-row request to the micro-batcher
+// — rows coalesce with concurrent callers' rows — and returns the outputs
+// in request order. The request fails as a unit: on the first submission
+// rejection the remaining rows are not submitted, already-submitted rows
+// are awaited, and the rejection error is returned (so an HTTP 429 means
+// the whole request should be retried).
+//
+// Compatibility wrapper over Do: rows are scheduled as the registry's
+// default class with no deadline.
+func (m *Model) InferBatch(ctx context.Context, rows [][]float64) ([][]float64, error) {
+	resp, err := m.Do(ctx, &Request{Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Outputs, nil
 }

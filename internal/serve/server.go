@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,37 @@ import (
 // Graph Challenge widths is a few MB of JSON, so 64 MiB is generous.
 const maxRequestBody = 64 << 20
 
+// Header names the cluster router uses to forward QoS metadata alongside
+// the (unmodified) request body: the canonical class and the remaining
+// deadline budget in milliseconds, recomputed per forward attempt so
+// retries and failovers shrink the budget instead of resetting it. When
+// present, the headers take precedence over the body's class/deadline_ms.
+const (
+	HeaderClass      = "X-Radix-Class"
+	HeaderDeadlineMs = "X-Radix-Deadline-Ms"
+)
+
+// maxDeadlineMs clamps a request's deadline budget BEFORE the float→
+// Duration multiply: ~31.7 years in milliseconds, far beyond any real
+// budget but small enough that ms×1e6 can never overflow int64 to a
+// negative Duration — an unclamped 1e15 would wrap an effectively
+// unbounded deadline into an instantly-expired one (the same overflow
+// class the router's Retry-After parser clamps against).
+const maxDeadlineMs = 1e12
+
+// DeadlineFromMs converts a deadline_ms budget to an absolute deadline
+// from now, overflow-clamped; budgets ≤ 0 mean "no deadline" (zero time).
+// Shared by the HTTP handler and the cluster router.
+func DeadlineFromMs(ms float64) time.Time {
+	if ms <= 0 {
+		return time.Time{}
+	}
+	if ms > maxDeadlineMs {
+		ms = maxDeadlineMs
+	}
+	return time.Now().Add(time.Duration(ms * float64(time.Millisecond)))
+}
+
 // InferRequest is the POST /v1/infer body.
 type InferRequest struct {
 	// Model names a registered model.
@@ -25,6 +57,14 @@ type InferRequest struct {
 	// request coalesce with concurrent requests' rows into shared engine
 	// batches.
 	Inputs [][]float64 `json:"inputs"`
+	// Class names the request's priority class (one of the registry's
+	// configured classes; empty means the registry's default class).
+	// Unknown classes are refused with 422 before any row is queued.
+	Class string `json:"class,omitempty"`
+	// DeadlineMs is the request's deadline budget in milliseconds from
+	// arrival. Rows still queued when it expires are shed (never executed)
+	// and the request fails with 504. 0 means no deadline.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 	// Categories additionally reports, per row, whether any activation
 	// survived (the Graph Challenge category criterion) and the argmax
 	// neuron.
@@ -36,17 +76,25 @@ type InferResponse struct {
 	Model   string      `json:"model"`
 	Rows    int         `json:"rows"`
 	Outputs [][]float64 `json:"outputs"`
-	Active  []bool      `json:"active,omitempty"`
-	Argmax  []int       `json:"argmax,omitempty"`
+	// Class is the canonical class the request was scheduled as.
+	Class string `json:"class,omitempty"`
+	// QueueWaitMs is the longest any row of the request sat queued before
+	// its batch dispatched; ExecuteMs the longest engine invocation it rode.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	ExecuteMs   float64 `json:"execute_ms,omitempty"`
+	Active      []bool  `json:"active,omitempty"`
+	Argmax      []int   `json:"argmax,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx API response. Model is
 // set on errors scoped to a resolved model (backpressure, shutdown, engine
-// failure) so clients and the cluster router can attribute the failure
-// without reparsing their request.
+// failure) and Class on errors scoped to a scheduling class (per-class
+// backpressure, deadline expiry), so clients and the cluster router can
+// attribute the failure without reparsing their request.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Model string `json:"model,omitempty"`
+	Class string `json:"class,omitempty"`
 }
 
 // RegisterRequest is the POST /v1/models (register) and
@@ -63,12 +111,13 @@ type RegisterRequest struct {
 	// Engines sizes the warm engine pool. On registration, min 1; on
 	// reload, 0 (or omitted) keeps the model's current pool size.
 	Engines int `json:"engines,omitempty"`
-	// MaxBatch, MaxLatencyMs, QueueDepth, Workers override the batching
-	// policy at registration.
+	// MaxBatch, MaxLatencyMs, QueueDepth, Workers, Share override the
+	// batching policy at registration.
 	MaxBatch     int     `json:"max_batch,omitempty"`
 	MaxLatencyMs float64 `json:"max_latency_ms,omitempty"`
 	QueueDepth   int     `json:"queue_depth,omitempty"`
 	Workers      int     `json:"workers,omitempty"`
+	Share        int     `json:"share,omitempty"`
 }
 
 // AdminResponse is the success body of DELETE /v1/models/{name}.
@@ -221,16 +270,47 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty inputs")
 		return
 	}
-	outs, err := m.InferBatch(r.Context(), req.Inputs)
+	// Router-forwarded QoS metadata wins over the body: the class header
+	// carries the canonical class the router peeked, the deadline header
+	// the REMAINING budget after upstream queueing and failover attempts.
+	class := req.Class
+	if h := r.Header.Get(HeaderClass); h != "" {
+		class = h
+	}
+	class, err := m.ResolveClass(class)
+	if err != nil {
+		// Unknown class is a deterministic client error: refuse before any
+		// row is queued, like an unparseable config on the admin plane.
+		writeJSON(w, http.StatusUnprocessableEntity,
+			ErrorResponse{Error: err.Error(), Model: m.Name(), Class: req.Class})
+		return
+	}
+	deadlineMs := req.DeadlineMs
+	if h := r.Header.Get(HeaderDeadlineMs); h != "" {
+		if v, perr := strconv.ParseFloat(h, 64); perr == nil {
+			deadlineMs = v
+		}
+	}
+	qreq := &Request{Rows: req.Inputs, Class: class, Deadline: DeadlineFromMs(deadlineMs)}
+	qresp, err := m.Do(r.Context(), qreq)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			// The canonical backpressure response: bounded queue, explicit
-			// shed, client retries with backoff. The model name in the body
-			// lets a router back off the one saturated model rather than the
-			// whole backend.
-			w.Header().Set("Retry-After", "1")
-			writeModelError(w, http.StatusTooManyRequests, m.Name(), "model %q: %v", m.Name(), err)
+			// The canonical backpressure response: bounded per-class queue,
+			// explicit shed, client retries with backoff. The model and
+			// class in the body let a router back off the one saturated
+			// queue rather than the whole backend; Retry-After is derived
+			// from the queue's depth and drain rate so the router's backoff
+			// path engages with a real number.
+			w.Header().Set("Retry-After", strconv.Itoa(m.RetryAfterSeconds(class)))
+			writeJSON(w, http.StatusTooManyRequests,
+				ErrorResponse{Error: fmt.Sprintf("model %q: %v", m.Name(), err), Model: m.Name(), Class: class})
+		case errors.Is(err, ErrDeadlineExceeded):
+			// The request's own deadline expired while its rows were queued:
+			// they were shed, not executed. 504 tells the client (or router)
+			// the budget ran out server-side.
+			writeJSON(w, http.StatusGatewayTimeout,
+				ErrorResponse{Error: err.Error(), Model: m.Name(), Class: class})
 		case errors.Is(err, ErrClosed):
 			writeModelError(w, http.StatusServiceUnavailable, m.Name(), "%v", err)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -242,7 +322,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp := InferResponse{Model: m.Name(), Rows: len(outs), Outputs: outs}
+	outs := qresp.Outputs
+	resp := InferResponse{
+		Model:       m.Name(),
+		Rows:        len(outs),
+		Outputs:     outs,
+		Class:       qresp.Class,
+		QueueWaitMs: float64(qresp.QueueWait) / float64(time.Millisecond),
+		ExecuteMs:   float64(qresp.Execute) / float64(time.Millisecond),
+	}
 	if req.Categories {
 		resp.Active = make([]bool, len(outs))
 		resp.Argmax = make([]int, len(outs))
@@ -291,6 +379,7 @@ func (req RegisterRequest) adminPolicy() (Policy, bool) {
 		MaxLatency: time.Duration(req.MaxLatencyMs * float64(time.Millisecond)),
 		QueueDepth: req.QueueDepth,
 		Workers:    req.Workers,
+		Share:      req.Share,
 	}
 	return pol, pol != Policy{}
 }

@@ -245,9 +245,39 @@ var ErrModelExists = serve.ErrAlreadyRegistered
 // change the model's input or output width. Mapped to HTTP 422 by Server.
 var ErrReloadIncompatible = serve.ErrIncompatible
 
+// ServeRequest is the QoS-aware inference request: a multi-row payload
+// plus a priority class and an optional deadline. Submit with
+// ServedModel.Do; ServedModel.Infer/InferBatch remain as compatibility
+// wrappers scheduling the registry's default class.
+type ServeRequest = serve.Request
+
+// ServeResponse reports a completed ServeRequest with its canonical class
+// and queue-wait/execute timings.
+type ServeResponse = serve.Response
+
+// ServeQoSConfig sets a registry's quality-of-service policy: the class
+// set with weighted-fair-queuing weights, the default class for unlabeled
+// requests, and the cross-model engine quota.
+type ServeQoSConfig = serve.QoSConfig
+
+// ErrUnknownClass reports a request naming a class the registry was not
+// configured with. Mapped to HTTP 422 by Server.
+var ErrUnknownClass = serve.ErrUnknownClass
+
+// ErrDeadlineExceeded reports a request whose deadline passed before its
+// rows reached an engine (they are shed at dequeue, never executed).
+// Mapped to HTTP 504 by Server.
+var ErrDeadlineExceeded = serve.ErrDeadlineExceeded
+
 // NewRegistry returns an empty model registry whose registrations default
-// to the given batching policy.
+// to the given batching policy, with the default QoS configuration
+// (interactive/batch/background weighted 8/2/1).
 func NewRegistry(pol ServePolicy) *Registry { return serve.NewRegistry(pol) }
+
+// NewRegistryQoS is NewRegistry with an explicit QoS configuration.
+func NewRegistryQoS(pol ServePolicy, qos ServeQoSConfig) (*Registry, error) {
+	return serve.NewRegistryQoS(pol, qos)
+}
 
 // NewServer wraps the registry in an HTTP inference server bound to addr.
 func NewServer(reg *Registry, addr string) *Server { return serve.NewServer(reg, addr) }
