@@ -334,6 +334,12 @@ func BenchmarkE10_Infer(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// FromConfig now auto-selects the radix butterfly kernel; pin CSC here so
+	// this benchmark keeps tracking the generic fused path (the radix kernel
+	// has its own benchmark below).
+	if err := engine.SetKernel(infer.KernelCSC); err != nil {
+		b.Fatal(err)
+	}
 	engine.PerturbWeights(0.01, 1) // avoid the all-equal weight special case
 	width := 8 * 8 * 8 * 8
 	batch, err := dataset.SparseBatch(64, width, width/10, 1)
@@ -364,6 +370,48 @@ func BenchmarkE10_Infer(b *testing.B) {
 		}
 		b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 	})
+}
+
+// BenchmarkRadixKernel pits the structure-aware butterfly kernel (compiled
+// mixed-radix stride plans, arithmetic addressing, zero index arrays in the
+// hot loop) against the generic fused CSC kernel on the same E10 acceptance
+// workload. Both sub-benchmarks run the identical engine and batch — only
+// the kernel selection differs — and both must report 0 allocs/op in steady
+// state; outputs are bit-identical (property-tested in internal/infer).
+func BenchmarkRadixKernel(b *testing.B) {
+	cfg, err := core.NewConfig([]radix.System{radix.MustNew(8, 8, 8, 8)}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := infer.FromConfigKernel(cfg, infer.KernelRadix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.PerturbWeights(0.01, 1)
+	width := 8 * 8 * 8 * 8
+	batch, err := dataset.SparseBatch(64, width, width/10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edgesPerOp := float64(batch.Rows()) * float64(engine.TotalNNZ())
+	for _, kind := range []infer.KernelKind{infer.KernelCSC, infer.KernelRadix} {
+		b.Run(kind.String(), func(b *testing.B) {
+			if err := engine.SetKernel(kind); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Infer(batch); err != nil { // size the buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Infer(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
 }
 
 // --- E11: brain-scale streaming generation ---

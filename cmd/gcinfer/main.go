@@ -4,19 +4,25 @@
 // inputs through it, and reports throughput as edges traversed per second
 // (batch × total nnz / wall time), the challenge's headline metric.
 //
-// With -bench-json the same workload is timed through both the fused
-// allocation-free kernel stack (Engine.Infer) and the unfused scatter
-// baseline it replaced (Engine.InferUnfused), and the comparison is
-// appended to the JSON array in the given file — the BENCH_infer.json
-// format that records the repository's inference-performance trajectory
-// (see README.md for the schema). Each record carries the git SHA and batch
-// size it was measured at; a legacy single-record file is converted to an
-// array on first append.
+// With -bench-json the same workload is timed through the unfused scatter
+// baseline (Engine.InferUnfused), the fused CSC kernel stack (Engine.Infer
+// on the generic kernels), and — when the configuration compiles to
+// verified stride plans — the structure-aware radix butterfly kernel, and
+// the comparison is appended to the JSON array in the given file — the
+// BENCH_infer.json format that records the repository's inference-
+// performance trajectory (see README.md for the schema). Each record
+// carries the git SHA, batch size, and kernel it was measured at; a legacy
+// single-record file is converted to an array on first append.
+//
+// -kernel selects the kernel for the plain throughput run: "csc" pins the
+// generic kernels, "radix" demands the structure-aware path (fails on
+// configs that don't compile to stride plans), "auto" (default) resolves
+// to radix whenever the plans verify.
 //
 // Usage:
 //
 //	gcinfer [-width 1024] [-layers 120] [-batch 64] [-nnz 100] [-reps 3]
-//	gcinfer -radix 8,8,8,8 -batch 64 -bench-json BENCH_infer.json
+//	gcinfer -radix 8,8,8,8 -batch 64 -kernel radix -bench-json BENCH_infer.json
 package main
 
 import (
@@ -46,12 +52,17 @@ func main() {
 		nnz       = flag.Int("nnz", 0, "nonzeros per input row (0 = width/10)")
 		reps      = flag.Int("reps", 3, "timed repetitions (best-of)")
 		seed      = flag.Int64("seed", 1, "input seed")
-		benchJSON = flag.String("bench-json", "", "write a fused-vs-unfused benchmark record to this file and exit")
+		kernel    = flag.String("kernel", "auto", "inference kernel: csc, radix, or auto")
+		benchJSON = flag.String("bench-json", "", "write an unfused-vs-fused-vs-radix benchmark record to this file and exit")
 	)
 	flag.Parse()
 
+	kind, err := infer.ParseKernel(*kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var cfg core.Config
-	var err error
 	if *radixSpec != "" {
 		sys, perr := radix.Parse(*radixSpec)
 		if perr != nil {
@@ -70,11 +81,12 @@ func main() {
 		numLayers, netWidth, cfg.NumEdges(), core.Density(cfg))
 
 	buildStart := time.Now()
-	engine, err := infer.FromConfig(cfg)
+	engine, err := infer.FromConfigKernel(cfg, kind)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("generation: %v (%d stored weights)\n", time.Since(buildStart).Round(time.Millisecond), engine.TotalNNZ())
+	fmt.Printf("generation: %v (%d stored weights, %s kernel)\n",
+		time.Since(buildStart).Round(time.Millisecond), engine.TotalNNZ(), engine.Kernel())
 
 	inNNZ := *nnz
 	if inNNZ <= 0 {
@@ -135,19 +147,26 @@ func timeInfer(fn func(*sparse.Dense) (*sparse.Dense, error), in *sparse.Dense, 
 }
 
 // benchRecord is the BENCH_infer.json schema. "unfused" is the seed
-// scatter path (before); "fused" is the kernel stack that replaced it
-// (after); speedup is their edges/sec ratio.
+// scatter path (before); "fused" is the generic CSC kernel stack that
+// replaced it (after); speedup is their edges/sec ratio. "radix" is the
+// structure-aware butterfly kernel, present when the configuration
+// compiles to verified stride plans, with radix_speedup its edges/sec
+// ratio over the fused CSC path. "kernel" names the kernel the record's
+// engine resolved to for plain (non-bench) runs.
 type benchRecord struct {
-	Benchmark  string    `json:"benchmark"`
-	Date       string    `json:"date"`
-	GoVersion  string    `json:"go_version"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	GitSHA     string    `json:"git_sha"`
-	Network    benchNet  `json:"network"`
-	Workload   benchWork `json:"workload"`
-	Unfused    benchPath `json:"unfused"`
-	Fused      benchPath `json:"fused"`
-	Speedup    float64   `json:"speedup"`
+	Benchmark    string     `json:"benchmark"`
+	Date         string     `json:"date"`
+	GoVersion    string     `json:"go_version"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	GitSHA       string     `json:"git_sha"`
+	Kernel       string     `json:"kernel"`
+	Network      benchNet   `json:"network"`
+	Workload     benchWork  `json:"workload"`
+	Unfused      benchPath  `json:"unfused"`
+	Fused        benchPath  `json:"fused"`
+	Speedup      float64    `json:"speedup"`
+	Radix        *benchPath `json:"radix,omitempty"`
+	RadixSpeedup float64    `json:"radix_speedup,omitempty"`
 }
 
 type benchNet struct {
@@ -194,6 +213,7 @@ func writeBenchJSON(path string, cfg core.Config, engine *infer.Engine, in *spar
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GitSHA:     cliutil.GitSHA(),
+		Kernel:     engine.Kernel().String(),
 		Network: benchNet{
 			LayerWidth: cfg.LayerWidths()[0],
 			Layers:     len(cfg.LayerWidths()) - 1,
@@ -206,15 +226,36 @@ func writeBenchJSON(path string, cfg core.Config, engine *infer.Engine, in *spar
 			Reps:       reps,
 			EdgesPerOp: edgesPerOp,
 		},
-		Unfused: measure(engine.InferUnfused),
-		Fused:   measure(engine.Infer),
 	}
+	rec.Unfused = measure(engine.InferUnfused)
+	// Fused is always the generic CSC stack, so the speedup column keeps its
+	// meaning across records regardless of the -kernel flag; the radix path
+	// is measured on the same engine (same weights) when its plans compiled.
+	restore := engine.Kernel()
+	if err := engine.SetKernel(infer.KernelCSC); err != nil {
+		return err
+	}
+	rec.Fused = measure(engine.Infer)
 	rec.Speedup = rec.Fused.EdgesPerSec / rec.Unfused.EdgesPerSec
+	if engine.HasRadixPlans() {
+		if err := engine.SetKernel(infer.KernelRadix); err != nil {
+			return err
+		}
+		r := measure(engine.Infer)
+		rec.Radix = &r
+		rec.RadixSpeedup = r.EdgesPerSec / rec.Fused.EdgesPerSec
+	}
+	if err := engine.SetKernel(restore); err != nil {
+		return err
+	}
 	n, err := cliutil.AppendJSONRecord(path, rec)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("bench: unfused %.3g edges/s, fused %.3g edges/s, speedup %.2fx -> %s (record %d, sha %s)\n",
 		rec.Unfused.EdgesPerSec, rec.Fused.EdgesPerSec, rec.Speedup, path, n, rec.GitSHA)
+	if rec.Radix != nil {
+		fmt.Printf("bench: radix %.3g edges/s, %.2fx over fused csc\n", rec.Radix.EdgesPerSec, rec.RadixSpeedup)
+	}
 	return nil
 }

@@ -250,3 +250,57 @@ func TestFacadeClusterExports(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFacadeKernelSelection exercises the kernel exports: parse names,
+// build one engine per kernel family from the same config, and require the
+// structure-aware path to match the CSC oracle bit for bit.
+func TestFacadeKernelSelection(t *testing.T) {
+	for name, want := range map[string]radixnet.InferKernel{
+		"":      radixnet.KernelAuto,
+		"auto":  radixnet.KernelAuto,
+		"csc":   radixnet.KernelCSC,
+		"radix": radixnet.KernelRadix,
+	} {
+		got, err := radixnet.ParseInferKernel(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseInferKernel(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := radixnet.ParseInferKernel("simd"); err == nil {
+		t.Fatal("unknown kernel name accepted")
+	}
+
+	cfg, err := radixnet.NewConfig([]radixnet.System{radixnet.MustSystem(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := radixnet.InferFromConfigKernel(cfg, radixnet.KernelCSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := radixnet.InferFromConfigKernel(cfg, radixnet.KernelRadix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Kernel() != radixnet.KernelCSC || fast.Kernel() != radixnet.KernelRadix {
+		t.Fatalf("kernels = %v, %v", oracle.Kernel(), fast.Kernel())
+	}
+	in, err := radixnet.SparseBatch(4, 16, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut, err := oracle.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOut, err := fast.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, g := wantOut.Data(), gotOut.Data()
+	for i := range w {
+		if g[i] != w[i] {
+			t.Fatalf("radix facade engine diverged at %d: %x want %x", i, g[i], w[i])
+		}
+	}
+}

@@ -119,13 +119,40 @@ func GitSHA() string {
 	return strings.TrimSpace(string(out))
 }
 
+// stampGitSHA injects a "git_sha" field into a marshaled JSON object that
+// lacks one, so every appended benchmark record can be tied back to the
+// commit that produced it even when the record type predates the field.
+// Non-object records and records that already carry the field pass through
+// untouched (preserving their key order).
+func stampGitSHA(enc []byte) []byte {
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(enc, &obj); err != nil || obj == nil {
+		return enc
+	}
+	if _, ok := obj["git_sha"]; ok {
+		return enc
+	}
+	sha, err := json.Marshal(GitSHA())
+	if err != nil {
+		return enc
+	}
+	obj["git_sha"] = sha
+	out, err := json.Marshal(obj)
+	if err != nil {
+		return enc
+	}
+	return out
+}
+
 // AppendJSONRecord appends rec to the JSON array in path, creating the file
-// if needed, and returns the resulting record count. A legacy file holding
-// a single top-level object (the pre-append BENCH format) is converted to a
-// one-element array first, so trajectories accumulate instead of
-// clobbering. The write is atomic (temp file + rename), so a crash never
-// leaves partial JSON; concurrent appenders are last-writer-wins — bench
-// runs are expected to be sequential.
+// if needed, and returns the resulting record count. Records marshaling to
+// an object are stamped with the working tree's git_sha when they don't
+// already carry one. A legacy file holding a single top-level object (the
+// pre-append BENCH format) is converted to a one-element array first, so
+// trajectories accumulate instead of clobbering. The write is atomic (temp
+// file + rename), so a crash never leaves partial JSON; concurrent
+// appenders are last-writer-wins — bench runs are expected to be
+// sequential.
 func AppendJSONRecord(path string, rec any) (int, error) {
 	var records []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
@@ -150,7 +177,7 @@ func AppendJSONRecord(path string, rec any) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("cliutil: %w", err)
 	}
-	records = append(records, enc)
+	records = append(records, stampGitSHA(enc))
 	out, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return 0, fmt.Errorf("cliutil: %w", err)

@@ -155,6 +155,39 @@ func TestAppendJSONRecord(t *testing.T) {
 		t.Fatalf("legacy records = %+v", got)
 	}
 
+	// Appended object records are stamped with git_sha when they lack one;
+	// records that carry the field keep their own value.
+	stamped := filepath.Join(t.TempDir(), "stamped.json")
+	if _, err := AppendJSONRecord(stamped, rec{K: "bare"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendJSONRecord(stamped, map[string]string{"k": "own", "git_sha": "feedface0000"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withSHA []struct {
+		K      string `json:"k"`
+		GitSHA string `json:"git_sha"`
+	}
+	if err := json.Unmarshal(data, &withSHA); err != nil {
+		t.Fatal(err)
+	}
+	if len(withSHA) != 2 {
+		t.Fatalf("stamped records = %+v", withSHA)
+	}
+	if withSHA[0].GitSHA == "" {
+		t.Fatal("appended record was not stamped with git_sha")
+	}
+	if withSHA[0].GitSHA != GitSHA() {
+		t.Fatalf("stamped git_sha = %q, want %q", withSHA[0].GitSHA, GitSHA())
+	}
+	if withSHA[1].GitSHA != "feedface0000" {
+		t.Fatalf("explicit git_sha overwritten: %q", withSHA[1].GitSHA)
+	}
+
 	// Corrupt existing content must error rather than be clobbered.
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {

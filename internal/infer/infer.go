@@ -28,6 +28,7 @@ package infer
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync/atomic"
 
@@ -52,26 +53,34 @@ type Engine struct {
 	bias   []float64 // one uniform bias per layer
 	cap    float64   // activation ceiling; 0 disables clamping
 
-	kernels []*sparse.Kernel // CSC gather form of each layer
-	pool    *parallel.Pool
-	step    func(lo, hi int) // bound once; dispatched per layer on the pool
-	inUse   atomic.Bool      // single-flight guard for the shared scratch
+	kernels  []*sparse.Kernel      // CSC gather form of each layer
+	radix    []*sparse.RadixKernel // verified stride plans, nil unless radix-structured
+	stockham bool                  // radix kernels run the packed Stockham layout
+	kind     KernelKind            // kernel family Infer dispatches to
+	pool     *parallel.Pool
+	step     func(lo, hi int) // bound once; dispatched per layer on the pool
+	inUse    atomic.Bool      // single-flight guard for the shared scratch
 
-	// Reusable per-batch state, sized by ensure. bufIn stages a copy of the
-	// caller's batch (Infer never reads from or writes to the caller's
-	// storage after staging); bufA/bufB ping-pong the layer activations.
+	// Reusable per-batch state, sized by ensure. The caller's batch is read
+	// directly (and only read) by the first layer step — Infer never writes
+	// to the caller's storage, and drops the reference before returning;
+	// bufA/bufB ping-pong the layer activations.
 	batch      int
-	bufIn      []float64
+	maxW       int // widest layer output, the per-row buffer stride
 	bufA, bufB []float64
-	active     []int32 // rows still carrying nonzero activations, ascending
-	rowNNZ     []int32 // per-row activation count after the last layer step
+	bufS       []float64 // per-row scatter scratch, Stockham mode only
+	nzIdx      []int32   // per-row input nonzero positions (stride w0), Stockham mode only
+	active     []int32   // rows still carrying nonzero activations, ascending
+	rowNNZ     []int32   // per-row activation count after the last layer step
 	outView    *sparse.Dense
 
 	// Current layer, read by step across the worker pool.
 	cur struct {
 		kern       *sparse.Kernel
+		rk         *sparse.RadixKernel // non-nil iff this layer runs the radix kernel
 		mat        *sparse.Matrix
 		in, out    []float64
+		nz         []int32 // staged nonzero positions (stride inW); layer 0 Stockham only
 		inW, outW  int
 		bias, clip float64
 	}
@@ -129,8 +138,16 @@ func FromTopology(g *topology.FNNT, weight, bias, cap float64) (*Engine, error) 
 
 // FromConfig generates the RadiX-Net of cfg and wraps it in an engine with
 // Graph Challenge weighting: weight 1/16 scaled by fan-in relative to the
-// challenge's 32, bias per the challenge convention, cap 32.
+// challenge's 32, bias per the challenge convention, cap 32. Kernel
+// selection is KernelAuto: the config proves the layers radix-structured,
+// so stride plans are compiled and the engine runs the structure-aware
+// butterfly kernel (SetKernel(KernelCSC) restores the generic path).
 func FromConfig(cfg core.Config) (*Engine, error) {
+	return FromConfigKernel(cfg, KernelAuto)
+}
+
+// fromConfigBase builds the CSC engine for cfg without kernel selection.
+func fromConfigBase(cfg core.Config) (*Engine, error) {
 	g, err := core.Build(cfg)
 	if err != nil {
 		return nil, err
@@ -179,12 +196,20 @@ func (e *Engine) ensure(batch int) {
 	}
 	e.batch = batch
 	maxW := e.maxCols()
-	if need := batch * e.layers[0].Rows(); cap(e.bufIn) < need {
-		e.bufIn = make([]float64, need)
-	}
+	e.maxW = maxW
 	if need := batch * maxW; cap(e.bufA) < need {
 		e.bufA = make([]float64, need)
 		e.bufB = make([]float64, need)
+	}
+	if need := batch * maxW; e.stockham && cap(e.bufS) < need {
+		// Stockham scatters accumulate in natural layout before the packed
+		// epilogue; each batch row gets a private scratch region.
+		e.bufS = make([]float64, need)
+	}
+	if need := batch * e.layers[0].Rows(); e.stockham && cap(e.nzIdx) < need {
+		// The staging scan records each input row's nonzero positions so the
+		// layer-0 ring scatter skips straight to them.
+		e.nzIdx = make([]int32, need)
 	}
 	if cap(e.active) < batch {
 		e.active = make([]int32, 0, batch)
@@ -215,6 +240,10 @@ func (e *Engine) ensure(batch int) {
 // pool.
 func (e *Engine) layerStep(lo, hi int) {
 	cur := &e.cur
+	if cur.rk != nil {
+		e.layerStepRadix(lo, hi)
+		return
+	}
 	var quad [4]int
 	var quadNNZ [4]int
 	qn := 0
@@ -254,6 +283,80 @@ func (e *Engine) layerStep(lo, hi int) {
 	}
 }
 
+// layerStepRadix is layerStep on the structure-aware butterfly kernel.
+// Arithmetic addressing removes the per-entry index load, so the gather
+// blocks eight batch rows per weight load (the CSC path's quad blocking is
+// index-bandwidth-bound past four); the dense-row octets are flushed through
+// FusedGatherRow8 and remainders fall back to the quad and single-row forms
+// of the same kernel. All forms accumulate in the same order, so outputs
+// stay bit-identical to the CSC path. Chunks arrive in multiples of the
+// pool grain (8), so remainders only occur in a range's final rows.
+func (e *Engine) layerStepRadix(lo, hi int) {
+	cur := &e.cur
+	rk := cur.rk
+	var oct [8]int
+	var octNNZ [8]int
+	var ins, outs [8][]float64
+	qn := 0
+	for i := lo; i < hi; i++ {
+		b := int(e.active[i])
+		if int(e.rowNNZ[b])*2 < cur.inW {
+			inRow := cur.in[b*cur.inW : (b+1)*cur.inW]
+			outRow := cur.out[b*cur.outW : (b+1)*cur.outW]
+			if e.stockham {
+				scratch := e.bufS[b*e.maxW : b*e.maxW+cur.outW]
+				if cur.nz != nil {
+					nz := cur.nz[b*cur.inW : b*cur.inW+int(e.rowNNZ[b])]
+					e.rowNNZ[b] = int32(rk.FusedScatterRowStockhamNZ(outRow, inRow, nz, scratch, cur.bias, cur.clip))
+				} else {
+					e.rowNNZ[b] = int32(rk.FusedScatterRowStockham(outRow, inRow, scratch, cur.bias, cur.clip))
+				}
+			} else {
+				e.rowNNZ[b] = int32(rk.FusedScatterRow(outRow, inRow, cur.bias, cur.clip))
+			}
+			continue
+		}
+		oct[qn] = b
+		qn++
+		if qn == 8 {
+			for t, bq := range oct {
+				ins[t] = cur.in[bq*cur.inW : (bq+1)*cur.inW]
+				outs[t] = cur.out[bq*cur.outW : (bq+1)*cur.outW]
+			}
+			rk.FusedGatherRow8(&outs, &ins, cur.bias, cur.clip, &octNNZ)
+			for t, bq := range oct {
+				e.rowNNZ[bq] = int32(octNNZ[t])
+			}
+			qn = 0
+		}
+	}
+	t := 0
+	if qn >= 4 {
+		var quadNNZ [4]int
+		b0, b1, b2, b3 := oct[0], oct[1], oct[2], oct[3]
+		rk.FusedGatherRow4(
+			cur.out[b0*cur.outW:(b0+1)*cur.outW],
+			cur.out[b1*cur.outW:(b1+1)*cur.outW],
+			cur.out[b2*cur.outW:(b2+1)*cur.outW],
+			cur.out[b3*cur.outW:(b3+1)*cur.outW],
+			cur.in[b0*cur.inW:(b0+1)*cur.inW],
+			cur.in[b1*cur.inW:(b1+1)*cur.inW],
+			cur.in[b2*cur.inW:(b2+1)*cur.inW],
+			cur.in[b3*cur.inW:(b3+1)*cur.inW],
+			cur.bias, cur.clip, &quadNNZ)
+		for j, bq := range oct[:4] {
+			e.rowNNZ[bq] = int32(quadNNZ[j])
+		}
+		t = 4
+	}
+	for ; t < qn; t++ {
+		b := oct[t]
+		inRow := cur.in[b*cur.inW : (b+1)*cur.inW]
+		outRow := cur.out[b*cur.outW : (b+1)*cur.outW]
+		e.rowNNZ[b] = int32(rk.FusedGatherRow(outRow, inRow, cur.bias, cur.clip))
+	}
+}
+
 // Infer runs the batch through every layer with threshold-ReLU semantics
 // and returns the final activations. The input batch is never mutated.
 //
@@ -280,24 +383,54 @@ func (e *Engine) infer(y0 *sparse.Dense) (*sparse.Dense, error) {
 	batch := y0.Rows()
 	e.ensure(batch)
 
-	// Stage the input, counting each row's nonzeros (which seeds the
+	// Scan the input, counting each row's nonzeros (which seeds the
 	// gather/scatter choice for layer 0) and the active-row list: a row that
 	// is already all-zero maps to clamp(relu(bias)) per element, which the
-	// per-layer reactivation below handles, so it starts inactive.
+	// per-layer reactivation below handles, so it starts inactive. The first
+	// layer step reads the caller's storage directly — no layer ever writes
+	// its input, so staging a private copy would only add a batch-sized
+	// memmove to every call.
 	w0 := y0.Cols()
-	src := y0.Data()
-	in := e.bufIn[:batch*w0]
-	copy(in, src)
+	in := y0.Data()[:batch*w0]
+	if len(in) > 0 && len(e.bufA) > 0 && &in[0] == &e.bufA[0] {
+		// Chained inference: the caller handed the engine's own output view
+		// back as input, and layer 0 writes that same buffer. Stage the batch
+		// in bufB, which layer 0 never touches and layer 1 reclaims only
+		// after the input is consumed.
+		if cap(e.bufB) < len(in) {
+			e.bufB = make([]float64, len(in))
+		}
+		stage := e.bufB[:len(in)]
+		copy(stage, in)
+		in = stage
+	}
 	e.active = e.active[:0]
+	record := e.stockham && e.kind == KernelRadix
 	for b := 0; b < batch; b++ {
 		row := in[b*w0 : (b+1)*w0]
-		nnz := int32(0)
-		for _, v := range row {
-			if v != 0 {
-				nnz++
+		nnz := 0
+		if record {
+			// Record nonzero positions for the layer-0 ring scatter while
+			// counting: the position is stored unconditionally and the
+			// cursor advances by the liveness bit, so the recording pass is
+			// branchless too.
+			idx := e.nzIdx[b*w0 : (b+1)*w0]
+			for i, v := range row {
+				y := math.Float64bits(v) << 1
+				idx[nnz] = int32(i)
+				nnz += int((y | -y) >> 63)
+			}
+		} else {
+			for _, v := range row {
+				// Branchless v != 0: shifting out the sign bit makes ±0 read
+				// as zero and everything else (including NaN) as live,
+				// exactly the float comparison's semantics, without a
+				// data-dependent branch on every staged element.
+				y := math.Float64bits(v) << 1
+				nnz += int((y | -y) >> 63)
 			}
 		}
-		e.rowNNZ[b] = nnz
+		e.rowNNZ[b] = int32(nnz)
 		if nnz > 0 {
 			e.active = append(e.active, int32(b))
 		}
@@ -310,11 +443,24 @@ func (e *Engine) infer(y0 *sparse.Dense) (*sparse.Dense, error) {
 		outW := kern.Cols()
 		b := e.bias[l]
 		e.cur.kern, e.cur.mat, e.cur.in, e.cur.out = kern, e.layers[l], in, out
+		e.cur.rk = nil
+		e.cur.nz = nil
+		if e.kind == KernelRadix {
+			e.cur.rk = e.radix[l]
+			if l == 0 && record {
+				e.cur.nz = e.nzIdx
+			}
+		}
 		e.cur.inW, e.cur.outW = inW, outW
 		e.cur.bias, e.cur.clip = b, e.cap
-		// Grain 4 keeps pool chunks at whole gather quads, so the quad-row
-		// kernel engages even when many workers shrink the chunks.
-		e.pool.Run(len(e.active), 4, e.step)
+		// The grain keeps pool chunks at whole gather blocks — quads on the
+		// CSC path, octets on the radix path — so the widest kernel engages
+		// even when many workers shrink the chunks.
+		grain := 4
+		if e.cur.rk != nil {
+			grain = 8
+		}
+		e.pool.Run(len(e.active), grain, e.step)
 
 		if b > 0 {
 			// A positive bias resurrects all-zero rows: their image is the
@@ -375,6 +521,9 @@ func (e *Engine) infer(y0 *sparse.Dense) (*sparse.Dense, error) {
 			row[c] = 0
 		}
 	}
+	// Layer 0 read the caller's storage in place; drop the reference so the
+	// engine never pins a caller batch between calls.
+	e.cur.in = nil
 	return final, nil
 }
 
@@ -489,6 +638,9 @@ func (e *Engine) RefreshWeights() {
 		// Same pattern, same engine: Refresh cannot fail here.
 		_ = e.kernels[i].Refresh(l)
 	}
+	for _, rk := range e.radix {
+		rk.RefreshValues() // Stockham-ordered weight copies are not shared storage
+	}
 }
 
 // Clone returns an engine sharing this engine's immutable weight stack —
@@ -496,13 +648,16 @@ func (e *Engine) RefreshWeights() {
 // independent scratch state (ping-pong buffers, active-row lists,
 // single-flight guard). A pool of clones serves concurrent batches without
 // duplicating the model: N clones cost N sets of activation buffers, not N
-// copies of the weights. Clones inherit the parent's worker pool; use
+// copies of the weights. Compiled stride plans (and the kernel selection)
+// are shared the same way, so a radix-kernel pool compiles each plan
+// exactly once. Clones inherit the parent's worker pool; use
 // SetPool to give each its own parallelism budget. Weight mutation
 // (RefreshWeights, PerturbWeights) through any clone is visible to all of
 // them and must not race an in-flight Infer — serving treats weights as
 // frozen after the pool is built.
 func (e *Engine) Clone() *Engine {
-	c := &Engine{layers: e.layers, bias: e.bias, cap: e.cap, kernels: e.kernels, pool: e.pool}
+	c := &Engine{layers: e.layers, bias: e.bias, cap: e.cap, kernels: e.kernels,
+		radix: e.radix, stockham: e.stockham, kind: e.kind, pool: e.pool}
 	c.step = c.layerStep
 	return c
 }

@@ -1,0 +1,188 @@
+package infer
+
+import (
+	"fmt"
+
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// KernelKind selects which fused kernel family an engine's layer steps run.
+type KernelKind int
+
+const (
+	// KernelCSC is the generic fused CSC gather / CSR scatter kernel pair —
+	// correct for any sparsity pattern, and the bit-identity oracle the
+	// structure-aware path is validated against. The zero value, so engines
+	// built from explicit matrices (New, FromTopology) default to it.
+	KernelCSC KernelKind = iota
+
+	// KernelRadix is the structure-aware butterfly kernel: each layer runs a
+	// compiled mixed-radix stride plan with arithmetic addressing and no
+	// index arrays in the hot loop. Only available when every layer's pattern
+	// has been proven radix-structured (CompileRadixPlans).
+	KernelRadix
+
+	// KernelAuto resolves to KernelRadix when the engine carries verified
+	// stride plans for every layer and KernelCSC otherwise. It is the default
+	// for config-built engines.
+	KernelAuto
+)
+
+// String returns the kernel's wire name, as accepted by ParseKernel.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelCSC:
+		return "csc"
+	case KernelRadix:
+		return "radix"
+	case KernelAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("KernelKind(%d)", int(k))
+}
+
+// ParseKernel parses a kernel name from config or flags. The empty string
+// means KernelAuto, so omitting the field keeps today's behavior.
+func ParseKernel(s string) (KernelKind, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "csc":
+		return KernelCSC, nil
+	case "radix":
+		return KernelRadix, nil
+	}
+	return KernelAuto, fmt.Errorf("infer: unknown kernel %q (want csc, radix or auto)", s)
+}
+
+// FromConfigKernel is FromConfig with explicit kernel selection. KernelAuto
+// compiles stride plans and falls back to CSC only if the built layers do
+// not verify as radix-structured (which config-built networks always do);
+// KernelRadix makes that failure an error; KernelCSC skips plan compilation
+// entirely.
+func FromConfigKernel(cfg core.Config, kind KernelKind) (*Engine, error) {
+	e, err := fromConfigBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KernelCSC:
+		return e, nil
+	case KernelRadix, KernelAuto:
+		if err := e.CompileRadixPlans(cfg); err != nil {
+			if kind == KernelRadix {
+				return nil, err
+			}
+			return e, nil // auto: arbitrary pattern, CSC fallback
+		}
+		e.kind = KernelRadix
+		return e, nil
+	}
+	return nil, fmt.Errorf("infer: invalid kernel kind %v", kind)
+}
+
+// CompileRadixPlans compiles and verifies a stride plan for every layer of
+// the engine from the mixed-radix config that generated it, attaching a
+// structure-aware kernel per layer. The plans share value storage with the
+// engine's matrices and CSC kernels, so RefreshWeights/PerturbWeights and
+// Clone sharing work unchanged. On any layer failing structural
+// verification (the config does not describe these matrices) the engine is
+// left unmodified on the CSC kernel and the error reports the layer.
+func (e *Engine) CompileRadixPlans(cfg core.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("infer: radix plans: %w", err)
+	}
+	if got := cfg.TotalRadices(); got != len(e.layers) {
+		return fmt.Errorf("infer: config has %d radix layers, engine has %d", got, len(e.layers))
+	}
+	np := cfg.NPrime()
+	shape := cfg.ShapeOrOnes()
+	radixKerns := make([]*sparse.RadixKernel, len(e.layers))
+	l := 0
+	for _, sys := range cfg.Systems {
+		for i := 0; i < sys.Len(); i++ {
+			plan, err := sparse.CompileStridePlan(
+				e.layers[l].Pattern(), np, sys.PlaceValue(i), sys.Radix(i), shape[l], shape[l+1])
+			if err != nil {
+				return fmt.Errorf("infer: layer %d: %w", l, err)
+			}
+			rk, err := sparse.NewRadixKernel(e.layers[l], e.kernels[l], plan)
+			if err != nil {
+				return fmt.Errorf("infer: layer %d: %w", l, err)
+			}
+			radixKerns[l] = rk
+			l++
+		}
+	}
+	// Stockham chaining: if every layer is a pure EMR circulant and each
+	// layer's output packing (pv·radix, identity once it reaches N′) is the
+	// next layer's input packing (its pv), the whole stack can run in the
+	// packed Stockham layout — all hot-loop streams unit-stride, engine
+	// inputs and outputs still natural. Mixed-radix systems chain by
+	// construction (place values multiply to the product), so this holds for
+	// every standard EMR config; Kronecker lifts and last-system-divides
+	// configs fall back to the natural-order radix kernels, which are still
+	// index-free and bit-identical.
+	stockham := true
+	pack := 1
+	for _, rk := range radixKerns {
+		p := rk.Plan()
+		dp, dn := p.Shape()
+		if dp != 1 || dn != 1 || !p.CanStockham() || p.PlaceValue() != pack {
+			stockham = false
+			break
+		}
+		pack = p.PlaceValue() * p.Radix()
+		if pack == p.NPrime() {
+			pack = 1
+		}
+	}
+	if stockham && pack == 1 {
+		for _, rk := range radixKerns {
+			if err := rk.EnableStockham(); err != nil {
+				return fmt.Errorf("infer: %w", err)
+			}
+		}
+		e.stockham = true
+	}
+	e.radix = radixKerns
+	return nil
+}
+
+// Kernel reports which kernel family Infer currently runs.
+func (e *Engine) Kernel() KernelKind { return e.kind }
+
+// HasRadixPlans reports whether every layer carries a verified stride plan,
+// i.e. whether SetKernel(KernelRadix) would succeed.
+func (e *Engine) HasRadixPlans() bool { return e.radix != nil }
+
+// SetKernel switches the kernel family used by subsequent Infer calls.
+// KernelAuto picks radix when plans are attached, CSC otherwise;
+// KernelRadix errors when the engine has no compiled plans (build with
+// FromConfigKernel or call CompileRadixPlans first). Returns ErrBusy rather
+// than switching under an in-flight Infer.
+func (e *Engine) SetKernel(kind KernelKind) error {
+	if !e.inUse.CompareAndSwap(false, true) {
+		return ErrBusy
+	}
+	defer e.inUse.Store(false)
+	switch kind {
+	case KernelAuto:
+		if e.radix != nil {
+			e.kind = KernelRadix
+		} else {
+			e.kind = KernelCSC
+		}
+	case KernelCSC:
+		e.kind = KernelCSC
+	case KernelRadix:
+		if e.radix == nil {
+			return fmt.Errorf("infer: engine has no compiled stride plans; radix kernel unavailable")
+		}
+		e.kind = KernelRadix
+	default:
+		return fmt.Errorf("infer: invalid kernel kind %v", kind)
+	}
+	return nil
+}

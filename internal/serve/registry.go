@@ -43,6 +43,13 @@ type enginePool struct {
 	weights int
 	density float64
 
+	// want is the kernel the generation was requested with (preserved across
+	// reloads that don't name one); kernel is what it resolved to — Auto
+	// becomes radix when the config compiles to verified stride plans, CSC
+	// otherwise. Immutable after construction, like the rest of the pool.
+	want   infer.KernelKind
+	kernel infer.KernelKind
+
 	engines chan *infer.Engine // the warm pool; lease = receive, release = send
 	all     []*infer.Engine    // every member, for lease routing bookkeeping
 	workers []*parallel.Pool   // private per-engine worker pools, closed at retire
@@ -57,14 +64,15 @@ type enginePool struct {
 	once    sync.Once
 }
 
-// newEnginePool builds one generation: the base engine from cfg, clones
-// sharing its weight stack, and a private worker pool per engine sized to a
-// fair share of the machine.
-func newEnginePool(cfg core.Config, engines int) (*enginePool, error) {
+// newEnginePool builds one generation: the base engine from cfg on the
+// requested kernel, clones sharing its weight stack (and, on the radix
+// kernel, its compiled stride plans), and a private worker pool per engine
+// sized to a fair share of the machine.
+func newEnginePool(cfg core.Config, engines int, kind infer.KernelKind) (*enginePool, error) {
 	if engines < 1 {
 		engines = 1
 	}
-	base, err := infer.FromConfig(cfg)
+	base, err := infer.FromConfigKernel(cfg, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +82,8 @@ func newEnginePool(cfg core.Config, engines int) (*enginePool, error) {
 		layers:  base.NumLayers(),
 		weights: base.TotalNNZ(),
 		density: core.Density(cfg),
+		want:    kind,
+		kernel:  base.Kernel(),
 		engines: make(chan *infer.Engine, engines),
 		drained: make(chan struct{}),
 	}
@@ -128,7 +138,7 @@ type Model struct {
 	pool atomic.Pointer[enginePool]
 	home sync.Map // *infer.Engine → *enginePool, routes Release across generations
 
-	bufs  sync.Pool  // staging buffers, MaxBatch×inW float64s each
+	bufs  sync.Pool // staging buffers, MaxBatch×inW float64s each
 	met   Metrics
 	bat   *batcher
 	dispC dispClient // stride state for the registry's engine quota
@@ -137,13 +147,16 @@ type Model struct {
 // ModelInfo is the externally visible description of a registered model,
 // also the JSON element of GET /v1/models.
 type ModelInfo struct {
-	Name         string  `json:"name"`
-	Generation   int     `json:"generation"`
-	InputWidth   int     `json:"input_width"`
-	OutputWidth  int     `json:"output_width"`
-	Layers       int     `json:"layers"`
-	Weights      int     `json:"weights"`
-	Density      float64 `json:"density"`
+	Name        string  `json:"name"`
+	Generation  int     `json:"generation"`
+	InputWidth  int     `json:"input_width"`
+	OutputWidth int     `json:"output_width"`
+	Layers      int     `json:"layers"`
+	Weights     int     `json:"weights"`
+	Density     float64 `json:"density"`
+	// Kernel is the kernel family the model's engines resolved to ("csc" or
+	// "radix" — never "auto", which resolves at build time).
+	Kernel       string  `json:"kernel"`
 	Engines      int     `json:"engines"`
 	MaxBatch     int     `json:"max_batch"`
 	MaxLatencyMs float64 `json:"max_latency_ms"`
@@ -215,9 +228,19 @@ func (r *Registry) DefaultClass() string { return r.qos.name(r.qos.def) }
 
 // Register builds the RadiX-Net of cfg with Graph Challenge weighting and
 // registers it under name with a pool of `engines` warm engine instances
-// (min 1), using the registry's default policy.
+// (min 1), using the registry's default policy and automatic kernel
+// selection: the structure-aware radix kernel when the config compiles to
+// verified stride plans (every standard EMR config does), generic CSC
+// otherwise.
 func (r *Registry) Register(name string, cfg core.Config, engines int) (*Model, error) {
-	return r.RegisterWithPolicy(name, cfg, engines, r.pol)
+	return r.RegisterWithPolicyKernel(name, cfg, engines, r.pol, infer.KernelAuto)
+}
+
+// RegisterKernel is Register with explicit kernel selection: KernelCSC pins
+// the model to the generic kernels, KernelRadix demands verified stride
+// plans (the registration fails if the config does not compile).
+func (r *Registry) RegisterKernel(name string, cfg core.Config, engines int, kind infer.KernelKind) (*Model, error) {
+	return r.RegisterWithPolicyKernel(name, cfg, engines, r.pol, kind)
 }
 
 // RegisterJSON is Register for a configuration in the graphio JSON wire
@@ -232,6 +255,12 @@ func (r *Registry) RegisterJSON(name string, cfgJSON []byte, engines int) (*Mode
 
 // RegisterWithPolicy is Register with a per-model batching policy override.
 func (r *Registry) RegisterWithPolicy(name string, cfg core.Config, engines int, pol Policy) (*Model, error) {
+	return r.RegisterWithPolicyKernel(name, cfg, engines, pol, infer.KernelAuto)
+}
+
+// RegisterWithPolicyKernel is Register with both a batching policy and a
+// kernel override.
+func (r *Registry) RegisterWithPolicyKernel(name string, cfg core.Config, engines int, pol Policy, kind infer.KernelKind) (*Model, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty model name")
 	}
@@ -242,7 +271,7 @@ func (r *Registry) RegisterWithPolicy(name string, cfg core.Config, engines int,
 
 	// Build outside the lock: generation is the expensive part and must not
 	// serialize against lookups.
-	ep, err := newEnginePool(cfg, engines)
+	ep, err := newEnginePool(cfg, engines, kind)
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", name, err)
 	}
@@ -315,8 +344,19 @@ func (r *Registry) Unregister(name string) error {
 // model's input and output widths (ErrIncompatible otherwise); interior
 // topology, weights, and pool size may all change. engines < 1 keeps the
 // current pool size, so a weights-only reload preserves the model's
-// serving capacity.
+// serving capacity. The model's requested kernel is preserved (use
+// ReloadKernel to change it).
 func (r *Registry) Reload(name string, cfg core.Config, engines int) (*Model, error) {
+	return r.reload(name, cfg, engines, infer.KernelAuto, false)
+}
+
+// ReloadKernel is Reload with an explicit kernel for the new generation;
+// subsequent kernel-less reloads preserve it.
+func (r *Registry) ReloadKernel(name string, cfg core.Config, engines int, kind infer.KernelKind) (*Model, error) {
+	return r.reload(name, cfg, engines, kind, true)
+}
+
+func (r *Registry) reload(name string, cfg core.Config, engines int, kind infer.KernelKind, setKernel bool) (*Model, error) {
 	r.mu.RLock()
 	m, ok := r.models[name]
 	closed := r.closed
@@ -342,10 +382,15 @@ func (r *Registry) Reload(name string, cfg core.Config, engines int) (*Model, er
 		// must not quietly collapse an 8-engine pool to 1.
 		engines = cap(m.pool.Load().engines)
 	}
+	if !setKernel {
+		// Unspecified kernel likewise means "same as now": a weights-only
+		// reload of a CSC-pinned model must not silently move it to radix.
+		kind = m.pool.Load().want
+	}
 
 	// The expensive build happens with no locks held and the old pool
 	// still serving traffic.
-	ep, err := newEnginePool(cfg, engines)
+	ep, err := newEnginePool(cfg, engines, kind)
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", name, err)
 	}
@@ -382,6 +427,16 @@ func (r *Registry) ReloadJSON(name string, cfgJSON []byte, engines int) (*Model,
 		return nil, fmt.Errorf("serve: model %q: %w", name, err)
 	}
 	return r.Reload(name, cfg, engines)
+}
+
+// ReloadJSONKernel is ReloadKernel for a configuration in the graphio JSON
+// wire format.
+func (r *Registry) ReloadJSONKernel(name string, cfgJSON []byte, engines int, kind infer.KernelKind) (*Model, error) {
+	cfg, err := graphio.UnmarshalConfig(cfgJSON)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	return r.ReloadKernel(name, cfg, engines, kind)
 }
 
 // Model returns the named model.
@@ -484,6 +539,10 @@ func (m *Model) Config() core.Config { return m.pool.Load().cfg }
 // incremented by every successful Reload.
 func (m *Model) Generation() int { return m.pool.Load().gen }
 
+// Kernel reports the kernel family the model's current engine generation
+// resolved to (KernelCSC or KernelRadix, never KernelAuto).
+func (m *Model) Kernel() infer.KernelKind { return m.pool.Load().kernel }
+
 // InputWidth returns the width a request row must have.
 func (m *Model) InputWidth() int { return m.inW }
 
@@ -504,6 +563,7 @@ func (m *Model) Info() ModelInfo {
 		Layers:       ep.layers,
 		Weights:      ep.weights,
 		Density:      ep.density,
+		Kernel:       ep.kernel.String(),
 		Engines:      cap(ep.engines),
 		MaxBatch:     m.pol.MaxBatch,
 		MaxLatencyMs: float64(m.pol.MaxLatency) / float64(time.Millisecond),

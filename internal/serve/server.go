@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/infer"
 )
 
 // maxRequestBody bounds a POST /v1/infer body; a full MaxBatch of rows at
@@ -111,6 +112,13 @@ type RegisterRequest struct {
 	// Engines sizes the warm engine pool. On registration, min 1; on
 	// reload, 0 (or omitted) keeps the model's current pool size.
 	Engines int `json:"engines,omitempty"`
+	// Kernel selects the inference kernel family: "csc" pins the generic
+	// kernels, "radix" demands the structure-aware butterfly kernel (422 if
+	// the config does not compile to verified stride plans), "auto" resolves
+	// to radix when the plans verify. Unknown names are refused with 422.
+	// Empty means "auto" on registration and "keep the model's kernel" on
+	// reload.
+	Kernel string `json:"kernel,omitempty"`
 	// MaxBatch, MaxLatencyMs, QueueDepth, Workers, Share override the
 	// batching policy at registration.
 	MaxBatch     int     `json:"max_batch,omitempty"`
@@ -417,11 +425,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeModelError(w, http.StatusUnprocessableEntity, req.Name, "bad config: %v", err)
 		return
 	}
+	kind, err := infer.ParseKernel(req.Kernel)
+	if err != nil {
+		writeModelError(w, http.StatusUnprocessableEntity, req.Name, "%v", err)
+		return
+	}
 	var m *Model
 	if pol, override := req.adminPolicy(); override {
-		m, err = s.reg.RegisterWithPolicy(req.Name, cfg, req.Engines, pol)
+		m, err = s.reg.RegisterWithPolicyKernel(req.Name, cfg, req.Engines, pol, kind)
 	} else {
-		m, err = s.reg.Register(req.Name, cfg, req.Engines)
+		m, err = s.reg.RegisterKernel(req.Name, cfg, req.Engines, kind)
 	}
 	if err != nil {
 		writeAdminError(w, req.Name, err)
@@ -441,7 +454,20 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m, err := s.reg.ReloadJSON(name, req.Config, req.Engines)
+	var m *Model
+	var err error
+	if req.Kernel == "" {
+		// No kernel named: the reload keeps the model's requested kernel, so
+		// a weights-only reload of a CSC-pinned model stays CSC.
+		m, err = s.reg.ReloadJSON(name, req.Config, req.Engines)
+	} else {
+		kind, perr := infer.ParseKernel(req.Kernel)
+		if perr != nil {
+			writeModelError(w, http.StatusUnprocessableEntity, name, "%v", perr)
+			return
+		}
+		m, err = s.reg.ReloadJSONKernel(name, req.Config, req.Engines, kind)
+	}
 	if err != nil {
 		writeAdminError(w, name, err)
 		return

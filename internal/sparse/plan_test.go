@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// radixLayer builds one RadiX-Net layer exactly as the core generator does
+// (eq. 1–3): Ones(dPrev,dNext) ⊗ Σ_j P^{j·pv} on np nodes.
+func radixLayer(np, pv, radix, dPrev, dNext int) *Pattern {
+	shifts := make([]int, radix)
+	for j := range shifts {
+		shifts[j] = j * pv
+	}
+	w := SumOfShifts(np, shifts)
+	if dPrev == 1 && dNext == 1 {
+		return w
+	}
+	return Ones(dPrev, dNext).Kron(w)
+}
+
+// randomSystem draws a mixed-radix system (radices in 2..5, product ≤ 600)
+// and an optional multiplier so the layer width np is a proper multiple of
+// the system product — the "last system divides N′" case of the paper.
+func randomSystem(rng *rand.Rand) (radices []int, np int) {
+	prod := 1
+	for {
+		r := 2 + rng.Intn(4)
+		if prod*r > 600 {
+			break
+		}
+		prod *= r
+		radices = append(radices, r)
+		if len(radices) >= 4 && rng.Intn(2) == 0 {
+			break
+		}
+	}
+	if len(radices) == 0 {
+		radices = []int{2}
+		prod = 2
+	}
+	np = prod
+	if rng.Intn(3) == 0 {
+		np *= 1 + rng.Intn(3) // last-system case: product | np, product < np
+	}
+	return radices, np
+}
+
+// checkPlanEnumeratesPattern asserts the plan's arithmetic edge enumeration
+// is exactly the pattern's edge set, in both CSR and CSC orders.
+func checkPlanEnumeratesPattern(t *testing.T, plan *StridePlan, pat *Pattern) {
+	t.Helper()
+	if plan.NNZ() != pat.NNZ() {
+		t.Fatalf("%v: plan enumerates %d edges, pattern has %d", plan, plan.NNZ(), pat.NNZ())
+	}
+	for r := 0; r < pat.Rows(); r++ {
+		want := pat.Row(r)
+		var got []int
+		plan.RowOutCols(r, func(c int) { got = append(got, c) })
+		if len(got) != len(want) {
+			t.Fatalf("%v: row %d: %d cols, want %d", plan, r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: row %d col %d: got %d want %d (ascending order violated or wrong edge)",
+					plan, r, i, got[i], want[i])
+			}
+		}
+	}
+	tr := pat.Transpose()
+	for c := 0; c < pat.Cols(); c++ {
+		want := tr.Row(c)
+		var got []int
+		plan.ColInRows(c, func(r int) { got = append(got, r) })
+		if len(got) != len(want) {
+			t.Fatalf("%v: col %d: %d rows, want %d", plan, c, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: col %d row %d: got %d want %d", plan, c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStridePlanEnumeratesExactEdgeSet is the satellite property test: for
+// random mixed-radix systems (including last-system widths and Kronecker
+// lifts) the compiled stride plan enumerates exactly the pattern's edge set
+// in ascending CSR/CSC order.
+func TestStridePlanEnumeratesExactEdgeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		radices, np := randomSystem(rng)
+		pv := 1
+		for digit, r := range radices {
+			dPrev := 1 + rng.Intn(3)
+			dNext := 1 + rng.Intn(3)
+			pat := radixLayer(np, pv, r, dPrev, dNext)
+			plan, err := CompileStridePlan(pat, np, pv, r, dPrev, dNext)
+			if err != nil {
+				t.Fatalf("trial %d digit %d (np=%d pv=%d r=%d %dx%d): %v",
+					trial, digit, np, pv, r, dPrev, dNext, err)
+			}
+			checkPlanEnumeratesPattern(t, plan, pat)
+			pv *= r
+		}
+	}
+}
+
+// TestStridePlanRejectsNonRadixPatterns: a pattern differing from the
+// claimed structure by a single edge — or structurally wrong parameters —
+// must fail compilation with ErrNotRadixStructured, so kernel auto-selection
+// can never run arithmetic addressing over a mismatched matrix.
+func TestStridePlanRejectsNonRadixPatterns(t *testing.T) {
+	np, pv, radix := 12, 2, 3
+	good := radixLayer(np, pv, radix, 1, 1)
+	if _, err := CompileStridePlan(good, np, pv, radix, 1, 1); err != nil {
+		t.Fatalf("good pattern rejected: %v", err)
+	}
+
+	// Move one edge in one row: same NNZ, wrong structure.
+	rows := make([][]int, np)
+	for r := 0; r < np; r++ {
+		rows[r] = append([]int(nil), good.Row(r)...)
+	}
+	orig := rows[5][1]
+	rows[5][1] = (orig + 1) % np
+	if rows[5][1] == rows[5][0] || rows[5][1] == rows[5][2] {
+		rows[5][1] = (orig + 2) % np
+	}
+	bad, err := NewPattern(np, np, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileStridePlan(bad, np, pv, radix, 1, 1); !errors.Is(err, ErrNotRadixStructured) {
+		t.Fatalf("corrupted pattern: got %v, want ErrNotRadixStructured", err)
+	}
+
+	// Wrong parameters against a good pattern.
+	for _, bad := range []struct {
+		name                    string
+		np, pv, radix, dpr, dnx int
+	}{
+		{"wrong-radix", np, pv, 2, 1, 1},
+		{"wrong-pv", np, 3, radix, 1, 1},
+		{"pv-not-divisor", np, 5, radix, 1, 1},
+		{"wrong-shape", np, pv, radix, 2, 1},
+		{"radix-exceeds-modulus", np, 6, radix, 1, 1},
+	} {
+		if _, err := CompileStridePlan(good, bad.np, bad.pv, bad.radix, bad.dpr, bad.dnx); !errors.Is(err, ErrNotRadixStructured) {
+			t.Fatalf("%s: got %v, want ErrNotRadixStructured", bad.name, err)
+		}
+	}
+
+	// A dense non-circulant pattern of plausible size.
+	if _, err := CompileStridePlan(Ones(np, np), np, 1, np, 1, 1); err != nil {
+		t.Fatalf("Ones IS the radix-np circulant (shifts 0..np-1): %v", err)
+	}
+	if _, err := CompileStridePlan(Identity(np), np, 1, 2, 1, 1); !errors.Is(err, ErrNotRadixStructured) {
+		t.Fatal("identity accepted as radix-2 circulant")
+	}
+}
+
+// FuzzStridePlan drives the same exact-edge-set property from fuzzed radix
+// parameters, including the corruption check.
+func FuzzStridePlan(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(3), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(3), uint8(4), uint8(2), uint8(2), uint8(2), uint8(2))
+	f.Add(uint8(5), uint8(5), uint8(5), uint8(1), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, r1, r2, digit, dPrev, dNext, mult uint8) {
+		radices := []int{2 + int(r1)%5, 2 + int(r2)%5}
+		np := radices[0] * radices[1] * (1 + int(mult)%3)
+		if np > 800 {
+			t.Skip()
+		}
+		i := int(digit) % 2
+		pv := 1
+		for j := 0; j < i; j++ {
+			pv *= radices[j]
+		}
+		dp, dn := 1+int(dPrev)%3, 1+int(dNext)%3
+		pat := radixLayer(np, pv, radices[i], dp, dn)
+		plan, err := CompileStridePlan(pat, np, pv, radices[i], dp, dn)
+		if err != nil {
+			t.Fatalf("np=%d pv=%d r=%d %dx%d: %v", np, pv, radices[i], dp, dn, err)
+		}
+		checkPlanEnumeratesPattern(t, plan, pat)
+	})
+}

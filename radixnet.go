@@ -186,6 +186,35 @@ type InferEngine = infer.Engine
 // inference engine with Graph Challenge weighting.
 func InferFromConfig(cfg Config) (*InferEngine, error) { return infer.FromConfig(cfg) }
 
+// InferKernel selects which fused kernel family an engine's layer steps
+// run: the generic CSC gather/CSR scatter pair, or the structure-aware
+// radix butterfly kernel that replaces index arrays with compiled
+// mixed-radix stride plans. The two are bit-identical; radix is faster on
+// radix-structured layers.
+type InferKernel = infer.KernelKind
+
+const (
+	// KernelCSC pins the generic fused CSC/CSR kernels — correct for any
+	// sparsity pattern, and the bit-identity oracle for the radix path.
+	KernelCSC = infer.KernelCSC
+	// KernelRadix demands the structure-aware butterfly kernel; engine
+	// construction fails if the config does not compile to verified
+	// stride plans.
+	KernelRadix = infer.KernelRadix
+	// KernelAuto resolves to KernelRadix when the stride plans verify and
+	// KernelCSC otherwise — the default for config-built engines.
+	KernelAuto = infer.KernelAuto
+)
+
+// ParseInferKernel parses a kernel name ("csc", "radix", "auto"; empty
+// means auto) as accepted by configs and command-line flags.
+func ParseInferKernel(s string) (InferKernel, error) { return infer.ParseKernel(s) }
+
+// InferFromConfigKernel is InferFromConfig with explicit kernel selection.
+func InferFromConfigKernel(cfg Config, kind InferKernel) (*InferEngine, error) {
+	return infer.FromConfigKernel(cfg, kind)
+}
+
 // InferFromTopology assigns every edge of the topology the given weight and
 // every layer the given bias, with activations capped at cap (≤ 0 disables
 // the ceiling).
