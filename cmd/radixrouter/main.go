@@ -14,8 +14,15 @@
 //	                          reporting it
 //	DELETE /v1/models/{name}  unregister the model fleet-wide
 //	GET    /healthz           router + per-backend health
-//	GET    /metrics           radixrouter_* series plus every backend's
-//	                          series, labeled backend="host:port", merged
+//	GET    /metrics           radixrouter_* series — including fleet-merged
+//	                          radixrouter_model_* latency histograms (backend
+//	                          histograms summed bucket-wise) and per-backend
+//	                          attempt latency — plus every backend's series,
+//	                          labeled backend="host:port", merged
+//	GET    /debug/traces      recent + slowest routed request traces as JSON;
+//	                          X-Radix-Trace-Id is propagated to backends and
+//	                          echoed on every response
+//	GET    /debug/pprof/*     runtime profiling, only with -pprof
 //
 // Backends are given as repeated -backend flags ("host:port" or
 // "http://host:port"). Because every backend runs the same deterministic
@@ -44,6 +51,7 @@
 //	radixrouter -backend host1:8080 -backend host2:8080 [-addr :8090]
 //	            [-replicas 2] [-vnodes 128] [-probe-interval 2s]
 //	            [-probe-timeout 1s] [-fail-after 3] [-max-backoff 1s]
+//	            [-pprof] [-slow-request 250ms] [-trace-depth 512]
 //	radixrouter -selftest [-backends 3] [-bench-json BENCH_cluster.json]
 package main
 
@@ -88,6 +96,9 @@ func main() {
 		maxBackoff    = flag.Duration("max-backoff", time.Second, "cap on Retry-After backoff honored for backend 429s")
 		classRetries  = flag.String("class-retries", "", "per-QoS-class backend attempt caps, NAME=N,... (default background=1,batch=2; unlisted classes walk every replica)")
 		classNames    = flag.String("classes", "", "extra QoS class names to label in per-class metrics, comma-separated (unknown classes bucket as \"other\")")
+		pprof         = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		slowReq       = flag.Duration("slow-request", 0, "log routed requests slower than this with their trace ID and span breakdown (0: off)")
+		traceDepth    = flag.Int("trace-depth", 0, "recent request traces retained for GET /debug/traces (0: default 512)")
 		selftest      = flag.Bool("selftest", false, "run the in-process fleet selftest and exit")
 		nBackends     = flag.Int("backends", 3, "selftest: in-process radixserve backends to spin up")
 		benchJSON     = flag.String("bench-json", "BENCH_cluster.json", "selftest: append the throughput record to this file")
@@ -125,6 +136,9 @@ func main() {
 		MaxBackoff:     *maxBackoff,
 		ClassRetries:   retries,
 		MetricsClasses: metricsClasses,
+		Pprof:          *pprof,
+		SlowRequest:    *slowReq,
+		TraceDepth:     *traceDepth,
 		Set: cluster.SetConfig{
 			ProbeInterval: *probeInterval,
 			ProbeTimeout:  *probeTimeout,

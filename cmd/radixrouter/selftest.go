@@ -21,6 +21,7 @@ import (
 	"github.com/radix-net/radixnet/internal/dataset"
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/obs"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
 	"github.com/radix-net/radixnet/internal/sparse"
@@ -70,6 +71,13 @@ type clusterBenchLevel struct {
 	Concurrency int     `json:"concurrency"`
 	Rows        int     `json:"rows"`
 	RowsPerSec  float64 `json:"rows_per_sec"`
+	// LatencyP50Ms/LatencyP99Ms come from the router's fleet-merged
+	// radixrouter_model_request_latency_seconds exposition (backend
+	// histograms summed bucket-wise), windowed to this level by a
+	// before/after scrape; log-bucketed, so quantiles carry at most 2×
+	// resolution error.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
 type clusterBenchFailover struct {
@@ -92,6 +100,24 @@ func selftestClient() *http.Client {
 	tr := http.DefaultTransport.(*http.Transport).Clone()
 	tr.MaxIdleConnsPerHost = 128
 	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+// scrapeMetricsText fetches the router's /metrics exposition (which
+// fans out to every backend and re-emits their series merged).
+func scrapeMetricsText(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("scrape /metrics: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
 }
 
 // postRow sends one single-row inference request through the router and
@@ -174,6 +200,10 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 		Backends:   addrs,
 		Replicas:   replicas,
 		MaxBackoff: 100 * time.Millisecond,
+		// The selftest doubles as an observability smoke test: profiling
+		// endpoints and the trace ring must answer on the router too.
+		Pprof:      true,
+		TraceDepth: 256,
 		Set: cluster.SetConfig{
 			ProbeInterval: 100 * time.Millisecond,
 			FailAfter:     2,
@@ -267,6 +297,10 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 	var levels []clusterBenchLevel
 	for _, conc := range []int{1, 4, 16} {
 		rows := baseRows * 4 * conc
+		beforeScrape, err := scrapeMetricsText(client, url)
+		if err != nil {
+			return err
+		}
 		var next, failures atomic.Int64
 		var firstErr atomic.Value
 		var wg sync.WaitGroup
@@ -302,9 +336,36 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 			return fmt.Errorf("throughput concurrency %d: %d failures (first: %v)", conc, failures.Load(), firstErr.Load())
 		}
 		lvl := clusterBenchLevel{Concurrency: conc, Rows: rows, RowsPerSec: float64(rows) / elapsed.Seconds()}
+
+		// Latency quantiles for this level from the router's fleet-merged
+		// exposition, windowed by the before/after scrape so only this
+		// level's traffic counts. A nil label want merges across the four
+		// models — the level spread its rows over all of them.
+		afterScrape, err := scrapeMetricsText(client, url)
+		if err != nil {
+			return err
+		}
+		ha, okA := obs.ParseHistogram(afterScrape, "radixrouter_model_request_latency_seconds", nil)
+		hb, okB := obs.ParseHistogram(beforeScrape, "radixrouter_model_request_latency_seconds", nil)
+		if !okA {
+			return fmt.Errorf("throughput concurrency %d: merged latency histogram missing from router /metrics", conc)
+		}
+		win := ha
+		if okB {
+			win = ha.Sub(hb)
+		}
+		if win.Count != uint64(rows) {
+			return fmt.Errorf("throughput concurrency %d: merged histogram window counts %d requests, want %d (bucket-wise fleet merge broken?)",
+				conc, win.Count, rows)
+		}
+		lvl.LatencyP50Ms = win.Quantile(0.50) * 1e3
+		lvl.LatencyP99Ms = win.Quantile(0.99) * 1e3
+		if lvl.LatencyP99Ms <= 0 || lvl.LatencyP99Ms > 20000 {
+			return fmt.Errorf("throughput concurrency %d: merged exported p99 %.2fms implausible", conc, lvl.LatencyP99Ms)
+		}
 		levels = append(levels, lvl)
-		log.Printf("concurrency %2d: %d routed rows in %v = %.0f rows/s",
-			conc, rows, elapsed.Round(time.Millisecond), lvl.RowsPerSec)
+		log.Printf("concurrency %2d: %d routed rows in %v = %.0f rows/s (fleet-merged p50 %.2fms p99 %.2fms)",
+			conc, rows, elapsed.Round(time.Millisecond), lvl.RowsPerSec, lvl.LatencyP50Ms, lvl.LatencyP99Ms)
 	}
 
 	// Phase 3 — model control plane through the router: register a new
@@ -323,6 +384,14 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 	// response). Runs while the fleet is whole, before the kill phase.
 	qosRec, err := runQoSPhase(client, url, models[1], expected, in)
 	if err != nil {
+		return err
+	}
+
+	// Phase 3c — observability through the router: a caller-chosen trace ID
+	// survives the client → router → backend → response round trip, the
+	// router retains the trace with route/attempt spans, and profiling
+	// endpoints answer.
+	if err := runObsPhase(client, url, models[0], in); err != nil {
 		return err
 	}
 
@@ -420,6 +489,92 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 		return err
 	}
 	log.Printf("bench: appended record %d to %s", n, benchPath)
+	return nil
+}
+
+// runObsPhase smokes the routed observability surface: an explicit
+// X-Radix-Trace-Id round-trips client → router → backend → response (body
+// and header), the backend's per-stage span breakdown rides the relayed
+// response, the router retains the trace with its own route/attempt spans
+// in GET /debug/traces, and the opt-in pprof endpoints answer.
+func runObsPhase(client *http.Client, url, model string, in *sparse.Dense) error {
+	const traceID = "cafe0000cafe0000cafe0000cafe0000"
+	body, err := json.Marshal(serve.InferRequest{Model: model, Inputs: [][]float64{in.RowSlice(0)}})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.HeaderTraceID, traceID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("obs: traced request: %w", err)
+	}
+	var out serve.InferResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decodeErr != nil {
+		return fmt.Errorf("obs: traced request: status %d decode err %v", resp.StatusCode, decodeErr)
+	}
+	if got := resp.Header.Get(obs.HeaderTraceID); got != traceID {
+		return fmt.Errorf("obs: router response trace header %q, want %q", got, traceID)
+	}
+	if out.TraceID != traceID {
+		return fmt.Errorf("obs: backend response body trace ID %q, want %q (header lost in forwarding?)", out.TraceID, traceID)
+	}
+	if len(out.Spans) < 5 {
+		return fmt.Errorf("obs: relayed response carries %d backend spans, want >= 5: %+v", len(out.Spans), out.Spans)
+	}
+
+	tr, err := client.Get(url + "/debug/traces?n=16")
+	if err != nil {
+		return fmt.Errorf("obs: /debug/traces: %w", err)
+	}
+	var view struct {
+		Total  uint64       `json:"total"`
+		Recent []*obs.Trace `json:"recent"`
+	}
+	decodeErr = json.NewDecoder(tr.Body).Decode(&view)
+	tr.Body.Close()
+	if decodeErr != nil {
+		return fmt.Errorf("obs: /debug/traces decode: %w", decodeErr)
+	}
+	var found *obs.Trace
+	for _, t := range view.Recent {
+		if t.ID == traceID {
+			found = t
+		}
+	}
+	if found == nil {
+		return fmt.Errorf("obs: trace %s not retained in router /debug/traces (%d total)", traceID, view.Total)
+	}
+	hasRoute, hasAttempt := false, false
+	for _, s := range found.Spans {
+		if s.Name == "route" {
+			hasRoute = true
+		}
+		if len(s.Name) > 8 && s.Name[:8] == "attempt:" {
+			hasAttempt = true
+		}
+	}
+	if !hasRoute || !hasAttempt || found.Backend == "" {
+		return fmt.Errorf("obs: router trace missing route/attempt spans or backend attribution: %+v", found)
+	}
+
+	pp, err := client.Get(url + "/debug/pprof/cmdline")
+	if err != nil {
+		return fmt.Errorf("obs: pprof: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, pp.Body)
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		return fmt.Errorf("obs: pprof cmdline: status %d", pp.StatusCode)
+	}
+	log.Printf("obs: trace %s round-tripped client → router → backend (%d backend spans relayed); router retained route+%s spans; pprof live",
+		traceID, len(out.Spans), "attempt")
 	return nil
 }
 
@@ -530,11 +685,18 @@ func runQoSPhase(client *http.Client, url, model string, expected [][]float64, i
 		time.Sleep(time.Millisecond)
 	}
 
+	beforeScrape, err := scrapeMetricsText(client, url)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return q, err
+	}
 	loadedStart := time.Now()
 	bgBefore := bgRows.Load()
 	loaded, loadedWait, probeErr := probe()
 	loadedElapsed := time.Since(loadedStart)
 	bgDuring := bgRows.Load() - bgBefore
+	afterScrape, scrapeErr := scrapeMetricsText(client, url)
 	close(stop)
 	wg.Wait()
 	if probeErr != nil {
@@ -543,13 +705,35 @@ func runQoSPhase(client *http.Client, url, model string, expected [][]float64, i
 	if e := bgErr.Load(); e != nil {
 		return q, e.(error)
 	}
+	if scrapeErr != nil {
+		return q, scrapeErr
+	}
 
 	p99u := percentile(unloaded, 99)
 	p99l := percentile(loaded, 99)
-	waitP99 := percentile(loadedWait, 99)
+
+	// The precise starvation bound is asserted on the histogram operators
+	// actually scrape: the router-merged per-model×class queue-wait
+	// exposition, windowed to the loaded probe run. The probes' own
+	// client-side tally only annotates the failure message.
+	wantWait := map[string]string{"model": model, "class": "interactive"}
+	wa, okA := obs.ParseHistogram(afterScrape, "radixrouter_model_queue_wait_seconds", wantWait)
+	wb, okB := obs.ParseHistogram(beforeScrape, "radixrouter_model_queue_wait_seconds", wantWait)
+	if !okA {
+		return q, fmt.Errorf("qos: merged queue-wait histogram for %v missing from router /metrics", wantWait)
+	}
+	win := wa
+	if okB {
+		win = wa.Sub(wb)
+	}
+	if win.Count == 0 {
+		return q, fmt.Errorf("qos: merged queue-wait histogram for %v empty over the loaded probe window", wantWait)
+	}
+	waitP99 := time.Duration(win.Quantile(0.99) * float64(time.Second))
 	if waitBound := 25 * time.Millisecond; waitP99 > waitBound {
-		return q, fmt.Errorf("qos: interactive queue-wait p99 %v under routed background flood exceeds %v: starved in the scheduler",
-			waitP99.Round(time.Microsecond), waitBound)
+		clientWaitP99 := percentile(loadedWait, 99)
+		return q, fmt.Errorf("qos: interactive queue-wait p99 %v (exported, %d samples; client-side %v) under routed background flood exceeds %v: starved in the scheduler",
+			waitP99.Round(time.Microsecond), win.Count, clientWaitP99.Round(time.Microsecond), waitBound)
 	}
 	bound := 5 * p99u
 	if floor := 100 * time.Millisecond; bound < floor {

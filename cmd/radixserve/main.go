@@ -26,7 +26,12 @@
 //	DELETE /v1/models/{name}  drain and unregister the model
 //	GET    /healthz           liveness ("ok", or "draining" with 503 during
 //	                          graceful shutdown)
-//	GET    /metrics           request/batch/latency counters (Prometheus text)
+//	GET    /metrics           request/batch/latency counters plus log-bucketed
+//	                          latency histograms (Prometheus text)
+//	GET    /debug/traces      recent + slowest request traces as JSON; every
+//	                          response also carries X-Radix-Trace-Id and a
+//	                          per-stage span breakdown
+//	GET    /debug/pprof/*     runtime profiling, only with -pprof
 //
 // Models are given as repeated -model flags, "name=SPEC" where SPEC is
 // either a mixed-radix systems spec in the cliutil grammar (e.g. "8,8,8" or
@@ -53,6 +58,7 @@
 //	           [-max-batch 32] [-max-latency 2ms] [-queue 256]
 //	           [-class-weight interactive=8,batch=2,background=1]
 //	           [-default-class interactive] [-exec-slots 0]
+//	           [-pprof] [-slow-request 250ms] [-trace-depth 512]
 //	radixserve -selftest [-bench-json BENCH_serve.json]
 package main
 
@@ -136,6 +142,9 @@ func main() {
 		classWeights = flag.String("class-weight", "", "QoS classes and weighted-fair-queuing weights, NAME=N,... (default interactive=8,batch=2,background=1)")
 		defaultClass = flag.String("default-class", "", "class for requests that name none (default interactive)")
 		execSlots    = flag.Int("exec-slots", 0, "cross-model concurrent batch executions (engine quota; 0: GOMAXPROCS, negative: unlimited)")
+		pprof        = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		slowReq      = flag.Duration("slow-request", 0, "log requests slower than this with their trace ID and span breakdown (0: off)")
+		traceDepth   = flag.Int("trace-depth", 0, "recent request traces retained for GET /debug/traces (0: default 512)")
 		selftest     = flag.Bool("selftest", false, "run the end-to-end load-generator selftest and exit")
 		benchJSON    = flag.String("bench-json", "BENCH_serve.json", "selftest: append the throughput record to this file")
 		shutdownTO   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
@@ -189,7 +198,11 @@ func main() {
 			info.Engines, time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := serve.NewServer(reg, *addr)
+	srv := serve.NewServerOpts(reg, *addr, serve.ServerOptions{
+		Pprof:       *pprof,
+		SlowRequest: *slowReq,
+		TraceDepth:  *traceDepth,
+	})
 	bound, err := srv.Start()
 	if err != nil {
 		log.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"github.com/radix-net/radixnet/internal/dataset"
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/obs"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
 	"github.com/radix-net/radixnet/internal/sparse"
@@ -76,6 +77,12 @@ type serveBenchLevel struct {
 	RowsPerSec    float64 `json:"rows_per_sec"`
 	MeanBatch     float64 `json:"mean_batch"`
 	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	// LatencyP50Ms/P99Ms come from the /metrics histogram exposition
+	// (radixserve_request_latency_seconds), windowed to this level via a
+	// before/after scrape — the same data an operator's dashboard sees,
+	// not an internal tally. Log-bucket interpolation: ≤2× resolution.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
 type serveBenchBP struct {
@@ -96,6 +103,25 @@ func selftestClient() *http.Client {
 	tr := http.DefaultTransport.(*http.Transport).Clone()
 	tr.MaxIdleConnsPerHost = 128
 	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+// scrapeMetricsText fetches a /metrics exposition for the histogram-based
+// acceptance assertions (p50/p99 must come from the exported data, not
+// internal tallies).
+func scrapeMetricsText(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics scrape: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
 }
 
 // postRow sends one single-row inference request and returns the HTTP
@@ -153,7 +179,9 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 	log.Printf("selftest model: %d layers × width %d, %d weights, %d engines, built in %v",
 		info.Layers, info.InputWidth, info.Weights, info.Engines, time.Since(buildStart).Round(time.Millisecond))
 
-	srv := serve.NewServer(reg, "127.0.0.1:0")
+	// Profiling and tracing on: the selftest smokes /debug/traces and
+	// /debug/pprof alongside the serving phases.
+	srv := serve.NewServerOpts(reg, "127.0.0.1:0", serve.ServerOptions{Pprof: true})
 	addr, err := srv.Start()
 	if err != nil {
 		return err
@@ -198,6 +226,10 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 		rows := baseRows * conc
 		before := m.Metrics().Snapshot()
 		beforeLatency := m.Metrics().LatencyNs.Load()
+		beforeScrape, err := scrapeMetricsText(client, url)
+		if err != nil {
+			return err
+		}
 		var next, mismatches, failures atomic.Int64
 		var firstErr atomic.Value
 		var wg sync.WaitGroup
@@ -246,9 +278,33 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 		if dc := after.Completed - before.Completed; dc > 0 {
 			lvl.MeanLatencyMs = float64(m.Metrics().LatencyNs.Load()-beforeLatency) / float64(dc) / 1e6
 		}
+		// Tail latency for this level from the exported histogram, windowed
+		// by subtracting the pre-level scrape.
+		afterScrape, err := scrapeMetricsText(client, url)
+		if err != nil {
+			return err
+		}
+		want := map[string]string{"model": "selftest"}
+		hb, okB := obs.ParseHistogram(beforeScrape, "radixserve_request_latency_seconds", want)
+		ha, okA := obs.ParseHistogram(afterScrape, "radixserve_request_latency_seconds", want)
+		if !okA {
+			return fmt.Errorf("concurrency %d: radixserve_request_latency_seconds missing from /metrics", conc)
+		}
+		win := ha
+		if okB {
+			win = ha.Sub(hb)
+		}
+		if win.Count == 0 {
+			return fmt.Errorf("concurrency %d: exported latency histogram recorded no requests", conc)
+		}
+		lvl.LatencyP50Ms = win.Quantile(0.50) * 1e3
+		lvl.LatencyP99Ms = win.Quantile(0.99) * 1e3
+		if lvl.LatencyP99Ms <= 0 || lvl.LatencyP99Ms > 20e3 {
+			return fmt.Errorf("concurrency %d: exported latency p99 %.3fms implausible", conc, lvl.LatencyP99Ms)
+		}
 		levels = append(levels, lvl)
-		log.Printf("concurrency %2d: %d rows in %v = %.0f rows/s (mean batch %.1f, mean latency %.2fms), bit-identical",
-			conc, rows, elapsed.Round(time.Millisecond), lvl.RowsPerSec, lvl.MeanBatch, lvl.MeanLatencyMs)
+		log.Printf("concurrency %2d: %d rows in %v = %.0f rows/s (mean batch %.1f, mean latency %.2fms, exported p50 %.2fms p99 %.2fms), bit-identical",
+			conc, rows, elapsed.Round(time.Millisecond), lvl.RowsPerSec, lvl.MeanBatch, lvl.MeanLatencyMs, lvl.LatencyP50Ms, lvl.LatencyP99Ms)
 	}
 
 	// Backpressure: a deliberately starved model — its only engine leased
@@ -321,6 +377,10 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 		return err
 	}
 
+	if err := runObsPhase(client, url, in); err != nil {
+		return err
+	}
+
 	rec := serveBenchRecord{
 		Benchmark:  "serve-microbatch",
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -346,6 +406,73 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 		return err
 	}
 	log.Printf("bench: appended record %d to %s", n, benchPath)
+	return nil
+}
+
+// runObsPhase smokes the observability surface end to end: every response
+// carries a trace ID and the full span breakdown (admission, queue,
+// assemble, lease, execute, deliver), the trace is browsable via
+// GET /debug/traces, and the opt-in pprof endpoints answer.
+func runObsPhase(client *http.Client, url string, in *sparse.Dense) error {
+	status, resp, err := postRows(client, url, serve.InferRequest{
+		Model: "selftest", Inputs: [][]float64{in.RowSlice(0)},
+	})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("obs: probe: status %d err %v", status, err)
+	}
+	if len(resp.TraceID) != 32 {
+		return fmt.Errorf("obs: response trace ID %q, want 32 hex chars", resp.TraceID)
+	}
+	if len(resp.Spans) < 5 {
+		return fmt.Errorf("obs: response carries %d spans, want >= 5: %+v", len(resp.Spans), resp.Spans)
+	}
+	names := make(map[string]bool, len(resp.Spans))
+	for _, s := range resp.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"admission", "queue", "assemble", "lease", "execute", "deliver"} {
+		if !names[want] {
+			return fmt.Errorf("obs: span %q missing from response: %+v", want, resp.Spans)
+		}
+	}
+
+	tr, err := client.Get(url + "/debug/traces?n=8")
+	if err != nil {
+		return fmt.Errorf("obs: /debug/traces: %w", err)
+	}
+	var view struct {
+		Total  uint64       `json:"total"`
+		Recent []*obs.Trace `json:"recent"`
+	}
+	decodeErr := json.NewDecoder(tr.Body).Decode(&view)
+	tr.Body.Close()
+	if decodeErr != nil {
+		return fmt.Errorf("obs: /debug/traces decode: %w", decodeErr)
+	}
+	if view.Total == 0 || len(view.Recent) == 0 {
+		return fmt.Errorf("obs: /debug/traces empty after traffic")
+	}
+	found := false
+	for _, t := range view.Recent {
+		if t.ID == resp.TraceID && len(t.Spans) >= 5 {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("obs: trace %s not retained with spans in /debug/traces", resp.TraceID)
+	}
+
+	pp, err := client.Get(url + "/debug/pprof/cmdline")
+	if err != nil {
+		return fmt.Errorf("obs: pprof: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, pp.Body)
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		return fmt.Errorf("obs: pprof cmdline: status %d", pp.StatusCode)
+	}
+	log.Printf("obs: trace %s echoed with %d spans, retained in /debug/traces (%d total); pprof live",
+		resp.TraceID, len(resp.Spans), view.Total)
 	return nil
 }
 
@@ -476,11 +603,21 @@ func runQoSPhase(client *http.Client, url string, reg *serve.Registry, m *serve.
 		time.Sleep(time.Millisecond)
 	}
 
+	// Scrape /metrics before and after the loaded probe window: the
+	// starvation assertion below must hold on the EXPORTED queue-wait
+	// histogram — what an operator's dashboard would alert on — not on a
+	// client-side tally.
+	beforeScrape, err := scrapeMetricsText(client, url)
+	if err != nil {
+		close(stop)
+		return q, err
+	}
 	loadedStart := time.Now()
 	bgBefore := bgRows.Load()
 	loaded, loadedWait, probeErr := probe()
 	loadedElapsed := time.Since(loadedStart)
 	bgDuring := bgRows.Load() - bgBefore
+	afterScrape, scrapeErr := scrapeMetricsText(client, url)
 	close(stop)
 	wg.Wait()
 	if probeErr != nil {
@@ -489,18 +626,37 @@ func runQoSPhase(client *http.Client, url string, reg *serve.Registry, m *serve.
 	if e := bgErr.Load(); e != nil {
 		return q, e.(error)
 	}
+	if scrapeErr != nil {
+		return q, scrapeErr
+	}
 
 	p99u := percentile(unloaded, 99)
 	p99l := percentile(loaded, 99)
-	waitP99 := percentile(loadedWait, 99)
 	// The precise starvation signal: time interactive rows sat in the
-	// scheduler's queues. With weight 8 against a saturated background
-	// queue, an interactive row rides one of the next couple of batches;
-	// 25ms is orders of magnitude above that but far below what a starved
-	// row (behind hundreds of queued background rows) would see.
+	// scheduler's queues, read back from the exported per-model×class
+	// histogram windowed to the loaded probe interval. With weight 8
+	// against a saturated background queue, an interactive row rides one
+	// of the next couple of batches; 25ms is orders of magnitude above
+	// that but far below what a starved row (behind hundreds of queued
+	// background rows) would see.
+	wantWait := map[string]string{"model": "selftest", "class": serve.ClassInteractive}
+	wb, okB := obs.ParseHistogram(beforeScrape, "radixserve_queue_wait_seconds", wantWait)
+	wa, okA := obs.ParseHistogram(afterScrape, "radixserve_queue_wait_seconds", wantWait)
+	if !okA {
+		return q, fmt.Errorf("qos: radixserve_queue_wait_seconds missing from /metrics")
+	}
+	win := wa
+	if okB {
+		win = wa.Sub(wb)
+	}
+	if win.Count == 0 {
+		return q, fmt.Errorf("qos: exported queue-wait histogram recorded no interactive rows in the loaded window")
+	}
+	waitP99 := time.Duration(win.Quantile(0.99) * float64(time.Second))
+	clientWaitP99 := percentile(loadedWait, 99)
 	if waitBound := 25 * time.Millisecond; waitP99 > waitBound {
-		return q, fmt.Errorf("qos: interactive queue-wait p99 %v under background flood exceeds %v: interactive traffic starved in the scheduler",
-			waitP99.Round(time.Microsecond), waitBound)
+		return q, fmt.Errorf("qos: exported interactive queue-wait p99 %v under background flood exceeds %v (client-observed %v): interactive traffic starved in the scheduler",
+			waitP99.Round(time.Microsecond), waitBound, clientWaitP99.Round(time.Microsecond))
 	}
 	bound := 5 * p99u
 	if floor := 100 * time.Millisecond; bound < floor {

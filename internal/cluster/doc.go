@@ -52,6 +52,19 @@
 // router goroutines that interactive traffic needs on a degraded fleet.
 // Per-class request counts are exported as radixrouter_class_requests_total.
 //
+// Observability — the router speaks the same tracing and histogram
+// dialect as the serve tier (internal/obs). Each routed request's trace
+// ID (incoming X-Radix-Trace-Id or generated) is forwarded to the
+// backend and echoed on the response; the router records route,
+// attempt:<backend>, and backoff:<backend> spans into a bounded trace
+// ring served by GET /debug/traces, and RouterConfig.SlowRequest logs
+// slow routed requests with their span breakdown. GET /metrics adds
+// per-backend attempt-latency histograms and — because every obs
+// histogram shares one bucket ladder — re-exports the fleet's serve-tier
+// histograms summed bucket-wise as radixrouter_model_* families, exactly
+// the histogram a single node seeing all traffic would have exported.
+// RouterConfig.Pprof mounts net/http/pprof on the router mux.
+//
 // Control plane — the router fans the serve-tier admin verbs out
 // fleet-wide, so models move without restarting backends: POST /v1/models
 // registers a model on its ring-intended replicas (placement-aware),

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/radix-net/radixnet/internal/obs"
 	"github.com/radix-net/radixnet/internal/serve"
 )
 
@@ -27,7 +28,16 @@ type Backend struct {
 	forwarded     atomic.Int64 // requests answered by this backend (any status)
 	failed        atomic.Int64 // forward attempts lost to transport/5xx errors
 	lastErr       atomic.Value // string: most recent probe/forward error
+
+	// attempt records the round-trip latency (ns) of every answered
+	// forward attempt against this backend, exported on the router's
+	// /metrics as radixrouter_backend_attempt_latency_seconds{backend=id}.
+	attempt obs.Histogram
 }
+
+// AttemptLatency snapshots the backend's answered-forward latency
+// histogram (nanosecond observations).
+func (b *Backend) AttemptLatency() obs.HistSnapshot { return b.attempt.Snapshot() }
 
 // ID returns the backend's ring identity (host:port).
 func (b *Backend) ID() string { return b.id }

@@ -128,6 +128,10 @@ func writeRouterMetrics(w io.Writer, met *routerMetrics, backends []*Backend, up
 			fmt.Fprintf(w, "%s{backend=%q} %d\n", pm.name, b.id, pm.value(b))
 		}
 	}
+	fmt.Fprintf(w, "# HELP radixrouter_backend_attempt_latency_seconds Round-trip latency of answered forward attempts, per backend.\n# TYPE radixrouter_backend_attempt_latency_seconds histogram\n")
+	for _, b := range backends {
+		b.attempt.Snapshot().WriteTo(w, "radixrouter_backend_attempt_latency_seconds", fmt.Sprintf("backend=%q", b.id), 1e9)
+	}
 	fmt.Fprintf(w, "# HELP radixrouter_uptime_seconds Router uptime.\n# TYPE radixrouter_uptime_seconds gauge\nradixrouter_uptime_seconds %g\n", uptimeSeconds)
 }
 

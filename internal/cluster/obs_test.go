@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/obs"
+	"github.com/radix-net/radixnet/internal/serve"
+)
+
+func scrapeText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRouterFleetMergedHistograms drives real traffic through a 2-backend
+// fleet and checks the router's bucket-wise histogram merge: the
+// radixrouter_model_* families must reconstruct the fleet-wide
+// distribution exactly — counts equal to the sum of the per-backend
+// exports, on the shared le ladder.
+func TestRouterFleetMergedHistograms(t *testing.T) {
+	f := startFleet(t, 2, []string{"m"}, SetConfig{ProbeInterval: time.Hour})
+	in, err := dataset.SparseBatch(1, 16, 4, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		if resp, body := f.post(t, "m", [][]float64{in.RowSlice(0)}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	text := scrapeText(t, f.url+"/metrics")
+
+	lat, ok := obs.ParseHistogram(text, "radixrouter_model_request_latency_seconds", map[string]string{"model": "m"})
+	if !ok {
+		t.Fatal("merged request latency histogram missing from router /metrics")
+	}
+	if lat.Count != n {
+		t.Fatalf("merged latency count = %d, want %d", lat.Count, n)
+	}
+	if len(lat.Les) == 0 || lat.Les[0] != 4.096e-06 {
+		t.Fatalf("merged ladder first le = %v, want 4.096e-06", lat.Les)
+	}
+	if lat.Cum[len(lat.Cum)-1] != lat.Count {
+		t.Fatalf("merged cumulative tops at %d, want count %d", lat.Cum[len(lat.Cum)-1], lat.Count)
+	}
+	if p99 := lat.Quantile(0.99); p99 <= 0 || p99 > 20 {
+		t.Fatalf("merged latency p99 = %v s, implausible", p99)
+	}
+
+	// The merge must equal the sum of the per-backend exports. The raw
+	// backend series are also re-emitted under the same family name with
+	// a backend label, so restrict the direct sum to per-backend scrapes.
+	var direct uint64
+	for id, srv := range f.srvs {
+		_ = srv
+		bt := scrapeText(t, "http://"+id+"/metrics")
+		if h, ok := obs.ParseHistogram(bt, "radixserve_request_latency_seconds", map[string]string{"model": "m"}); ok {
+			direct += h.Count
+		}
+	}
+	if direct != n {
+		t.Fatalf("backend scrapes sum to %d requests, want %d", direct, n)
+	}
+
+	// Per-class queue wait merged by model×class.
+	wait, ok := obs.ParseHistogram(text, "radixrouter_model_queue_wait_seconds",
+		map[string]string{"model": "m", "class": serve.ClassInteractive})
+	if !ok {
+		t.Fatal("merged queue wait histogram missing")
+	}
+	if wait.Count != n {
+		t.Fatalf("merged queue wait count = %d, want %d", wait.Count, n)
+	}
+
+	// Engine execute time merged by model.
+	exec, ok := obs.ParseHistogram(text, "radixrouter_model_execute_seconds", map[string]string{"model": "m"})
+	if !ok {
+		t.Fatal("merged execute histogram missing")
+	}
+	if exec.Count == 0 {
+		t.Fatal("merged execute histogram empty")
+	}
+
+	// Per-backend attempt latency: every request was answered by exactly
+	// one backend, so the fleet-aggregate attempt count equals n.
+	att, ok := obs.ParseHistogram(text, "radixrouter_backend_attempt_latency_seconds", nil)
+	if !ok {
+		t.Fatal("backend attempt latency histogram missing")
+	}
+	if att.Count != n {
+		t.Fatalf("attempt latency count = %d, want %d", att.Count, n)
+	}
+
+	// Router runtime gauges ride along.
+	for _, want := range []string{"radixrouter_goroutines ", "radixrouter_heap_alloc_bytes "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("router /metrics missing %q", want)
+		}
+	}
+}
+
+type routerSyncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *routerSyncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *routerSyncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRouterTraceEndToEnd checks the router edge of the tracing contract:
+// an incoming X-Radix-Trace-Id is forwarded to the backend, echoed on the
+// response, retained in /debug/traces with route and attempt spans, and
+// correlated in the slow-request log.
+func TestRouterTraceEndToEnd(t *testing.T) {
+	const traceID = "feedface00000000feedface00000000"
+	var gotForwarded atomicString
+	backend := fakeBackend(t, []string{"m"}, func(w http.ResponseWriter, r *http.Request) {
+		gotForwarded.Store(r.Header.Get(obs.HeaderTraceID))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serve.InferResponse{Model: "m", Rows: 1, Outputs: [][]float64{{1}}})
+	})
+	var logBuf routerSyncBuffer
+	rt, err := NewRouter(RouterConfig{
+		Backends:    []string{backend.URL},
+		Replicas:    1,
+		SlowRequest: time.Nanosecond,
+		TraceDepth:  8,
+		Logger:      slog.New(slog.NewTextHandler(&logBuf, nil)),
+		Set:         SetConfig{ProbeInterval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(serve.InferRequest{Model: "m", Inputs: [][]float64{{1}}})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.HeaderTraceID, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.HeaderTraceID); got != traceID {
+		t.Fatalf("response trace header = %q, want %q", got, traceID)
+	}
+	if got := gotForwarded.Load(); got != traceID {
+		t.Fatalf("backend received trace header %q, want %q", got, traceID)
+	}
+
+	// The trace is browsable with route + attempt spans, backend and
+	// status attributed.
+	var view struct {
+		Total  uint64       `json:"total"`
+		Recent []*obs.Trace `json:"recent"`
+	}
+	tresp, err := http.Get(ts.URL + "/debug/traces?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	if view.Total == 0 || len(view.Recent) == 0 {
+		t.Fatalf("debug traces empty: %+v", view)
+	}
+	var found *obs.Trace
+	for _, tr := range view.Recent {
+		if tr.ID == traceID {
+			found = tr
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %s not retained: %+v", traceID, view.Recent)
+	}
+	if found.Status != http.StatusOK || found.Model != "m" || found.Backend == "" {
+		t.Fatalf("trace attribution wrong: %+v", found)
+	}
+	names := make(map[string]bool)
+	hasAttempt := false
+	for _, s := range found.Spans {
+		names[s.Name] = true
+		if strings.HasPrefix(s.Name, "attempt:") {
+			hasAttempt = true
+		}
+	}
+	if !names["route"] || !hasAttempt {
+		t.Fatalf("trace spans missing route/attempt: %+v", found.Spans)
+	}
+
+	// Slow-request log correlates by trace ID and carries the breakdown.
+	logged := logBuf.String()
+	if !strings.Contains(logged, "slow request") || !strings.Contains(logged, traceID) {
+		t.Fatalf("slow-request log missing trace correlation: %s", logged)
+	}
+
+	// A request without a trace header gets a generated ID echoed back.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(body))
+	req2.Header.Set("Content-Type", "application/json")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get(obs.HeaderTraceID); len(got) != 32 {
+		t.Fatalf("generated trace ID = %q, want 32 hex chars", got)
+	}
+}
+
+type atomicString struct {
+	mu sync.Mutex
+	s  string
+}
+
+func (a *atomicString) Store(s string) { a.mu.Lock(); a.s = s; a.mu.Unlock() }
+func (a *atomicString) Load() string   { a.mu.Lock(); defer a.mu.Unlock(); return a.s }
+
+// TestRouterPprofOptIn checks that profiling endpoints exist only when
+// RouterConfig.Pprof is set.
+func TestRouterPprofOptIn(t *testing.T) {
+	backend := fakeBackend(t, nil, func(w http.ResponseWriter, r *http.Request) {})
+	for _, tc := range []struct {
+		pprof  bool
+		wantOK bool
+	}{{false, false}, {true, true}} {
+		rt, err := NewRouter(RouterConfig{
+			Backends: []string{backend.URL},
+			Pprof:    tc.pprof,
+			Set:      SetConfig{ProbeInterval: time.Hour},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(rt.Handler())
+		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ts.Close()
+		if ok := resp.StatusCode == http.StatusOK; ok != tc.wantOK {
+			t.Errorf("pprof=%v: cmdline status %d, want ok=%v", tc.pprof, resp.StatusCode, tc.wantOK)
+		}
+	}
+}

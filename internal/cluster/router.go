@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/radix-net/radixnet/internal/obs"
 	"github.com/radix-net/radixnet/internal/serve"
 )
 
@@ -57,6 +59,18 @@ type RouterConfig struct {
 	// drain — but must stay finite so one wedged backend cannot stall an
 	// admin verb forever. Default 60s.
 	AdminTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the router mux.
+	// Opt-in: profiling endpoints stay off production routers by default.
+	Pprof bool
+	// SlowRequest, when positive, logs a structured slow-request record
+	// (trace ID, model, class, per-span breakdown) for every routed
+	// request whose end-to-end time meets the threshold. 0 disables.
+	SlowRequest time.Duration
+	// TraceDepth sets how many recent request traces the router retains
+	// for GET /debug/traces. 0 selects obs.DefaultTraceDepth.
+	TraceDepth int
+	// Logger receives slow-request records. Nil selects slog.Default().
+	Logger *slog.Logger
 	// Set tunes health probing (interval, timeout, ejection threshold,
 	// ring vnodes).
 	Set SetConfig
@@ -82,6 +96,9 @@ type Router struct {
 	http         *http.Server
 	start        time.Time
 	met          routerMetrics
+	traces       *obs.TraceRing
+	slow         time.Duration
+	log          *slog.Logger
 }
 
 // DefaultClassRetries is the per-class backend-attempt budget used when
@@ -133,6 +150,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	for _, name := range cfg.MetricsClasses {
 		knownClasses[name] = true
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	rt := &Router{
 		set:          set,
 		replicas:     replicas,
@@ -142,6 +163,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		knownClasses: knownClasses,
 		client:       set.cfg.Client,
 		start:        time.Now(),
+		traces:       obs.NewTraceRing(cfg.TraceDepth),
+		slow:         cfg.SlowRequest,
+		log:          logger,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", rt.handleInfer)
@@ -151,6 +175,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("DELETE /v1/models/{name}", rt.handleAdminUnregister)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.Handle("GET /debug/traces", rt.traces.Handler())
+	if cfg.Pprof {
+		obs.RegisterPprof(mux)
+	}
 	rt.http = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           mux,
@@ -164,6 +192,10 @@ func (rt *Router) Set() *BackendSet { return rt.set }
 
 // Metrics snapshots the router's counters.
 func (rt *Router) Metrics() RouterMetricsSnapshot { return rt.met.snapshot() }
+
+// Traces returns the router's bounded ring of recent request traces
+// (the data behind GET /debug/traces).
+func (rt *Router) Traces() *obs.TraceRing { return rt.traces }
 
 // Replicas returns the per-model replication factor.
 func (rt *Router) Replicas() int { return rt.replicas }
@@ -226,17 +258,32 @@ func writeError(w http.ResponseWriter, code int, model, format string, args ...a
 	writeJSON(w, code, serve.ErrorResponse{Error: fmt.Sprintf(format, args...), Model: model})
 }
 
-// inferForward is one routed inference request's QoS state: the class the
-// router peeked (forwarded verbatim), the absolute deadline derived from
-// the body's deadline_ms at arrival (each forward attempt carries only the
-// REMAINING budget, so failovers and backoffs shrink it instead of
-// resetting it), and whether the class's attempt budget permits waiting
-// out a backend's 429 Retry-After.
+// inferForward is one routed inference request's QoS and tracing state:
+// the class the router peeked (forwarded verbatim), the absolute deadline
+// derived from the body's deadline_ms at arrival (each forward attempt
+// carries only the REMAINING budget, so failovers and backoffs shrink it
+// instead of resetting it), whether the class's attempt budget permits
+// waiting out a backend's 429 Retry-After, and the trace accumulated as
+// the request moves through the owner walk — the span chain (route,
+// attempt:<backend>, backoff:<backend>) plus the final status the client
+// was answered with.
 type inferForward struct {
 	model        string
 	class        string
 	deadline     time.Time // zero = none
 	allowBackoff bool
+
+	traceID string
+	t0      time.Time
+	spans   []obs.Span
+	status  int    // final HTTP status written to the client (0: none — client gone)
+	backend string // the backend whose response was relayed, if any
+	errMsg  string // error body text, for trace correlation
+}
+
+// span appends a named span covering start..now to the request's trace.
+func (f *inferForward) span(name string, start time.Time) {
+	f.spans = append(f.spans, obs.MkSpan(name, start.Sub(f.t0), time.Since(start)))
 }
 
 // remainingMs reports the milliseconds left in the request's budget, or 0
@@ -294,11 +341,23 @@ func (rt *Router) classAllowsBackoff(class string) bool {
 // backend as headers; a request whose budget expires router-side is
 // answered 504 without burning a forward. 4xx responses pass through —
 // they are deterministic client errors every replica would repeat.
+//
+// Every request is traced: the incoming X-Radix-Trace-Id (or a fresh ID)
+// is echoed on the response, forwarded to each backend attempt, and the
+// router-side span breakdown (route, attempt:<backend>, backoff:<backend>)
+// is retained for GET /debug/traces and the slow-request log.
 func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	rt.met.requests.Add(1)
+	traceID := r.Header.Get(obs.HeaderTraceID)
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	w.Header().Set(obs.HeaderTraceID, traceID)
+	fwd := &inferForward{traceID: traceID, t0: time.Now()}
+	defer rt.recordTrace(fwd)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "", "reading request body: %v", err)
+		rt.routeError(w, fwd, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}
 	var peek struct {
@@ -307,30 +366,28 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 		DeadlineMs float64 `json:"deadline_ms"`
 	}
 	if err := json.Unmarshal(body, &peek); err != nil {
-		writeError(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		rt.routeError(w, fwd, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if peek.Model == "" {
-		writeError(w, http.StatusBadRequest, "", "missing model name")
+		rt.routeError(w, fwd, http.StatusBadRequest, "missing model name")
 		return
 	}
+	fwd.model, fwd.class = peek.Model, peek.Class
 	rt.met.classRequest(rt.classLabel(peek.Class))
 	owners := rt.set.Owners(peek.Model, rt.replicas)
 	if len(owners) == 0 {
 		rt.met.unroutable.Add(1)
-		writeError(w, http.StatusServiceUnavailable, peek.Model, "no healthy backend for model %q", peek.Model)
+		rt.routeError(w, fwd, http.StatusServiceUnavailable, "no healthy backend for model %q", peek.Model)
 		return
 	}
 	attempts := rt.classAttempts(peek.Class, len(owners))
 	if attempts < len(owners) {
 		owners = owners[:attempts]
 	}
-	fwd := &inferForward{
-		model:        peek.Model,
-		class:        peek.Class,
-		deadline:     serve.DeadlineFromMs(peek.DeadlineMs), // overflow-clamped
-		allowBackoff: rt.classAllowsBackoff(peek.Class),
-	}
+	fwd.deadline = serve.DeadlineFromMs(peek.DeadlineMs) // overflow-clamped
+	fwd.allowBackoff = rt.classAllowsBackoff(peek.Class)
+	fwd.span("route", fwd.t0) // body peek + owner selection
 	notFound := 0
 	for i, b := range owners {
 		if i > 0 {
@@ -355,13 +412,51 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// intended owners are ejected and the 404s came from healthy ring
 		// successors standing in for them, the model may merely be
 		// unreachable, so the 503 below (retryable) is the honest answer.
-		writeError(w, http.StatusNotFound, peek.Model,
+		rt.routeError(w, fwd, http.StatusNotFound,
 			"unknown model %q (not hosted by any of its %d replicas)", peek.Model, len(owners))
 		return
 	}
 	rt.met.unroutable.Add(1)
-	writeError(w, http.StatusServiceUnavailable, peek.Model,
+	rt.routeError(w, fwd, http.StatusServiceUnavailable,
 		"all %d replicas of model %q failed", len(owners), peek.Model)
+}
+
+// routeError answers a router-originated error, recording the status and
+// message on the request's trace.
+func (rt *Router) routeError(w http.ResponseWriter, fwd *inferForward, code int, format string, args ...any) {
+	fwd.status = code
+	fwd.errMsg = fmt.Sprintf(format, args...)
+	writeJSON(w, code, serve.ErrorResponse{Error: fwd.errMsg, Model: fwd.model, Class: fwd.class})
+}
+
+// recordTrace publishes the request's trace to the ring and, past the
+// slow-request threshold, logs the span breakdown with the trace ID so
+// router-side and backend-side records of one request correlate.
+func (rt *Router) recordTrace(fwd *inferForward) {
+	total := time.Since(fwd.t0)
+	tr := &obs.Trace{
+		ID:      fwd.traceID,
+		Model:   fwd.model,
+		Class:   fwd.class,
+		Backend: fwd.backend,
+		Start:   fwd.t0,
+		TotalMs: float64(total.Nanoseconds()) / 1e6,
+		Status:  fwd.status,
+		Error:   fwd.errMsg,
+		Spans:   fwd.spans,
+	}
+	rt.traces.Add(tr)
+	if rt.slow > 0 && total >= rt.slow {
+		rt.log.Warn("slow request",
+			"trace_id", fwd.traceID,
+			"model", fwd.model,
+			"class", fwd.class,
+			"backend", fwd.backend,
+			"status", fwd.status,
+			"total_ms", tr.TotalMs,
+			"spans", tr.SpanLine(),
+		)
+	}
 }
 
 // consultedIntendedOwners reports whether the consulted (healthy) owners
@@ -403,7 +498,18 @@ func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend,
 			// failure it did not cause.
 			return rt.writeDeadline(w, fwd, "before backend "+b.id+" was tried")
 		}
+		attemptStart := time.Now()
 		resp, err := rt.forwardInfer(r.Context(), b, body, fwd)
+		if !errors.Is(err, errBudgetExhausted) {
+			// A forward was actually issued: trace its round trip. The
+			// per-backend latency histogram only counts answered attempts —
+			// transport errors return in microseconds and would drown the
+			// signal the tail quantiles exist to surface.
+			fwd.span("attempt:"+b.id, attemptStart)
+		}
+		if err == nil {
+			b.attempt.Observe(time.Since(attemptStart).Nanoseconds())
+		}
 		if err != nil {
 			if r.Context().Err() != nil {
 				// The *client* hung up mid-forward: the transport error is
@@ -442,10 +548,16 @@ func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend,
 					return rt.writeDeadline(w, fwd, "during backpressure backoff on backend "+b.id)
 				}
 			}
+			backoffStart := time.Now()
+			clientGone := false
 			select {
 			case <-r.Context().Done():
-				return forwardDone // client gone; nothing left to write
+				clientGone = true
 			case <-time.After(wait):
+			}
+			fwd.span("backoff:"+b.id, backoffStart)
+			if clientGone {
+				return forwardDone // client gone; nothing left to write
 			}
 			continue
 		case resp.StatusCode == http.StatusNotFound:
@@ -465,6 +577,8 @@ func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend,
 			// backoff from here; Retry-After is relayed).
 			rt.set.noteForwardSuccess(b)
 			b.forwarded.Add(1)
+			fwd.status = resp.StatusCode
+			fwd.backend = b.id
 			relay(w, resp, b.id)
 			return forwardDone
 		}
@@ -481,8 +595,10 @@ var errBudgetExhausted = errors.New("cluster: request deadline budget exhausted"
 // a response has been written.
 func (rt *Router) writeDeadline(w http.ResponseWriter, fwd *inferForward, where string) forwardOutcome {
 	rt.met.deadlines.Add(1)
+	fwd.status = http.StatusGatewayTimeout
+	fwd.errMsg = "deadline exceeded " + where
 	writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{
-		Error: "deadline exceeded " + where,
+		Error: fwd.errMsg,
 		Model: fwd.model,
 		Class: fwd.class,
 	})
@@ -499,6 +615,7 @@ func (rt *Router) forwardInfer(ctx context.Context, b *Backend, body []byte, fwd
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.HeaderTraceID, fwd.traceID)
 	if fwd.class != "" {
 		req.Header.Set(serve.HeaderClass, fwd.class)
 	}
@@ -873,6 +990,12 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	writeRouterMetrics(w, &rt.met, backends, time.Since(rt.start).Seconds())
+	// Fleet-level latency distributions: every backend exports the same
+	// log-bucket le ladder, so the router's merged view is a straight
+	// per-le sum across the scrapes — quantiles of the merged histogram
+	// are true fleet quantiles, not averages of per-node quantiles.
+	writeFleetHistograms(w, scrapes)
+	obs.WriteRuntimeMetrics(w, "radixrouter")
 	seenMeta := make(map[string]bool)
 	for i, b := range backends {
 		if scrapes[i] != "" {

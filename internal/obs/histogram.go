@@ -1,0 +1,248 @@
+// Package obs is the shared observability layer for the radixnet serving
+// stack: lock-free log-bucketed latency histograms with mergeable
+// snapshots and quantile extraction, windowed maxima, per-request traces
+// with named span timings retained in a bounded lock-free ring, Go
+// runtime gauges, and a parser for Prometheus histogram exposition (used
+// by the router to merge backend histograms bucket-wise and by selftests
+// to assert tail-latency invariants from the exported data).
+//
+// Everything here is stdlib-only and safe for concurrent use. The hot
+// paths (Histogram.Observe, WindowedMax.Observe, TraceRing.Add) are
+// wait-free on amd64/arm64: a handful of atomic adds, no locks, no
+// allocation (Observe is 0 allocs/op; see BenchmarkHistogramObserve).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of power-of-two buckets in a Histogram.
+// Bucket i counts observations v with 2^(i-1) < v <= 2^i (bucket 0
+// counts v <= 1), so 48 buckets cover 1ns .. ~78 hours when observing
+// nanoseconds — every latency this stack can produce.
+const NumBuckets = 48
+
+// Exposition window: emitting all 48 buckets per series would bloat
+// /metrics with empty lines, so WriteTo emits the le ladder for buckets
+// minExpoBucket..maxExpoBucket (4.096µs .. ~17.2s for nanosecond
+// observations) and folds everything outside into the first bucket and
+// +Inf respectively. Counts are never lost — only boundary resolution
+// outside the plausible latency range. All histograms share the exact
+// same ladder, which is what makes router-side bucket-wise merging a
+// straight per-le sum.
+const (
+	minExpoBucket = 12
+	maxExpoBucket = 34
+)
+
+// Histogram is a fixed-size, power-of-two-bucketed histogram with
+// atomic counters. The zero value is ready to use. Observe is lock-free
+// and allocation-free; Snapshot returns a consistent-enough copy for
+// monitoring (individual counters are read atomically; the set is not a
+// single linearization point, which is the standard Prometheus trade).
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index: the smallest i with
+// v <= 2^i, clamped to the table.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound reports bucket i's inclusive upper bound (2^i).
+func BucketBound(i int) int64 { return int64(1) << uint(i) }
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot copies the current counters into a mergeable value.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, mergeable with
+// other snapshots taken from histograms using the same unit.
+type HistSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     int64
+}
+
+// Merge adds o's counters into s (bucket-wise).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Sub subtracts an earlier snapshot of the same histogram, yielding the
+// distribution observed in the window between the two snapshots.
+// Counters are monotone, so any underflow (from torn reads) clamps to 0.
+func (s *HistSnapshot) Sub(prev HistSnapshot) {
+	for i := range s.Buckets {
+		if s.Buckets[i] >= prev.Buckets[i] {
+			s.Buckets[i] -= prev.Buckets[i]
+		} else {
+			s.Buckets[i] = 0
+		}
+	}
+	if s.Count >= prev.Count {
+		s.Count -= prev.Count
+	} else {
+		s.Count = 0
+	}
+	if s.Sum >= prev.Sum {
+		s.Sum -= prev.Sum
+	} else {
+		s.Sum = 0
+	}
+}
+
+// Mean reports the arithmetic mean of the observed values (0 if empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile reports an estimate of the q-quantile (0 < q <= 1) in the
+// observed unit, linearly interpolating within the containing bucket's
+// [2^(i-1), 2^i] bounds. Returns 0 for an empty snapshot. The estimate
+// for quantiles inside bucket i is never off by more than the bucket
+// width, i.e. at most 2x — the standard log-bucket error bound.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i := 0; i < NumBuckets; i++ {
+		n := float64(s.Buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			frac := (rank - cum) / n
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// WriteTo emits the snapshot as one Prometheus histogram series:
+// name_bucket lines for the shared le ladder plus +Inf, then name_sum
+// and name_count. Observations are divided by scale on the way out —
+// pass 1e9 to export nanosecond observations in seconds. labels is a
+// pre-rendered label body without braces (e.g. `model="m",class="c"`);
+// it may be empty. The caller is responsible for emitting the # HELP
+// and # TYPE <name> histogram header once per family.
+func (s HistSnapshot) WriteTo(w io.Writer, name, labels string, scale float64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i <= maxExpoBucket; i++ {
+		cum += s.Buckets[i]
+		if i < minExpoBucket {
+			continue
+		}
+		le := strconv.FormatFloat(float64(BucketBound(i))/scale, 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/scale)
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(s.Sum)/scale)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}
+
+// WindowedMax tracks a running maximum over scrape windows: Observe
+// folds values in, Rotate (called on scrape) reports the max over the
+// last two windows and starts a new one. Keeping one previous window
+// means a scrape arriving just after rotation still sees the recent
+// peak, while a long-lived fleet stops reporting a years-old worst case
+// — the fix for the all-time-max staleness bite in MetricsSnapshot.
+type WindowedMax struct {
+	cur  atomic.Int64
+	prev atomic.Int64
+}
+
+// Observe folds v into the current window.
+func (m *WindowedMax) Observe(v int64) {
+	for {
+		old := m.cur.Load()
+		if v <= old || m.cur.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Value reports the max over the current and previous windows without
+// rotating.
+func (m *WindowedMax) Value() int64 {
+	c, p := m.cur.Load(), m.prev.Load()
+	if p > c {
+		return p
+	}
+	return c
+}
+
+// Rotate reports the max over the current and previous windows, then
+// retires the current window (prev <- cur, cur <- 0). Call on scrape.
+func (m *WindowedMax) Rotate() int64 {
+	c := m.cur.Swap(0)
+	p := m.prev.Swap(c)
+	if p > c {
+		return p
+	}
+	return c
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0
+		}
+		if got := bucketOf(v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bucket invariant: bucket i holds 2^(i-1) < v <= 2^i.
+	for i := 1; i < 40; i++ {
+		lo, hi := BucketBound(i-1), BucketBound(i)
+		if bucketOf(lo+1) != i || bucketOf(hi) != i {
+			t.Fatalf("bucket %d bounds violated: bucketOf(%d)=%d bucketOf(%d)=%d",
+				i, lo+1, bucketOf(lo+1), hi, bucketOf(hi))
+		}
+		if bucketOf(lo) == i {
+			t.Fatalf("bucket %d lower bound inclusive: bucketOf(%d)=%d", i, lo, bucketOf(lo))
+		}
+	}
+}
+
+func TestHistogramQuantileKnownDistribution(t *testing.T) {
+	// 1000 observations uniformly spread over (0, 100ms]: quantiles are
+	// known analytically, and the log-bucket estimate must land within
+	// the containing power-of-two bucket (factor-2 error bound).
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * int64(100*time.Millisecond) / 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	for _, c := range []struct {
+		q    float64
+		true float64 // ns
+	}{
+		{0.50, 50e6}, {0.90, 90e6}, {0.99, 99e6},
+	} {
+		got := float64(s.Quantile(c.q))
+		if got < c.true/2 || got > c.true*2 {
+			t.Errorf("q%.2f = %.3gns, want within 2x of %.3g", c.q, got, c.true)
+		}
+	}
+	// A point mass is recovered within its bucket.
+	var pm Histogram
+	for i := 0; i < 100; i++ {
+		pm.Observe(int64(3 * time.Millisecond))
+	}
+	// 3ms lands in bucket 22 (2097152, 4194304]ns; the estimate must stay
+	// within those bucket bounds.
+	got := pm.Snapshot().Quantile(0.99)
+	if got < BucketBound(21) || got > BucketBound(22) {
+		t.Errorf("point-mass p99 = %v, want within bucket 22 bounds", time.Duration(got))
+	}
+}
+
+func TestHistogramMergeAndSub(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(1000)
+		b.Observe(8000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count != 20 || merged.Sum != 10*1000+10*8000 {
+		t.Fatalf("merge: count=%d sum=%d", merged.Count, merged.Sum)
+	}
+	if merged.Buckets[bucketOf(1000)] != 10 || merged.Buckets[bucketOf(8000)] != 10 {
+		t.Fatalf("merge buckets wrong")
+	}
+	win := merged
+	win.Sub(sa)
+	if win.Count != 10 || win.Buckets[bucketOf(1000)] != 0 || win.Buckets[bucketOf(8000)] != 10 {
+		t.Fatalf("sub window wrong: count=%d", win.Count)
+	}
+}
+
+func TestHistogramExpositionExactBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(int64(5 * time.Microsecond))  // 5000ns -> bucket 13 (le 8192ns)
+	h.Observe(int64(3 * time.Millisecond))  // bucket 22 (le ~4.19ms)
+	h.Observe(int64(40 * time.Millisecond)) // bucket 26 (le ~67.1ms)
+	h.Observe(1)                            // bucket 0, below the ladder: folds into first le
+	var sb strings.Builder
+	h.Snapshot().WriteTo(&sb, "t_seconds", `model="m"`, 1e9)
+	text := sb.String()
+
+	wantLines := []string{
+		// First emitted bound: 2^12/1e9.
+		`t_seconds_bucket{model="m",le="4.096e-06"} 1`,
+		// 5µs lands in bucket 13 (8192ns).
+		`t_seconds_bucket{model="m",le="8.192e-06"} 2`,
+		// 3ms in bucket 22 (4194304ns).
+		`t_seconds_bucket{model="m",le="0.004194304"} 3`,
+		// 40ms in bucket 26 (67108864ns).
+		`t_seconds_bucket{model="m",le="0.067108864"} 4`,
+		`t_seconds_bucket{model="m",le="+Inf"} 4`,
+		`t_seconds_count{model="m"} 4`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Ladder size: buckets 12..34 plus +Inf.
+	if got := strings.Count(text, "t_seconds_bucket{"); got != maxExpoBucket-minExpoBucket+2 {
+		t.Errorf("bucket line count = %d, want %d", got, maxExpoBucket-minExpoBucket+2)
+	}
+	// Cumulative counts must be monotone non-decreasing.
+	prev := uint64(0)
+	hist, ok := ParseHistogram(text, "t_seconds", map[string]string{"model": "m"})
+	if !ok {
+		t.Fatal("ParseHistogram failed on own exposition")
+	}
+	for i, c := range hist.Cum {
+		if c < prev {
+			t.Fatalf("non-monotone cum at %d", i)
+		}
+		prev = c
+	}
+}
+
+func TestScrapeRoundTrip(t *testing.T) {
+	// A histogram written with WriteTo and re-parsed with ParseHistogram
+	// must preserve count, sum, and quantile estimates.
+	var h Histogram
+	for i := 1; i <= 500; i++ {
+		h.Observe(int64(i) * int64(time.Millisecond) / 10) // 0.1ms..50ms
+	}
+	snap := h.Snapshot()
+	var sb strings.Builder
+	sb.WriteString("# HELP t_seconds help\n# TYPE t_seconds histogram\n")
+	snap.WriteTo(&sb, "t_seconds", `model="m",class="c"`, 1e9)
+
+	hist, ok := ParseHistogram(sb.String(), "t_seconds", map[string]string{"model": "m", "class": "c"})
+	if !ok {
+		t.Fatal("no series found")
+	}
+	if hist.Count != snap.Count {
+		t.Fatalf("count = %d, want %d", hist.Count, snap.Count)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		native := float64(snap.Quantile(q)) / 1e9
+		scraped := hist.Quantile(q)
+		if scraped < native/2 || scraped > native*2 {
+			t.Errorf("q%.2f scraped=%g native=%g", q, scraped, native)
+		}
+	}
+	// Aggregation across label-distinct series: same family, two models.
+	var sb2 strings.Builder
+	snap.WriteTo(&sb2, "t_seconds", `model="m",class="c"`, 1e9)
+	snap.WriteTo(&sb2, "t_seconds", `model="m2",class="c"`, 1e9)
+	all, ok := ParseHistogram(sb2.String(), "t_seconds", map[string]string{"class": "c"})
+	if !ok || all.Count != 2*snap.Count {
+		t.Fatalf("aggregate count = %d, want %d", all.Count, 2*snap.Count)
+	}
+	// Window diff.
+	win := all.Sub(hist)
+	if win.Count != snap.Count {
+		t.Fatalf("window count = %d, want %d", win.Count, snap.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const G, N = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	// Concurrent snapshots + merges while observers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var acc HistSnapshot
+		for i := 0; i < 200; i++ {
+			s := h.Snapshot()
+			acc.Merge(s)
+			_ = s.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Snapshot().Count; got != G*N {
+		t.Fatalf("count = %d, want %d", got, G*N)
+	}
+}
+
+func TestWindowedMax(t *testing.T) {
+	var m WindowedMax
+	m.Observe(10)
+	m.Observe(50)
+	m.Observe(30)
+	if m.Value() != 50 {
+		t.Fatalf("value = %d", m.Value())
+	}
+	if got := m.Rotate(); got != 50 {
+		t.Fatalf("rotate 1 = %d", got)
+	}
+	// Previous window still covers the peak for one more scrape.
+	if got := m.Rotate(); got != 50 {
+		t.Fatalf("rotate 2 = %d", got)
+	}
+	// Two rotations later the old peak has aged out.
+	if got := m.Rotate(); got != 0 {
+		t.Fatalf("rotate 3 = %d", got)
+	}
+	m.Observe(7)
+	if got := m.Rotate(); got != 7 {
+		t.Fatalf("rotate after observe = %d", got)
+	}
+}
+
+func TestWindowedMaxConcurrent(t *testing.T) {
+	var m WindowedMax
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m.Observe(int64(i))
+				if i%64 == 0 {
+					_ = m.Value()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Value() != 1999 {
+		t.Fatalf("value = %d, want 1999", m.Value())
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v += 977
+		}
+	})
+}

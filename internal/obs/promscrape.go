@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScrapedHist is one histogram family reconstructed from Prometheus
+// text exposition: ascending bucket upper bounds (in the exported unit,
+// i.e. seconds for the radixnet stack), the cumulative count at each
+// bound, and the series sum/count. Built by ParseHistogram from a
+// /metrics scrape; selftests use it to assert tail-latency invariants
+// from the exported data rather than internal tallies, and windowed
+// assertions come from Sub on before/after scrapes.
+type ScrapedHist struct {
+	Les   []float64
+	Cum   []uint64
+	Count uint64
+	Sum   float64
+}
+
+// ParseLabels parses a Prometheus label body (no braces) into a map.
+// Handles escaped quotes and backslashes inside values.
+func ParseLabels(s string) map[string]string {
+	out := map[string]string{}
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(s[i : i+eq])
+		key = strings.TrimSpace(strings.TrimPrefix(key, ","))
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			break
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		i++ // closing quote
+		out[key] = val.String()
+	}
+	return out
+}
+
+// matchesWant reports whether got contains every pair in want.
+func matchesWant(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseHistogram extracts the histogram series of the given family
+// whose labels contain every pair in want (the "le" label is handled
+// separately) from Prometheus text exposition. Series that differ only
+// in labels absent from want — e.g. a backend label injected by the
+// router — are merged bucket-wise, so a scrape of the router's merged
+// view and a scrape of one backend parse through the same call. Returns
+// ok=false if no matching series was found.
+func ParseHistogram(text, family string, want map[string]string) (ScrapedHist, bool) {
+	les := map[float64]uint64{}
+	var count uint64
+	var sum float64
+	var sawBucket, sawCount bool
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labelBody, valStr, ok := SplitSeries(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case family + "_bucket":
+			labels := ParseLabels(labelBody)
+			if !matchesWant(labels, want) {
+				continue
+			}
+			leStr, okLe := labels["le"]
+			if !okLe {
+				continue
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				f, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					continue
+				}
+				le = f
+			}
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				continue
+			}
+			les[le] += uint64(v)
+			sawBucket = true
+		case family + "_sum":
+			if !matchesWant(ParseLabels(labelBody), want) {
+				continue
+			}
+			if v, err := strconv.ParseFloat(valStr, 64); err == nil {
+				sum += v
+			}
+		case family + "_count":
+			if !matchesWant(ParseLabels(labelBody), want) {
+				continue
+			}
+			if v, err := strconv.ParseFloat(valStr, 64); err == nil {
+				count += uint64(v)
+				sawCount = true
+			}
+		}
+	}
+	if !sawBucket {
+		return ScrapedHist{}, false
+	}
+
+	bounds := make([]float64, 0, len(les))
+	for le := range les {
+		bounds = append(bounds, le)
+	}
+	sort.Float64s(bounds)
+	h := ScrapedHist{Sum: sum}
+	for _, le := range bounds {
+		if math.IsInf(le, 1) {
+			if !sawCount {
+				count = les[le]
+			}
+			continue
+		}
+		h.Les = append(h.Les, le)
+		h.Cum = append(h.Cum, les[le])
+	}
+	h.Count = count
+	if inf, ok := les[math.Inf(1)]; ok && !sawCount {
+		h.Count = inf
+	}
+	return h, true
+}
+
+// SplitSeries splits one exposition sample line — "name{labels} value"
+// or "name value", with an optional trailing timestamp — into its parts.
+// Exposed for the router's bucket-wise fleet merge, which scans backend
+// scrapes for histogram families outside ParseHistogram's
+// one-family-at-a-time view.
+func SplitSeries(line string) (name, labels, value string, ok bool) {
+	if br := strings.IndexByte(line, '{'); br >= 0 {
+		end := strings.LastIndexByte(line, '}')
+		if end < br {
+			return "", "", "", false
+		}
+		name = line[:br]
+		labels = line[br+1 : end]
+		value = strings.TrimSpace(line[end+1:])
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", "", false
+		}
+		name = line[:sp]
+		value = strings.TrimSpace(line[sp+1:])
+	}
+	if f := strings.Fields(value); len(f) > 0 {
+		value = f[0] // drop optional timestamp
+	}
+	return name, labels, value, value != ""
+}
+
+// Sub subtracts an earlier scrape of the same family (identical le
+// ladder), yielding the window between the two scrapes. Mismatched
+// ladders or counter regressions clamp to zero rather than panicking —
+// a scrape race should never take down a selftest.
+func (h ScrapedHist) Sub(prev ScrapedHist) ScrapedHist {
+	out := ScrapedHist{Les: h.Les, Cum: make([]uint64, len(h.Cum))}
+	copy(out.Cum, h.Cum)
+	for i := range out.Cum {
+		if i < len(prev.Cum) && len(prev.Les) == len(h.Les) {
+			if out.Cum[i] >= prev.Cum[i] {
+				out.Cum[i] -= prev.Cum[i]
+			} else {
+				out.Cum[i] = 0
+			}
+		}
+	}
+	out.Count = h.Count
+	if h.Count >= prev.Count {
+		out.Count = h.Count - prev.Count
+	} else {
+		out.Count = 0
+	}
+	out.Sum = h.Sum - prev.Sum
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in the exported unit,
+// linearly interpolating within the containing bucket. Observations
+// above the last finite bound report that bound (the ladder tops out at
+// ~17s, far above any latency budget this stack enforces).
+func (h ScrapedHist) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Les) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	prevCum := uint64(0)
+	prevLe := 0.0
+	for i, le := range h.Les {
+		cum := h.Cum[i]
+		if float64(cum) >= rank {
+			n := float64(cum - prevCum)
+			if n <= 0 {
+				return le
+			}
+			frac := (rank - float64(prevCum)) / n
+			return prevLe + frac*(le-prevLe)
+		}
+		prevCum = cum
+		prevLe = le
+	}
+	return h.Les[len(h.Les)-1]
+}

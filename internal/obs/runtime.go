@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// WriteRuntimeMetrics emits Go runtime gauges under the given metric
+// prefix (e.g. "radixserve"): live goroutines, heap bytes in use, total
+// GC pause seconds, and completed GC cycles. Appended to /metrics so a
+// fleet's scheduler pressure and GC behaviour are scrapeable alongside
+// the request-path histograms.
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP %s_goroutines Live goroutines.\n# TYPE %s_goroutines gauge\n%s_goroutines %d\n",
+		prefix, prefix, prefix, runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP %s_heap_alloc_bytes Heap bytes in use.\n# TYPE %s_heap_alloc_bytes gauge\n%s_heap_alloc_bytes %d\n",
+		prefix, prefix, prefix, ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP %s_gc_pause_seconds_total Cumulative stop-the-world GC pause.\n# TYPE %s_gc_pause_seconds_total counter\n%s_gc_pause_seconds_total %g\n",
+		prefix, prefix, prefix, float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP %s_gc_cycles_total Completed GC cycles.\n# TYPE %s_gc_cycles_total counter\n%s_gc_cycles_total %d\n",
+		prefix, prefix, prefix, ms.NumGC)
+}
+
+// RegisterPprof mounts net/http/pprof's handlers on mux under
+// /debug/pprof/. Opt-in: the servers only call this when profiling is
+// enabled, so production muxes don't expose profiling by default.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

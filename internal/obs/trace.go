@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderTraceID carries the request trace ID on the HTTP wire. The
+// router (or any edge) generates one when absent; backends reuse an
+// incoming ID so one ID follows the request through every tier, and
+// both tiers echo it on the response.
+const HeaderTraceID = "X-Radix-Trace-Id"
+
+// NewTraceID returns a 32-hex-char random trace ID (128 bits).
+func NewTraceID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
+}
+
+// Span is one named stage of a request's lifecycle. Offsets and
+// durations are wall-clock milliseconds relative to the owning trace's
+// start, which keeps the wire format human-readable in /debug/traces
+// and response bodies.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"duration_ms"`
+}
+
+// MkSpan builds a Span from durations.
+func MkSpan(name string, start, dur time.Duration) Span {
+	return Span{Name: name, StartMs: ms(start), DurMs: ms(dur)}
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// Trace is one completed (or failed) request as retained in a
+// TraceRing and served from /debug/traces.
+type Trace struct {
+	ID      string    `json:"trace_id"`
+	Model   string    `json:"model,omitempty"`
+	Class   string    `json:"class,omitempty"`
+	Backend string    `json:"backend,omitempty"`
+	Start   time.Time `json:"start"`
+	TotalMs float64   `json:"total_ms"`
+	Status  int       `json:"status"`
+	Rows    int       `json:"rows,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Spans   []Span    `json:"spans"`
+
+	seq uint64
+}
+
+// SpanLine renders the span breakdown as a compact one-line string for
+// slow-request log records: "queue=1.2ms execute=3.4ms ...".
+func (t *Trace) SpanLine() string {
+	var b strings.Builder
+	for i, s := range t.Spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(s.DurMs, 'f', 3, 64))
+		b.WriteString("ms")
+	}
+	return b.String()
+}
+
+// TraceRing is a bounded lock-free ring of recent traces. Add is
+// wait-free (one atomic fetch-add plus one pointer store); readers
+// assemble consistent views from the published pointers. When the ring
+// wraps, the oldest trace is overwritten.
+type TraceRing struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// DefaultTraceDepth is the ring size used when a caller passes n <= 0.
+const DefaultTraceDepth = 256
+
+// NewTraceRing returns a ring retaining the last n traces.
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceDepth
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Add publishes t into the ring. t must not be mutated afterwards.
+func (r *TraceRing) Add(t *Trace) {
+	seq := r.next.Add(1)
+	t.seq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(t)
+}
+
+// Len reports the total number of traces ever added.
+func (r *TraceRing) Len() uint64 { return r.next.Load() }
+
+func (r *TraceRing) collect() []*Trace {
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Recent returns up to n retained traces, newest first.
+func (r *TraceRing) Recent(n int) []*Trace {
+	out := r.collect()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Slowest returns up to n retained traces, slowest first.
+func (r *TraceRing) Slowest(n int) []*Trace {
+	out := r.collect()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalMs > out[j].TotalMs })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// tracesView is the GET /debug/traces response body.
+type tracesView struct {
+	Total   uint64   `json:"total"`
+	Recent  []*Trace `json:"recent"`
+	Slowest []*Trace `json:"slowest"`
+}
+
+// Handler serves the ring as JSON: {"total", "recent", "slowest"}.
+// Query parameter n bounds the recent view (default 32, max ring
+// depth); the slowest view always holds up to 8 entries.
+func (r *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 32
+		if v := req.URL.Query().Get("n"); v != "" {
+			if p, err := strconv.Atoi(v); err == nil && p > 0 {
+				n = p
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(tracesView{
+			Total:   r.Len(),
+			Recent:  r.Recent(n),
+			Slowest: r.Slowest(8),
+		})
+	})
+}

@@ -83,6 +83,15 @@ type pending struct {
 	deadline time.Time     // zero = none; checked at dequeue
 	wait     time.Duration // enqueue → engine dispatch, set before done
 	exec     time.Duration // engine invocation elapsed, set before done
+
+	// Span timings for request tracing, set before done: deq is when the
+	// row left its class queue (span "queue" = deq−enq), assemble is
+	// dequeue→batch-dispatch (company collection), lease is the engine
+	// lease acquisition wait, deliver is post-engine completion fan-out.
+	deq      time.Time
+	assemble time.Duration
+	lease    time.Duration
+	deliver  time.Duration
 }
 
 // batcher is one model's QoS scheduler: per-class bounded queues drained by
@@ -349,12 +358,18 @@ func (b *batcher) execute(reqs []*pending) {
 	dispatch := time.Now()
 	for _, p := range reqs {
 		p.wait = dispatch.Sub(p.enq)
+		if !p.deq.IsZero() {
+			p.assemble = dispatch.Sub(p.deq)
+		}
 	}
-	var execDur time.Duration
+	var execDur, leaseDur time.Duration
+	var execEnd time.Time
 	batch, err := sparse.DenseFromSlice(n, m.inW, buf[:n*m.inW])
 	if err == nil {
+		leaseStart := time.Now()
 		eng := m.Lease()
 		execStart := time.Now()
+		leaseDur = execStart.Sub(leaseStart)
 		var out *sparse.Dense
 		if out, err = eng.Infer(batch); err == nil {
 			data := out.Data()
@@ -363,16 +378,24 @@ func (b *batcher) execute(reqs []*pending) {
 			}
 		}
 		execDur = time.Since(execStart)
+		execEnd = execStart.Add(execDur)
 		m.Release(eng)
 	}
 	m.putBatchBuf(buf)
 	b.met.Batches.Add(1)
 	b.met.BatchedRows.Add(int64(n))
 	b.met.ExecNs.Add(execDur.Nanoseconds())
+	b.met.ExecHist.Observe(execDur.Nanoseconds())
 	now := time.Now()
+	var deliverDur time.Duration
+	if !execEnd.IsZero() {
+		deliverDur = now.Sub(execEnd)
+	}
 	for _, p := range reqs {
 		p.err = err
 		p.exec = execDur
+		p.lease = leaseDur
+		p.deliver = deliverDur
 		if err != nil {
 			b.met.Failed.Add(1)
 		} else {

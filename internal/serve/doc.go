@@ -79,4 +79,20 @@
 // Prometheus text format. The Server wraps net/http with graceful
 // shutdown: stop accepting, drain in-flight handlers, then drain the
 // batchers.
+//
+// Observability — the request path is instrumented with internal/obs
+// primitives chosen so measurement never contends with serving: latency
+// (end-to-end per model, queue wait per model×class, execute per model)
+// is recorded in lock-free log-bucketed histograms (one atomic add per
+// observation, 0 allocs) exported as Prometheus histogram families whose
+// shared bucket ladder a router can merge bucket-wise; max-style gauges
+// are windowed (reset on scrape); 429 Retry-After is derived from the
+// live queue-wait p90 once enough samples exist. Every request carries a
+// 32-hex trace ID (X-Radix-Trace-Id honored, else generated) returned in
+// the response header and body together with per-stage spans (admission,
+// queue, assemble, lease, execute, deliver); recent and slowest traces
+// are retained in a bounded lock-free ring served by GET /debug/traces,
+// and ServerOptions.SlowRequest logs outliers with their span breakdown.
+// ServerOptions.Pprof mounts net/http/pprof; /metrics always includes Go
+// runtime gauges.
 package serve

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"github.com/radix-net/radixnet/internal/obs"
 )
 
 // Metrics counts one model's serving activity. All fields are atomic and
@@ -22,8 +24,19 @@ type Metrics struct {
 	BatchedRows atomic.Int64 // rows across engine invocations
 	ExecNs      atomic.Int64 // total engine-busy ns over invocations
 	LatencyNs   atomic.Int64 // total enqueue→delivery ns over completed rows
-	MaxLatency  atomic.Int64 // worst single-row enqueue→delivery ns
+	MaxLatency  atomic.Int64 // worst single-row enqueue→delivery ns (all-time)
 	Reloads     atomic.Int64 // engine-pool hot swaps (Registry.Reload)
+
+	// LatencyHist buckets every completed row's enqueue→delivery latency
+	// (ns); ExecHist buckets engine invocation time per batch. Both are
+	// lock-free log2 histograms exported as Prometheus histogram families,
+	// the distribution view behind the sums/maxima above.
+	LatencyHist obs.Histogram
+	ExecHist    obs.Histogram
+	// WinLatency is the scrape-windowed worst latency: unlike MaxLatency
+	// it rotates on scrape, so long-lived fleets stop reporting an
+	// all-time worst forever.
+	WinLatency obs.WindowedMax
 
 	classes []ClassMetrics
 }
@@ -35,12 +48,20 @@ type ClassMetrics struct {
 	Completed   atomic.Int64 // rows inferred and delivered
 	Expired     atomic.Int64 // rows shed at dequeue for a passed deadline
 	QueueWaitNs atomic.Int64 // total enqueue→dispatch ns over completed rows
-	MaxWaitNs   atomic.Int64 // worst single-row enqueue→dispatch ns
+	MaxWaitNs   atomic.Int64 // worst single-row enqueue→dispatch ns (all-time)
+
+	// WaitHist buckets queue waits (ns) for quantile extraction — the
+	// distribution the 25ms interactive p99 invariant and the Retry-After
+	// hint are read from. WinWait is the scrape-windowed worst wait.
+	WaitHist obs.Histogram
+	WinWait  obs.WindowedMax
 }
 
 // observeWait records one dispatched row's enqueue→dispatch queue wait.
 func (c *ClassMetrics) observeWait(ns int64) {
 	c.QueueWaitNs.Add(ns)
+	c.WaitHist.Observe(ns)
+	c.WinWait.Observe(ns)
 	for {
 		old := c.MaxWaitNs.Load()
 		if ns <= old || c.MaxWaitNs.CompareAndSwap(old, ns) {
@@ -61,6 +82,12 @@ type MetricsSnapshot struct {
 	Batches, BatchedRows, Reloads         int64
 	MeanBatch                             float64
 	MeanLatency, MaxLatency               time.Duration
+	// LatencyP50/P90/P99 are histogram-derived end-to-end latency
+	// quantiles over all completed rows (log2-bucket resolution).
+	LatencyP50, LatencyP90, LatencyP99 time.Duration
+	// WindowMaxLatency is the worst latency over the recent scrape
+	// windows — the resettable alternative to the all-time MaxLatency.
+	WindowMaxLatency time.Duration
 }
 
 // Snapshot loads every counter and derives the mean batch size and mean
@@ -83,6 +110,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if s.Completed > 0 {
 		s.MeanLatency = time.Duration(m.LatencyNs.Load() / s.Completed)
 	}
+	lh := m.LatencyHist.Snapshot()
+	s.LatencyP50 = time.Duration(lh.Quantile(0.50))
+	s.LatencyP90 = time.Duration(lh.Quantile(0.90))
+	s.LatencyP99 = time.Duration(lh.Quantile(0.99))
+	s.WindowMaxLatency = time.Duration(m.WinLatency.Value())
 	return s
 }
 
@@ -91,6 +123,10 @@ type ClassSnapshot struct {
 	Class                                  string
 	Accepted, Rejected, Completed, Expired int64
 	MeanQueueWait, MaxQueueWait            time.Duration
+	// WaitP50/P90/P99 are histogram-derived queue-wait quantiles;
+	// WindowMaxQueueWait is the recent-scrape-window worst wait.
+	WaitP50, WaitP90, WaitP99 time.Duration
+	WindowMaxQueueWait        time.Duration
 }
 
 // ClassSnapshots reports every class's counters in the registry's class
@@ -110,6 +146,11 @@ func (m *Model) ClassSnapshots() []ClassSnapshot {
 		if s.Completed > 0 {
 			s.MeanQueueWait = time.Duration(c.QueueWaitNs.Load() / s.Completed)
 		}
+		wh := c.WaitHist.Snapshot()
+		s.WaitP50 = time.Duration(wh.Quantile(0.50))
+		s.WaitP90 = time.Duration(wh.Quantile(0.90))
+		s.WaitP99 = time.Duration(wh.Quantile(0.99))
+		s.WindowMaxQueueWait = time.Duration(c.WinWait.Value())
 		out[i] = s
 	}
 	return out
@@ -118,6 +159,8 @@ func (m *Model) ClassSnapshots() []ClassSnapshot {
 // observe records one delivered row's enqueue→delivery latency.
 func (m *Metrics) observe(ns int64) {
 	m.LatencyNs.Add(ns)
+	m.LatencyHist.Observe(ns)
+	m.WinLatency.Observe(ns)
 	for {
 		old := m.MaxLatency.Load()
 		if ns <= old || m.MaxLatency.CompareAndSwap(old, ns) {
@@ -149,10 +192,12 @@ var promMetrics = []promMetric{
 		func(m *Metrics) float64 { return float64(m.BatchedRows.Load()) }},
 	{"radixserve_engine_busy_seconds_total", "Engine time summed over invocations (drain-capacity basis).", "counter",
 		func(m *Metrics) float64 { return float64(m.ExecNs.Load()) / 1e9 }},
-	{"radixserve_request_latency_seconds_sum", "Total enqueue-to-delivery latency of completed rows.", "counter",
-		func(m *Metrics) float64 { return float64(m.LatencyNs.Load()) / 1e9 }},
-	{"radixserve_request_latency_seconds_max", "Worst single-row enqueue-to-delivery latency.", "gauge",
+	// radixserve_request_latency_seconds{_bucket,_sum,_count} are emitted
+	// as a histogram family below; only the maxima remain point series.
+	{"radixserve_request_latency_seconds_max", "Worst single-row enqueue-to-delivery latency (all-time).", "gauge",
 		func(m *Metrics) float64 { return float64(m.MaxLatency.Load()) / 1e9 }},
+	{"radixserve_request_latency_seconds_maxwindow", "Worst single-row enqueue-to-delivery latency over the recent scrape windows (rotates on scrape).", "gauge",
+		func(m *Metrics) float64 { return float64(m.WinLatency.Rotate()) / 1e9 }},
 	{"radixserve_reloads_total", "Engine-pool hot swaps applied to the model.", "counter",
 		func(m *Metrics) float64 { return float64(m.Reloads.Load()) }},
 }
@@ -172,10 +217,12 @@ var promClassMetrics = []promClassMetric{
 		func(m *Model, c int) float64 { return float64(m.met.class(c).Completed.Load()) }},
 	{"radixserve_class_rows_expired_total", "Rows of the class shed at dequeue for a passed deadline.", "counter",
 		func(m *Model, c int) float64 { return float64(m.met.class(c).Expired.Load()) }},
-	{"radixserve_queue_wait_seconds_sum", "Total enqueue-to-dispatch queue wait of completed rows.", "counter",
-		func(m *Model, c int) float64 { return float64(m.met.class(c).QueueWaitNs.Load()) / 1e9 }},
-	{"radixserve_queue_wait_seconds_max", "Worst single-row enqueue-to-dispatch queue wait.", "gauge",
+	// radixserve_queue_wait_seconds{_bucket,_sum,_count} are emitted as a
+	// histogram family below; only the maxima remain point series.
+	{"radixserve_queue_wait_seconds_max", "Worst single-row enqueue-to-dispatch queue wait (all-time).", "gauge",
 		func(m *Model, c int) float64 { return float64(m.met.class(c).MaxWaitNs.Load()) / 1e9 }},
+	{"radixserve_queue_wait_seconds_maxwindow", "Worst single-row enqueue-to-dispatch queue wait over the recent scrape windows (rotates on scrape).", "gauge",
+		func(m *Model, c int) float64 { return float64(m.met.class(c).WinWait.Rotate()) / 1e9 }},
 	{"radixserve_class_queue_depth", "Rows currently queued in the class.", "gauge",
 		func(m *Model, c int) float64 { return float64(m.bat.classDepth(c)) }},
 }
@@ -196,6 +243,24 @@ func writePrometheus(w io.Writer, models []*Model) {
 			for c := 0; c < m.qos.size(); c++ {
 				fmt.Fprintf(w, "%s{model=%q,class=%q} %g\n", pm.name, m.name, m.qos.name(c), pm.value(m, c))
 			}
+		}
+	}
+	// Histogram families: per-model end-to-end latency and engine execute
+	// time, per-model×class queue wait. All share obs's log2 le ladder, so
+	// the router can merge backend series bucket-wise by summing counts.
+	fmt.Fprintf(w, "# HELP radixserve_request_latency_seconds Enqueue-to-delivery latency of completed rows.\n# TYPE radixserve_request_latency_seconds histogram\n")
+	for _, m := range models {
+		m.met.LatencyHist.Snapshot().WriteTo(w, "radixserve_request_latency_seconds", fmt.Sprintf("model=%q", m.name), 1e9)
+	}
+	fmt.Fprintf(w, "# HELP radixserve_execute_seconds Engine invocation time per coalesced batch.\n# TYPE radixserve_execute_seconds histogram\n")
+	for _, m := range models {
+		m.met.ExecHist.Snapshot().WriteTo(w, "radixserve_execute_seconds", fmt.Sprintf("model=%q", m.name), 1e9)
+	}
+	fmt.Fprintf(w, "# HELP radixserve_queue_wait_seconds Enqueue-to-dispatch queue wait of completed rows.\n# TYPE radixserve_queue_wait_seconds histogram\n")
+	for _, m := range models {
+		for c := 0; c < m.qos.size(); c++ {
+			m.met.class(c).WaitHist.Snapshot().WriteTo(w, "radixserve_queue_wait_seconds",
+				fmt.Sprintf("model=%q,class=%q", m.name, m.qos.name(c)), 1e9)
 		}
 	}
 	fmt.Fprintf(w, "# HELP radixserve_queue_depth Pending rows in the request queues (all classes).\n# TYPE radixserve_queue_depth gauge\n")

@@ -44,7 +44,7 @@ func parsePrometheus(t *testing.T, text string) promSeries {
 		}
 		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
 			name, typ, ok := strings.Cut(rest, " ")
-			if !ok || (typ != "counter" && typ != "gauge") {
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
 				t.Fatalf("malformed TYPE line %q", line)
 			}
 			p.types[name] = typ
@@ -135,7 +135,7 @@ func TestMetricsExpositionAfterKnownSequence(t *testing.T) {
 		// Capacity sums the per-class bounds (3 default classes × QueueDepth
 		// 7) so depth/capacity stays a valid utilization ratio now that
 		// depth sums all classes.
-		`radixserve_queue_capacity{model="m"}`:       21,
+		`radixserve_queue_capacity{model="m"}`: 21,
 	} {
 		if got := p.value(t, series); got != want {
 			t.Errorf("%s = %g, want %g", series, got, want)
@@ -171,7 +171,8 @@ func TestMetricsExpositionAfterKnownSequence(t *testing.T) {
 		"radixserve_rows_accepted_total", "radixserve_rows_rejected_total",
 		"radixserve_rows_completed_total", "radixserve_rows_failed_total",
 		"radixserve_batches_total", "radixserve_batched_rows_total",
-		"radixserve_request_latency_seconds_sum", "radixserve_request_latency_seconds_max",
+		"radixserve_request_latency_seconds", "radixserve_request_latency_seconds_max",
+		"radixserve_request_latency_seconds_maxwindow", "radixserve_execute_seconds",
 		"radixserve_queue_depth", "radixserve_queue_capacity",
 		"radixserve_http_responses_total", "radixserve_uptime_seconds",
 	} {
@@ -184,10 +185,14 @@ func TestMetricsExpositionAfterKnownSequence(t *testing.T) {
 			continue
 		}
 		isCounter := strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_sum")
-		if isCounter && typ != "counter" {
+		switch {
+		case name == "radixserve_request_latency_seconds" || name == "radixserve_execute_seconds":
+			if typ != "histogram" {
+				t.Errorf("metric %s TYPE %s, want histogram", name, typ)
+			}
+		case isCounter && typ != "counter":
 			t.Errorf("metric %s TYPE %s, want counter", name, typ)
-		}
-		if !isCounter && typ != "gauge" {
+		case !isCounter && typ != "gauge":
 			t.Errorf("metric %s TYPE %s, want gauge", name, typ)
 		}
 	}
@@ -253,7 +258,8 @@ func TestClassQueueWaitExposition(t *testing.T) {
 	for _, name := range []string{
 		"radixserve_class_rows_accepted_total", "radixserve_class_rows_rejected_total",
 		"radixserve_class_rows_completed_total", "radixserve_class_rows_expired_total",
-		"radixserve_queue_wait_seconds_sum", "radixserve_queue_wait_seconds_max",
+		"radixserve_queue_wait_seconds", "radixserve_queue_wait_seconds_max",
+		"radixserve_queue_wait_seconds_maxwindow",
 		"radixserve_class_queue_depth", "radixserve_rows_expired_total",
 	} {
 		if p.helps[name] == "" {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"github.com/radix-net/radixnet/internal/obs"
 )
 
 // The built-in priority classes. A registry may serve any class set via
@@ -147,6 +149,10 @@ type Request struct {
 	// executing. It does not preempt rows already dispatched to an engine —
 	// a row that starts executing finishes and is delivered.
 	Deadline time.Time
+	// TraceID correlates the request across tiers: generated at the edge
+	// (router or HTTP server, carried as X-Radix-Trace-Id on the wire) or
+	// by Do itself when empty. Response echoes the effective ID.
+	TraceID string
 
 	// outs, when non-nil, are caller-owned destination slices (one per row,
 	// each OutputWidth long) — the zero-copy path the Infer compatibility
@@ -167,6 +173,32 @@ type Response struct {
 	// Execute is the longest engine invocation any row of the request rode
 	// in (a row's end-to-end latency ≈ its queue wait + execute).
 	Execute time.Duration
+	// TraceID is the request's effective trace ID (the caller's, or one
+	// Do generated when the request carried none).
+	TraceID string
+	// Spans are the per-stage scheduler timings — queue, assemble, lease,
+	// execute, deliver — each the worst across the request's rows, start
+	// offsets chained cumulatively. The HTTP layer prepends its own
+	// admission span and echoes the chain on the wire.
+	Spans []obs.Span
+}
+
+// pipelineSpans renders the scheduler-stage durations as a span chain
+// with cumulative start offsets. Each duration is the worst across the
+// request's rows, so the chain is representative of the request's
+// critical path rather than a strict timeline of any single row.
+func pipelineSpans(queue, assemble, lease, execute, deliver time.Duration) []obs.Span {
+	stages := [...]struct {
+		name string
+		d    time.Duration
+	}{{"queue", queue}, {"assemble", assemble}, {"lease", lease}, {"execute", execute}, {"deliver", deliver}}
+	spans := make([]obs.Span, 0, len(stages))
+	at := time.Duration(0)
+	for _, s := range stages {
+		spans = append(spans, obs.MkSpan(s.name, at, s.d))
+		at += s.d
+	}
+	return spans
 }
 
 // classQ is one class's bounded FIFO inside a model's scheduler: a fixed
@@ -249,6 +281,7 @@ func (s *classSched) take(dst []*pending, max int, now time.Time) (got, shed []*
 		}
 		for cq.n > 0 && cq.deficit > 0 && len(got) < max {
 			p := cq.pop()
+			p.deq = now // trace span boundary: row left its class queue
 			s.pending--
 			if !p.deadline.IsZero() && now.After(p.deadline) {
 				shed = append(shed, p)

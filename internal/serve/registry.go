@@ -13,6 +13,7 @@ import (
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/obs"
 	"github.com/radix-net/radixnet/internal/parallel"
 )
 
@@ -626,26 +627,43 @@ func (m *Model) ResolveClass(name string) (string, error) {
 	return m.qos.name(id), nil
 }
 
+// retryAfterMinSamples is how many queue waits a class must have observed
+// before its histogram p90 is trusted as the Retry-After basis; below it
+// the depth/drain-rate fallback answers.
+const retryAfterMinSamples = 32
+
 // RetryAfterSeconds estimates how long a backpressured client of the given
-// class ("" → default class) should wait before retrying, derived from the
-// class's current queue depth and its share of the model's drain capacity,
-// clamped to [1s, 30s]. The HTTP layer emits it as the Retry-After header
-// on 429 so the cluster router's backoff path engages with a real number
-// instead of a constant.
+// class ("" → default class) should wait before retrying, clamped to
+// [1s, 30s]. The HTTP layer emits it as the Retry-After header on 429 so
+// the cluster router's backoff path engages with a real number instead of
+// a constant.
 //
-// The capacity basis is the ENGINE's measured throughput (rows per second
-// of engine-busy time, accumulated over every batch ever executed) — a
-// property of the model, stable across idle periods — not the recent
-// completion rate, which reads near-zero for a long-idle model and would
-// tell the first burst's clients to park for the full 30s cap while the
-// queue actually drains in milliseconds. The class drains at its DRR share
-// of that rate when other classes are backlogged too, so the estimate is
-// scaled by the share; single-stream capacity is used (no Workers
-// multiplier), so it errs conservative.
+// The primary basis is the class's MEASURED queue-wait distribution: a 429
+// means the class queue is full, so a newly admitted row would wait about
+// as long as recently dispatched rows did — the p90 of the exported
+// queue-wait histogram. A distribution quantile absorbs batching and DRR
+// interleave effects a depth/drain-rate point estimate has to model, and it
+// is exactly the number an operator sees on /metrics, so the hint is
+// auditable. Until the class has observed retryAfterMinSamples waits the
+// histogram is noise, and the cold fallback answers instead: queue depth
+// over the class's DRR share of the engine's measured drain capacity
+// (rows per second of engine-busy time — a property of the model, stable
+// across idle periods, so a long-idle model never tells its first burst to
+// park for the 30s cap while the queue actually drains in milliseconds).
 func (m *Model) RetryAfterSeconds(class string) int {
 	id, err := m.qos.id(class)
 	if err != nil {
 		id = m.qos.def // unknown classes never reach the queue; be safe anyway
+	}
+	if wh := m.met.class(id).WaitHist.Snapshot(); wh.Count >= retryAfterMinSamples {
+		secs := int(math.Ceil(float64(wh.Quantile(0.90)) / 1e9))
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 30 {
+			secs = 30
+		}
+		return secs
 	}
 	depth, share := m.bat.classBacklog(id)
 	rate := 1.0 // rows/s floor: a model that never executed answers something sane
@@ -747,7 +765,11 @@ func (m *Model) Do(ctx context.Context, req *Request) (*Response, error) {
 	// going to arrive; withdraw the announcement before awaiting results so
 	// collectors don't wait on rows that will not come.
 	withdraw()
-	resp := &Response{Outputs: outs, Class: m.qos.name(class)}
+	resp := &Response{Outputs: outs, Class: m.qos.name(class), TraceID: req.TraceID}
+	if resp.TraceID == "" {
+		resp.TraceID = obs.NewTraceID()
+	}
+	var queueD, assembleD, leaseD, deliverD time.Duration
 	for _, p := range pendings {
 		select {
 		case <-p.done:
@@ -760,6 +782,20 @@ func (m *Model) Do(ctx context.Context, req *Request) (*Response, error) {
 			if p.exec > resp.Execute {
 				resp.Execute = p.exec
 			}
+			if !p.deq.IsZero() {
+				if d := p.deq.Sub(p.enq); d > queueD {
+					queueD = d
+				}
+			}
+			if p.assemble > assembleD {
+				assembleD = p.assemble
+			}
+			if p.lease > leaseD {
+				leaseD = p.lease
+			}
+			if p.deliver > deliverD {
+				deliverD = p.deliver
+			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -767,6 +803,7 @@ func (m *Model) Do(ctx context.Context, req *Request) (*Response, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	resp.Spans = pipelineSpans(queueD, assembleD, leaseD, resp.Execute, deliverD)
 	return resp, nil
 }
 

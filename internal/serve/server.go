@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/obs"
 )
 
 // maxRequestBody bounds a POST /v1/infer body; a full MaxBatch of rows at
@@ -83,8 +85,14 @@ type InferResponse struct {
 	// its batch dispatched; ExecuteMs the longest engine invocation it rode.
 	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
 	ExecuteMs   float64 `json:"execute_ms,omitempty"`
-	Active      []bool  `json:"active,omitempty"`
-	Argmax      []int   `json:"argmax,omitempty"`
+	// TraceID correlates this response with /debug/traces and slog records
+	// across tiers (also echoed as the X-Radix-Trace-Id header); Spans is
+	// the per-stage timing breakdown — admission plus the five scheduler
+	// stages (queue, assemble, lease, execute, deliver).
+	TraceID string     `json:"trace_id,omitempty"`
+	Spans   []obs.Span `json:"spans,omitempty"`
+	Active  []bool     `json:"active,omitempty"`
+	Argmax  []int      `json:"argmax,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx API response. Model is
@@ -151,12 +159,49 @@ type Server struct {
 
 	// HTTP-level counters by status class, exported on /metrics.
 	status2xx, status4xx, status5xx atomic.Int64
+
+	// Observability surface: recent-request trace ring (GET /debug/traces),
+	// slow-request threshold, and the slog destination for slow records.
+	traces *obs.TraceRing
+	slow   time.Duration
+	log    *slog.Logger
+}
+
+// ServerOptions configures a Server's observability surface. The zero
+// value is the production default: tracing on (bounded ring), pprof off,
+// slow-request logging off.
+type ServerOptions struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the server mux.
+	// Opt-in: profiling endpoints expose stacks and heap contents, so they
+	// stay off unless an operator asks.
+	Pprof bool
+	// SlowRequest logs any /v1/infer request slower than this threshold
+	// via slog, with the trace ID and full span breakdown. 0 disables.
+	SlowRequest time.Duration
+	// TraceDepth bounds the /debug/traces ring (0 → obs.DefaultTraceDepth).
+	TraceDepth int
+	// Logger receives slow-request records; nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // NewServer wraps the registry in an HTTP server bound to addr (host:port;
-// ":0" picks an ephemeral port at Start).
+// ":0" picks an ephemeral port at Start) with default observability.
 func NewServer(reg *Registry, addr string) *Server {
-	s := &Server{reg: reg, start: time.Now()}
+	return NewServerOpts(reg, addr, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with an explicit observability configuration.
+func NewServerOpts(reg *Registry, addr string, opts ServerOptions) *Server {
+	s := &Server{
+		reg:    reg,
+		start:  time.Now(),
+		traces: obs.NewTraceRing(opts.TraceDepth),
+		slow:   opts.SlowRequest,
+		log:    opts.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
@@ -165,6 +210,10 @@ func NewServer(reg *Registry, addr string) *Server {
 	mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnregister)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/traces", s.traces.Handler())
+	if opts.Pprof {
+		obs.RegisterPprof(mux)
+	}
 	s.http = &http.Server{
 		Addr:              addr,
 		Handler:           s.countStatus(mux),
@@ -172,6 +221,9 @@ func NewServer(reg *Registry, addr string) *Server {
 	}
 	return s
 }
+
+// Traces exposes the server's trace ring (for embedding and tests).
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
 
 // Handler returns the server's root handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.http.Handler }
@@ -263,19 +315,47 @@ func writeModelError(w http.ResponseWriter, code int, model string, format strin
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	traceID := r.Header.Get(obs.HeaderTraceID)
+	if traceID == "" {
+		// No upstream router: this server is the edge and mints the ID.
+		traceID = obs.NewTraceID()
+	}
+	w.Header().Set(obs.HeaderTraceID, traceID)
+	// finish retains the request in the trace ring and, past the slow
+	// threshold, logs the span breakdown with the trace ID — the same ID
+	// the router logs, so one grep correlates both tiers.
+	finish := func(status int, model, class string, rows int, errStr string, spans []obs.Span) {
+		total := time.Since(t0)
+		tr := &obs.Trace{
+			ID: traceID, Model: model, Class: class, Start: t0,
+			TotalMs: float64(total.Nanoseconds()) / 1e6,
+			Status:  status, Rows: rows, Error: errStr, Spans: spans,
+		}
+		s.traces.Add(tr)
+		if s.slow > 0 && total >= s.slow {
+			s.log.Warn("slow request",
+				"trace_id", traceID, "model", model, "class", class,
+				"status", status, "rows", rows, "total_ms", tr.TotalMs,
+				"spans", tr.SpanLine())
+		}
+	}
 	var req InferRequest
 	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		finish(http.StatusBadRequest, "", "", 0, err.Error(), nil)
 		return
 	}
 	m, ok := s.reg.Model(req.Model)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		finish(http.StatusNotFound, req.Model, "", 0, "unknown model", nil)
 		return
 	}
 	if len(req.Inputs) == 0 {
 		writeError(w, http.StatusBadRequest, "empty inputs")
+		finish(http.StatusBadRequest, req.Model, "", 0, "empty inputs", nil)
 		return
 	}
 	// Router-forwarded QoS metadata wins over the body: the class header
@@ -291,6 +371,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// row is queued, like an unparseable config on the admin plane.
 		writeJSON(w, http.StatusUnprocessableEntity,
 			ErrorResponse{Error: err.Error(), Model: m.Name(), Class: req.Class})
+		finish(http.StatusUnprocessableEntity, m.Name(), req.Class, len(req.Inputs), err.Error(), nil)
 		return
 	}
 	deadlineMs := req.DeadlineMs
@@ -299,7 +380,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			deadlineMs = v
 		}
 	}
-	qreq := &Request{Rows: req.Inputs, Class: class, Deadline: DeadlineFromMs(deadlineMs)}
+	// Everything from arrival to submission — decode, model/class resolve,
+	// deadline math — is the admission span; the scheduler spans chain on.
+	admission := obs.MkSpan("admission", 0, time.Since(t0))
+	qreq := &Request{Rows: req.Inputs, Class: class, Deadline: DeadlineFromMs(deadlineMs), TraceID: traceID}
 	qresp, err := m.Do(r.Context(), qreq)
 	if err != nil {
 		switch {
@@ -328,7 +412,16 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		default:
 			writeModelError(w, http.StatusBadRequest, m.Name(), "%v", err)
 		}
+		finish(errStatus(err), m.Name(), class, len(req.Inputs), err.Error(), []obs.Span{admission})
 		return
+	}
+	// Chain the scheduler spans after admission so start offsets read as
+	// one request timeline.
+	spans := make([]obs.Span, 0, len(qresp.Spans)+1)
+	spans = append(spans, admission)
+	for _, sp := range qresp.Spans {
+		sp.StartMs += admission.DurMs
+		spans = append(spans, sp)
 	}
 	outs := qresp.Outputs
 	resp := InferResponse{
@@ -338,6 +431,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Class:       qresp.Class,
 		QueueWaitMs: float64(qresp.QueueWait) / float64(time.Millisecond),
 		ExecuteMs:   float64(qresp.Execute) / float64(time.Millisecond),
+		TraceID:     qresp.TraceID,
+		Spans:       spans,
 	}
 	if req.Categories {
 		resp.Active = make([]bool, len(outs))
@@ -356,6 +451,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+	finish(http.StatusOK, m.Name(), qresp.Class, len(outs), "", spans)
+}
+
+// errStatus maps a Model.Do error to the HTTP status handleInfer writes
+// for it — the trace ring records the same status the client saw.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -514,4 +627,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "radixserve_http_responses_total{class=\"5xx\"} %d\n", s.status5xx.Load())
 	fmt.Fprintf(w, "# HELP radixserve_uptime_seconds Server uptime.\n# TYPE radixserve_uptime_seconds gauge\nradixserve_uptime_seconds %g\n",
 		time.Since(s.start).Seconds())
+	obs.WriteRuntimeMetrics(w, "radixserve")
 }

@@ -49,6 +49,7 @@ import (
 	"github.com/radix-net/radixnet/internal/dataset"
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/obs"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
 	"github.com/radix-net/radixnet/internal/sparse"
@@ -310,6 +311,44 @@ func NewRegistryQoS(pol ServePolicy, qos ServeQoSConfig) (*Registry, error) {
 
 // NewServer wraps the registry in an HTTP inference server bound to addr.
 func NewServer(reg *Registry, addr string) *Server { return serve.NewServer(reg, addr) }
+
+// ServerOptions tunes a Server's observability surface: opt-in pprof
+// endpoints, the slow-request log threshold, and the /debug/traces ring
+// depth. The zero value matches NewServer.
+type ServerOptions = serve.ServerOptions
+
+// NewServerOpts is NewServer with explicit observability options.
+func NewServerOpts(reg *Registry, addr string, opts ServerOptions) *Server {
+	return serve.NewServerOpts(reg, addr, opts)
+}
+
+// Histogram is a lock-free log-bucketed latency histogram: Observe is
+// atomic and allocation-free, snapshots merge bucket-wise across
+// instances, and quantiles carry at most 2× resolution error. It backs
+// every *_seconds histogram family on the serve and router /metrics.
+type Histogram = obs.Histogram
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, with
+// Quantile, Merge, and Prometheus text exposition.
+type HistogramSnapshot = obs.HistSnapshot
+
+// Trace is one request's record: identity, attribution, and the
+// per-stage span breakdown served by GET /debug/traces.
+type Trace = obs.Trace
+
+// TraceSpan is one named stage of a request trace (offset + duration).
+type TraceSpan = obs.Span
+
+// TraceRing retains the most recent and slowest request traces in a
+// bounded lock-free ring.
+type TraceRing = obs.TraceRing
+
+// HeaderTraceID is the HTTP header carrying a request's trace ID
+// end-to-end through the router to the backend and back.
+const HeaderTraceID = obs.HeaderTraceID
+
+// NewTraceID returns a fresh 32-hex-character trace ID.
+func NewTraceID() string { return obs.NewTraceID() }
 
 // Ring is a consistent-hash ring with virtual nodes: the model-placement
 // function of a radixserve fleet. Adding or removing a backend moves only
