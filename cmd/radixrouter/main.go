@@ -68,7 +68,21 @@ import (
 
 	"github.com/radix-net/radixnet/internal/cliutil"
 	"github.com/radix-net/radixnet/internal/cluster"
+	"github.com/radix-net/radixnet/internal/obs/slo"
 )
+
+// sloFlags accumulates repeated -slo MODEL:CLASS:LATENCY:TARGET_PCT flags.
+type sloFlags []string
+
+func (f *sloFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *sloFlags) Set(v string) error {
+	if _, err := slo.ParseObjective(v); err != nil {
+		return err
+	}
+	*f = append(*f, v)
+	return nil
+}
 
 // backendFlags accumulates repeated -backend flags.
 type backendFlags []string
@@ -99,13 +113,17 @@ func main() {
 		pprof         = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		slowReq       = flag.Duration("slow-request", 0, "log routed requests slower than this with their trace ID and span breakdown (0: off)")
 		traceDepth    = flag.Int("trace-depth", 0, "recent request traces retained for GET /debug/traces (0: default 512)")
+		sloFast       = flag.Duration("slo-fast-window", 0, "SLO fast burn-rate window (0: default 5m)")
+		sloSlow       = flag.Duration("slo-slow-window", 0, "SLO slow burn-rate window (0: default 1h)")
 		selftest      = flag.Bool("selftest", false, "run the in-process fleet selftest and exit")
 		nBackends     = flag.Int("backends", 3, "selftest: in-process radixserve backends to spin up")
 		benchJSON     = flag.String("bench-json", "BENCH_cluster.json", "selftest: append the throughput record to this file")
 		shutdownTO    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
 		backends      backendFlags
+		sloSpecs      sloFlags
 	)
 	flag.Var(&backends, "backend", "radixserve backend, host:port or http://host:port (repeatable)")
+	flag.Var(&sloSpecs, "slo", "SLO objective MODEL:CLASS:LATENCY:TARGET_PCT (repeatable), evaluated against the FLEET-merged histograms; enables GET /v1/slo and radixrouter_slo_* metrics")
 	flag.Parse()
 
 	if *selftest {
@@ -129,6 +147,10 @@ func main() {
 			metricsClasses = append(metricsClasses, name)
 		}
 	}
+	objectives, err := slo.ParseObjectives(sloSpecs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
 		Addr:           *addr,
 		Backends:       backends,
@@ -139,6 +161,7 @@ func main() {
 		Pprof:          *pprof,
 		SlowRequest:    *slowReq,
 		TraceDepth:     *traceDepth,
+		SLO:            slo.Config{Objectives: objectives, FastWindow: *sloFast, SlowWindow: *sloSlow},
 		Set: cluster.SetConfig{
 			ProbeInterval: *probeInterval,
 			ProbeTimeout:  *probeTimeout,

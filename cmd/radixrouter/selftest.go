@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/obs"
+	"github.com/radix-net/radixnet/internal/obs/slo"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
 	"github.com/radix-net/radixnet/internal/sparse"
@@ -31,21 +33,27 @@ import (
 // measurement of the routed fleet, appended per selftest run so the file
 // records the cluster-performance trajectory (see README.md).
 type clusterBenchRecord struct {
-	Benchmark    string                `json:"benchmark"`
-	Date         string                `json:"date"`
-	GoVersion    string                `json:"go_version"`
-	GOMAXPROCS   int                   `json:"gomaxprocs"`
-	GitSHA       string                `json:"git_sha"`
-	Backends     int                   `json:"backends"`
-	Replicas     int                   `json:"replicas"`
-	Vnodes       int                   `json:"vnodes"`
-	Models       int                   `json:"models"`
-	Network      clusterBenchNet       `json:"network"`
-	Levels       []clusterBenchLevel   `json:"levels"`
-	Failover     clusterBenchFailover  `json:"failover"`
-	HotReload    clusterBenchHotReload `json:"hot_reload"`
-	QoS          clusterBenchQoS       `json:"qos"`
-	BitIdentical bool                  `json:"bit_identical"`
+	Benchmark  string                `json:"benchmark"`
+	Date       string                `json:"date"`
+	GoVersion  string                `json:"go_version"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	GitSHA     string                `json:"git_sha"`
+	Backends   int                   `json:"backends"`
+	Replicas   int                   `json:"replicas"`
+	Vnodes     int                   `json:"vnodes"`
+	Models     int                   `json:"models"`
+	Network    clusterBenchNet       `json:"network"`
+	Levels     []clusterBenchLevel   `json:"levels"`
+	Failover   clusterBenchFailover  `json:"failover"`
+	HotReload  clusterBenchHotReload `json:"hot_reload"`
+	QoS        clusterBenchQoS       `json:"qos"`
+	// SLOFastBurn is the fast-window burn rate the router's fleet-evaluated
+	// GET /v1/slo reports for the deliberately breached objective;
+	// EngineGedges the fastest backend engine throughput visible in the
+	// merged /metrics exposition.
+	SLOFastBurn  float64 `json:"slo_fast_burn"`
+	EngineGedges float64 `json:"engine_gedges_s"`
+	BitIdentical bool    `json:"bit_identical"`
 }
 
 // clusterBenchQoS records the routed starvation-freedom phase: interactive
@@ -178,6 +186,9 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 	var addrs []string
 	for i := 0; i < nBackends; i++ {
 		reg := serve.NewRegistry(pol)
+		// Profile every engine batch so the merged /metrics exposition
+		// carries radixserve_engine_gedges_per_sec for the fleet-obs phase.
+		reg.SetProfileEvery(1)
 		srv := serve.NewServer(reg, "127.0.0.1:0")
 		addr, err := srv.Start()
 		if err != nil {
@@ -195,6 +206,13 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 		}
 	}()
 
+	// Two SLO objectives arm the router's fleet-evaluated GET /v1/slo: a
+	// loose one every request meets and a 1µs latency target nothing can,
+	// which the fleet-obs phase expects to see "violated".
+	rtObjectives, err := slo.ParseObjectives([]string{"shard-0::10s:50", "shard-0::1us:99"})
+	if err != nil {
+		return err
+	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
 		Addr:       "127.0.0.1:0",
 		Backends:   addrs,
@@ -204,6 +222,7 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 		// endpoints and the trace ring must answer on the router too.
 		Pprof:      true,
 		TraceDepth: 256,
+		SLO:        slo.Config{Objectives: rtObjectives},
 		Set: cluster.SetConfig{
 			ProbeInterval: 100 * time.Millisecond,
 			FailAfter:     2,
@@ -395,6 +414,15 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 		return err
 	}
 
+	// Phase 3d — fleet-level observability: merged exemplars resolving in
+	// the router's trace ring, backend engine profiles through the merge,
+	// and the fleet-evaluated SLO engine flipping to "violated" on the
+	// unmeetable objective. Runs while the fleet is whole.
+	sloBurn, gedges, err := runFleetObsPhase(client, url, models[0], in)
+	if err != nil {
+		return err
+	}
+
 	// Phase 4 — kill a backend mid-load. Every request must still succeed:
 	// in-flight rows drain through the dying node's graceful shutdown, and
 	// everything after fails over to the surviving replica. Zero failures
@@ -479,8 +507,10 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 			Failed:        int(failed.Load()),
 			Failovers:     failovers,
 		},
-		HotReload: hr,
-		QoS:       qosRec,
+		HotReload:    hr,
+		QoS:          qosRec,
+		SLOFastBurn:  sloBurn,
+		EngineGedges: gedges,
 		// Any bitwise mismatch returned above, so reaching here proves it.
 		BitIdentical: true,
 	}
@@ -551,17 +581,38 @@ func runObsPhase(client *http.Client, url, model string, in *sparse.Dense) error
 	if found == nil {
 		return fmt.Errorf("obs: trace %s not retained in router /debug/traces (%d total)", traceID, view.Total)
 	}
-	hasRoute, hasAttempt := false, false
-	for _, s := range found.Spans {
-		if s.Name == "route" {
+	hasRoute := false
+	var attempt, queue, execute *obs.Span
+	for i := range found.Spans {
+		s := &found.Spans[i]
+		switch {
+		case s.Name == "route":
 			hasRoute = true
-		}
-		if len(s.Name) > 8 && s.Name[:8] == "attempt:" {
-			hasAttempt = true
+		case strings.HasPrefix(s.Name, "attempt:"):
+			attempt = s
+		case s.Name == "queue":
+			queue = s
+		case s.Name == "execute":
+			execute = s
 		}
 	}
-	if !hasRoute || !hasAttempt || found.Backend == "" {
+	if !hasRoute || attempt == nil || found.Backend == "" {
 		return fmt.Errorf("obs: router trace missing route/attempt spans or backend attribution: %+v", found)
+	}
+	// The stitched view: the backend's own spans ride the X-Radix-Spans
+	// response header and are grafted under the router's attempt span,
+	// rebased to the router's clock — so one trace shows both tiers with
+	// consistent offsets (backend work cannot start before the attempt).
+	if queue == nil || execute == nil {
+		return fmt.Errorf("obs: router trace not stitched — backend queue/execute spans missing: %+v", found.Spans)
+	}
+	const slack = 1e-3 // ms; offsets are rendered at µs resolution
+	if queue.StartMs < attempt.StartMs-slack || execute.StartMs < queue.StartMs-slack {
+		return fmt.Errorf("obs: stitched span offsets not monotonic: attempt %.3fms, queue %.3fms, execute %.3fms",
+			attempt.StartMs, queue.StartMs, execute.StartMs)
+	}
+	if end := execute.StartMs + execute.DurMs; end > found.TotalMs+slack {
+		return fmt.Errorf("obs: stitched execute span ends at %.3fms, beyond the trace total %.3fms", end, found.TotalMs)
 	}
 
 	pp, err := client.Get(url + "/debug/pprof/cmdline")
@@ -573,9 +624,144 @@ func runObsPhase(client *http.Client, url, model string, in *sparse.Dense) error
 	if pp.StatusCode != http.StatusOK {
 		return fmt.Errorf("obs: pprof cmdline: status %d", pp.StatusCode)
 	}
-	log.Printf("obs: trace %s round-tripped client → router → backend (%d backend spans relayed); router retained route+%s spans; pprof live",
-		traceID, len(out.Spans), "attempt")
+	log.Printf("obs: trace %s round-tripped client → router → backend (%d backend spans relayed); router trace stitched: route+attempt+queue+execute with monotonic offsets; pprof live",
+		traceID, len(out.Spans))
 	return nil
+}
+
+// runFleetObsPhase exercises the router's fleet-level observability: the
+// merged histogram exposition must carry exemplar annotations that resolve
+// in the router's own trace ring, the backend engine profiles must surface
+// through the merge, and the fleet-evaluated SLO engine must report the
+// deliberately breached 1µs objective as "violated" (and the loose 10s one
+// as "ok"). Returns the breached objective's fast burn and the fastest
+// merged engine Gedges/s for the bench record.
+func runFleetObsPhase(client *http.Client, url, model string, in *sparse.Dense) (sloFastBurn, gedges float64, err error) {
+	// Fresh probes: their router-minted trace IDs become the most recent
+	// exemplars in the buckets they land in, and are retained in the
+	// router's trace ring.
+	for i := 0; i < 4; i++ {
+		status, _, _, err := postRow(client, url, model, in.RowSlice(i))
+		if err != nil || status != http.StatusOK {
+			return 0, 0, fmt.Errorf("fleet-obs: probe %d: status %d err %v", i, status, err)
+		}
+	}
+	scrape, err := scrapeMetricsText(client, url)
+	if err != nil {
+		return 0, 0, err
+	}
+	prefix := fmt.Sprintf("radixrouter_model_request_latency_seconds_bucket{model=%q", model)
+	ids := exemplarTraceIDs(scrape, prefix)
+	if len(ids) == 0 {
+		return 0, 0, fmt.Errorf("fleet-obs: no exemplar annotations on the fleet-merged latency buckets")
+	}
+	resolved := ""
+	for _, id := range ids {
+		tr, err := client.Get(url + "/debug/traces?trace=" + id)
+		if err != nil {
+			return 0, 0, fmt.Errorf("fleet-obs: ?trace=: %w", err)
+		}
+		var view struct {
+			Trace *obs.Trace `json:"trace"`
+		}
+		decodeErr := json.NewDecoder(tr.Body).Decode(&view)
+		tr.Body.Close()
+		if tr.StatusCode != http.StatusOK || decodeErr != nil {
+			continue
+		}
+		if view.Trace != nil && view.Trace.ID == id {
+			resolved = id
+			break
+		}
+	}
+	if resolved == "" {
+		return 0, 0, fmt.Errorf("fleet-obs: none of %d merged exemplar trace IDs resolved via router /debug/traces?trace=", len(ids))
+	}
+
+	// Backend engine profiles surface through the merge, backend-labeled.
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "radixserve_engine_gedges_per_sec{") {
+			continue
+		}
+		if _, _, valStr, ok := obs.SplitSeries(line); ok {
+			var v float64
+			if _, err := fmt.Sscanf(valStr, "%g", &v); err == nil && v > gedges {
+				gedges = v
+			}
+		}
+	}
+	if gedges <= 0 {
+		return 0, 0, fmt.Errorf("fleet-obs: no radixserve_engine_gedges_per_sec series in the merged exposition")
+	}
+
+	// The fleet-evaluated SLO engine: the 1µs objective is unmeetable, so
+	// with the whole fleet lifetime inside both burn windows it must read
+	// "violated"; the 10s objective must stay "ok".
+	sv, err := client.Get(url + "/v1/slo")
+	if err != nil {
+		return 0, 0, fmt.Errorf("fleet-obs: /v1/slo: %w", err)
+	}
+	var view slo.View
+	decodeErr := json.NewDecoder(sv.Body).Decode(&view)
+	sv.Body.Close()
+	if sv.StatusCode != http.StatusOK || decodeErr != nil {
+		return 0, 0, fmt.Errorf("fleet-obs: /v1/slo: status %d err %v", sv.StatusCode, decodeErr)
+	}
+	var breached, loose *slo.Status
+	for i := range view.Statuses {
+		st := &view.Statuses[i]
+		if st.Model != model || st.Class != "" {
+			continue
+		}
+		switch st.Objective.Latency {
+		case time.Microsecond:
+			breached = st
+		case 10 * time.Second:
+			loose = st
+		}
+	}
+	if breached == nil || loose == nil {
+		return 0, 0, fmt.Errorf("fleet-obs: /v1/slo missing objectives for %s (%d statuses)", model, len(view.Statuses))
+	}
+	if breached.State != slo.StateViolated {
+		return 0, 0, fmt.Errorf("fleet-obs: unmeetable 1µs objective reports %q (fast burn %.2f, slow %.2f), want %q",
+			breached.State, breached.FastBurn, breached.SlowBurn, slo.StateViolated)
+	}
+	if loose.State != slo.StateOK {
+		return 0, 0, fmt.Errorf("fleet-obs: loose 10s objective reports %q (fast burn %.2f), want %q",
+			loose.State, loose.FastBurn, slo.StateOK)
+	}
+	log.Printf("fleet-obs: merged exemplar trace %s resolved via router ?trace=; engines peak %.3f Gedges/s through the merge; /v1/slo: 1µs objective %s (fast burn %.1f), 10s objective %s",
+		resolved, gedges, breached.State, breached.FastBurn, loose.State)
+	return breached.FastBurn, gedges, nil
+}
+
+// exemplarTraceIDs extracts the trace IDs of every exemplar annotation on
+// scrape lines with the given prefix.
+func exemplarTraceIDs(scrape, prefix string) []string {
+	var ids []string
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		_, exemplar := obs.SplitExemplar(line)
+		if exemplar == "" {
+			continue
+		}
+		open := strings.Index(exemplar, `trace_id="`)
+		if open < 0 {
+			continue
+		}
+		rest := exemplar[open+len(`trace_id="`):]
+		end := strings.IndexByte(rest, '"')
+		if end <= 0 {
+			continue
+		}
+		ids = append(ids, rest[:end])
+	}
+	return ids
 }
 
 // percentile returns the p-th percentile (0–100) of the latencies.

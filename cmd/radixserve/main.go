@@ -76,8 +76,22 @@ import (
 
 	"github.com/radix-net/radixnet/internal/cliutil"
 	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/obs/slo"
 	"github.com/radix-net/radixnet/internal/serve"
 )
+
+// sloFlags accumulates repeated -slo MODEL:CLASS:LATENCY:TARGET_PCT flags.
+type sloFlags []string
+
+func (f *sloFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *sloFlags) Set(v string) error {
+	if _, err := slo.ParseObjective(v); err != nil {
+		return err
+	}
+	*f = append(*f, v)
+	return nil
+}
 
 // modelSpec is one parsed -model flag.
 type modelSpec struct {
@@ -145,12 +159,17 @@ func main() {
 		pprof        = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		slowReq      = flag.Duration("slow-request", 0, "log requests slower than this with their trace ID and span breakdown (0: off)")
 		traceDepth   = flag.Int("trace-depth", 0, "recent request traces retained for GET /debug/traces (0: default 512)")
+		profEvery    = flag.Int("profile-every", 16, "time every Nth engine batch per layer (Gedges/s on /metrics; 0: off)")
+		sloFast      = flag.Duration("slo-fast-window", 0, "SLO fast burn-rate window (0: default 5m)")
+		sloSlow      = flag.Duration("slo-slow-window", 0, "SLO slow burn-rate window (0: default 1h)")
 		selftest     = flag.Bool("selftest", false, "run the end-to-end load-generator selftest and exit")
 		benchJSON    = flag.String("bench-json", "BENCH_serve.json", "selftest: append the throughput record to this file")
 		shutdownTO   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
 		models       modelFlags
+		sloSpecs     sloFlags
 	)
 	flag.Var(&models, "model", "model to serve, NAME=SPEC (repeatable); SPEC is a radix systems spec like 8,8,8 or gc:WIDTHxLAYERS")
+	flag.Var(&sloSpecs, "slo", "SLO objective MODEL:CLASS:LATENCY:TARGET_PCT (repeatable), e.g. '*:interactive:250ms:99' or 'e10::error:99.9'; enables GET /v1/slo and radixserve_slo_* metrics")
 	flag.Parse()
 
 	pol := serve.Policy{MaxBatch: *maxBatch, MaxLatency: *maxLatency, QueueDepth: *queue}
@@ -185,6 +204,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg.SetProfileEvery(*profEvery)
 	log.Printf("QoS classes %v (default %q)", reg.Classes(), reg.DefaultClass())
 	for _, ms := range models {
 		start := time.Now()
@@ -198,10 +218,15 @@ func main() {
 			info.Engines, time.Since(start).Round(time.Millisecond))
 	}
 
+	objectives, err := slo.ParseObjectives(sloSpecs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := serve.NewServerOpts(reg, *addr, serve.ServerOptions{
 		Pprof:       *pprof,
 		SlowRequest: *slowReq,
 		TraceDepth:  *traceDepth,
+		SLO:         slo.Config{Objectives: objectives, FastWindow: *sloFast, SlowWindow: *sloSlow},
 	})
 	bound, err := srv.Start()
 	if err != nil {

@@ -8,8 +8,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/obs"
+	"github.com/radix-net/radixnet/internal/obs/slo"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
 	"github.com/radix-net/radixnet/internal/sparse"
@@ -40,7 +43,13 @@ type serveBenchRecord struct {
 	Backpressure serveBenchBP        `json:"backpressure"`
 	HotReload    serveBenchHotReload `json:"hot_reload"`
 	QoS          serveBenchQoS       `json:"qos"`
-	BitIdentical bool                `json:"bit_identical"`
+	// SLOFastBurn is the fast-window burn rate GET /v1/slo reports for the
+	// deliberately breached objective (must exceed the violation threshold);
+	// EngineGedges the profiled single-worker engine throughput, comparable
+	// to the BENCH_infer.json kernel numbers.
+	SLOFastBurn  float64 `json:"slo_fast_burn"`
+	EngineGedges float64 `json:"engine_gedges_s"`
+	BitIdentical bool    `json:"bit_identical"`
 }
 
 // serveBenchQoS records the starvation-freedom phase: interactive p99 with
@@ -170,6 +179,9 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 	if err != nil {
 		return err
 	}
+	// Profile every engine batch: the selftest asserts per-layer Gedges/s
+	// against the BENCH_infer kernel record, so no batch may be skipped.
+	reg.SetProfileEvery(1)
 	buildStart := time.Now()
 	m, err := reg.Register("selftest", cfg, engines)
 	if err != nil {
@@ -180,8 +192,18 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 		info.Layers, info.InputWidth, info.Weights, info.Engines, time.Since(buildStart).Round(time.Millisecond))
 
 	// Profiling and tracing on: the selftest smokes /debug/traces and
-	// /debug/pprof alongside the serving phases.
-	srv := serve.NewServerOpts(reg, "127.0.0.1:0", serve.ServerOptions{Pprof: true})
+	// /debug/pprof alongside the serving phases. Two SLO objectives arm
+	// GET /v1/slo: a loose one every request meets and a 1µs latency
+	// target nothing can meet, which the deep-obs phase expects to see
+	// burning hot ("violated").
+	sloObjectives, err := slo.ParseObjectives([]string{"selftest::10s:50", "selftest::1us:99"})
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServerOpts(reg, "127.0.0.1:0", serve.ServerOptions{
+		Pprof: true,
+		SLO:   slo.Config{Objectives: sloObjectives},
+	})
 	addr, err := srv.Start()
 	if err != nil {
 		return err
@@ -381,6 +403,11 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 		return err
 	}
 
+	sloBurn, gedges, err := runDeepObsPhase(client, url, reg, cfg, in)
+	if err != nil {
+		return err
+	}
+
 	rec := serveBenchRecord{
 		Benchmark:  "serve-microbatch",
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -398,6 +425,8 @@ func runSelftest(benchPath string, engines int, pol serve.Policy, qos serve.QoSC
 		Backpressure: bp,
 		HotReload:    hr,
 		QoS:          qosRec,
+		SLOFastBurn:  sloBurn,
+		EngineGedges: gedges,
 		// Any bitwise mismatch returned above, so reaching here proves it.
 		BitIdentical: true,
 	}
@@ -474,6 +503,225 @@ func runObsPhase(client *http.Client, url string, in *sparse.Dense) error {
 	log.Printf("obs: trace %s echoed with %d spans, retained in /debug/traces (%d total); pprof live",
 		resp.TraceID, len(resp.Spans), view.Total)
 	return nil
+}
+
+// runDeepObsPhase exercises the PR's deep observability surface on top of
+// the trace smoke: histogram exemplars must resolve to retained traces via
+// GET /debug/traces?trace=, the ?min_ms= filter must answer JSON, the SLO
+// engine must report the deliberately breached 1µs objective as
+// "violated" (and the loose 10s one as "ok"), and the engine layer
+// profiler must report per-layer Gedges/s within 2× of the BENCH_infer
+// radix kernel record when that file is present. Returns the breached
+// objective's fast burn and the profiled engine Gedges/s for the bench
+// record.
+func runDeepObsPhase(client *http.Client, url string, reg *serve.Registry, cfg core.Config, in *sparse.Dense) (sloFastBurn, gedges float64, err error) {
+	// Fresh probes so the latency buckets carry recent exemplars whose
+	// traces are still in the /debug/traces ring.
+	for i := 0; i < 4; i++ {
+		status, _, err := postRow(client, url, "selftest", in.RowSlice(i))
+		if err != nil || status != http.StatusOK {
+			return 0, 0, fmt.Errorf("deep-obs: probe %d: status %d err %v", i, status, err)
+		}
+	}
+	scrape, err := scrapeMetricsText(client, url)
+	if err != nil {
+		return 0, 0, err
+	}
+	ids := exemplarTraceIDs(scrape, "radixserve_request_latency_seconds_bucket{model=\"selftest\"")
+	if len(ids) == 0 {
+		return 0, 0, fmt.Errorf("deep-obs: no exemplar annotations on radixserve_request_latency_seconds buckets")
+	}
+	// Exemplars name the most recent request per bucket; old buckets may
+	// reference traces the ring has since evicted, so any one resolving
+	// proves the jump path.
+	resolved := ""
+	for _, id := range ids {
+		tr, err := client.Get(url + "/debug/traces?trace=" + id)
+		if err != nil {
+			return 0, 0, fmt.Errorf("deep-obs: ?trace=: %w", err)
+		}
+		var view struct {
+			Trace *obs.Trace `json:"trace"`
+		}
+		decodeErr := json.NewDecoder(tr.Body).Decode(&view)
+		tr.Body.Close()
+		if tr.StatusCode != http.StatusOK || decodeErr != nil {
+			continue
+		}
+		if view.Trace != nil && view.Trace.ID == id && len(view.Trace.Spans) > 0 {
+			resolved = id
+			break
+		}
+	}
+	if resolved == "" {
+		return 0, 0, fmt.Errorf("deep-obs: none of %d exemplar trace IDs resolved via /debug/traces?trace=", len(ids))
+	}
+	// The ?min_ms= filter: an absurd threshold must still answer JSON,
+	// just with everything filtered out.
+	mm, err := client.Get(url + "/debug/traces?min_ms=1e9&n=4")
+	if err != nil {
+		return 0, 0, fmt.Errorf("deep-obs: ?min_ms=: %w", err)
+	}
+	var filtered struct {
+		Total  uint64       `json:"total"`
+		Recent []*obs.Trace `json:"recent"`
+	}
+	decodeErr := json.NewDecoder(mm.Body).Decode(&filtered)
+	ctype := mm.Header.Get("Content-Type")
+	mm.Body.Close()
+	if mm.StatusCode != http.StatusOK || decodeErr != nil || ctype != "application/json" {
+		return 0, 0, fmt.Errorf("deep-obs: ?min_ms=1e9: status %d ctype %q err %v", mm.StatusCode, ctype, decodeErr)
+	}
+	if filtered.Total == 0 || len(filtered.Recent) != 0 {
+		return 0, 0, fmt.Errorf("deep-obs: ?min_ms=1e9 returned %d of %d traces, want 0", len(filtered.Recent), filtered.Total)
+	}
+
+	// The SLO engine: the 1µs objective is unmeetable, so with the whole
+	// process lifetime inside both burn windows it must read "violated";
+	// the 10s objective must stay "ok".
+	sv, err := client.Get(url + "/v1/slo")
+	if err != nil {
+		return 0, 0, fmt.Errorf("deep-obs: /v1/slo: %w", err)
+	}
+	var view slo.View
+	decodeErr = json.NewDecoder(sv.Body).Decode(&view)
+	sv.Body.Close()
+	if sv.StatusCode != http.StatusOK || decodeErr != nil {
+		return 0, 0, fmt.Errorf("deep-obs: /v1/slo: status %d err %v", sv.StatusCode, decodeErr)
+	}
+	var breached, loose *slo.Status
+	for i := range view.Statuses {
+		st := &view.Statuses[i]
+		if st.Model != "selftest" || st.Class != "" {
+			continue
+		}
+		switch st.Objective.Latency {
+		case time.Microsecond:
+			breached = st
+		case 10 * time.Second:
+			loose = st
+		}
+	}
+	if breached == nil || loose == nil {
+		return 0, 0, fmt.Errorf("deep-obs: /v1/slo missing objectives (%d statuses)", len(view.Statuses))
+	}
+	if breached.State != slo.StateViolated {
+		return 0, 0, fmt.Errorf("deep-obs: unmeetable 1µs objective reports %q (fast burn %.2f, slow %.2f), want %q",
+			breached.State, breached.FastBurn, breached.SlowBurn, slo.StateViolated)
+	}
+	if loose.State != slo.StateOK {
+		return 0, 0, fmt.Errorf("deep-obs: loose 10s objective reports %q (fast burn %.2f), want %q",
+			loose.State, loose.FastBurn, slo.StateOK)
+	}
+	log.Printf("deep-obs: exemplar trace %s resolved via ?trace=; /v1/slo: 1µs objective %s (fast burn %.1f), 10s objective %s",
+		resolved, breached.State, breached.FastBurn, loose.State)
+
+	// Engine profiling: a dedicated model whose engines each get a
+	// single-worker pool (engines == GOMAXPROCS makes the per-engine
+	// quota 1), driven with full 64-row batches — the same shape as the
+	// BENCH_infer kernel benchmark, so per-layer Gedges/s is comparable
+	// to its single-threaded record.
+	profPol := serve.Policy{MaxBatch: 64, MaxLatency: -1, QueueDepth: 256, Workers: 1}
+	pm, err := reg.RegisterWithPolicy("profiled", cfg, runtime.GOMAXPROCS(0), profPol)
+	if err != nil {
+		return 0, 0, fmt.Errorf("deep-obs: register profiled model: %w", err)
+	}
+	profIn, err := dataset.SparseBatch(64, pm.InputWidth(), pm.InputWidth()/10, 11)
+	if err != nil {
+		return 0, 0, err
+	}
+	inputs := make([][]float64, profIn.Rows())
+	for r := range inputs {
+		inputs[r] = profIn.RowSlice(r)
+	}
+	for i := 0; i < 8; i++ {
+		status, resp, err := postRows(client, url, serve.InferRequest{Model: "profiled", Inputs: inputs})
+		if err != nil || status != http.StatusOK || len(resp.Outputs) != len(inputs) {
+			return 0, 0, fmt.Errorf("deep-obs: profiled batch %d: status %d outputs %d err %v", i, status, len(resp.Outputs), err)
+		}
+	}
+	snap, ok := pm.Profile()
+	if !ok {
+		return 0, 0, fmt.Errorf("deep-obs: profiled model reports no profile")
+	}
+	info := pm.Info()
+	if len(snap.Layers) != info.Layers {
+		return 0, 0, fmt.Errorf("deep-obs: profile has %d layers, model %d", len(snap.Layers), info.Layers)
+	}
+	if snap.Batches == 0 || snap.TotalEdges == 0 || snap.GedgesPerSec <= 0 {
+		return 0, 0, fmt.Errorf("deep-obs: empty profile after traffic: %+v", snap)
+	}
+	for _, l := range snap.Layers {
+		if l.Batches == 0 || l.Edges == 0 || l.GedgesPerSec <= 0 {
+			return 0, 0, fmt.Errorf("deep-obs: layer %d profile empty: %+v", l.Layer, l)
+		}
+	}
+	ref := benchInferGedges("BENCH_infer.json")
+	if ref > 0 {
+		for _, l := range snap.Layers {
+			if ratio := l.GedgesPerSec / ref; ratio < 0.5 || ratio > 2 {
+				return 0, 0, fmt.Errorf("deep-obs: layer %d at %.3f Gedges/s vs BENCH_infer %.3f (ratio %.2fx, want within 2x)",
+					l.Layer, l.GedgesPerSec, ref, ratio)
+			}
+		}
+		log.Printf("deep-obs: engine profile %.3f Gedges/s over %d batches (BENCH_infer ref %.3f, per-layer within 2x)",
+			snap.GedgesPerSec, snap.Batches, ref)
+	} else {
+		log.Printf("deep-obs: engine profile %.3f Gedges/s over %d batches (no BENCH_infer.json radix record to compare)",
+			snap.GedgesPerSec, snap.Batches)
+	}
+	return breached.FastBurn, snap.GedgesPerSec, nil
+}
+
+// exemplarTraceIDs extracts the trace IDs of every exemplar annotation on
+// scrape lines with the given prefix.
+func exemplarTraceIDs(scrape, prefix string) []string {
+	var ids []string
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		_, exemplar := obs.SplitExemplar(line)
+		if exemplar == "" {
+			continue
+		}
+		// Exemplar annotations look like {trace_id="<32 hex>"} <value>.
+		open := strings.Index(exemplar, `trace_id="`)
+		if open < 0 {
+			continue
+		}
+		rest := exemplar[open+len(`trace_id="`):]
+		end := strings.IndexByte(rest, '"')
+		if end <= 0 {
+			continue
+		}
+		ids = append(ids, rest[:end])
+	}
+	return ids
+}
+
+// benchInferGedges reads the most recent radix-kernel edges/s record from
+// a BENCH_infer.json array, or 0 when the file or record is absent.
+func benchInferGedges(path string) float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var recs []struct {
+		Radix *struct {
+			EdgesPerSec float64 `json:"edges_per_sec"`
+		} `json:"radix"`
+	}
+	if json.Unmarshal(data, &recs) != nil {
+		return 0
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		if r := recs[i].Radix; r != nil && r.EdgesPerSec > 0 {
+			return r.EdgesPerSec / 1e9
+		}
+	}
+	return 0
 }
 
 // percentile returns the p-th percentile (0–100) of the latencies.

@@ -220,6 +220,12 @@ type testFleet struct {
 // startFleet boots n empty radixserve backends and a router over them,
 // then registers each of models on its ring owners (Replicas each).
 func startFleet(t *testing.T, n int, models []string, setCfg SetConfig) *testFleet {
+	return startFleetOpts(t, n, models, setCfg, nil)
+}
+
+// startFleetOpts is startFleet with a hook to adjust the router config
+// (e.g. arming SLO objectives) before the router is built.
+func startFleetOpts(t *testing.T, n int, models []string, setCfg SetConfig, mutate func(*RouterConfig)) *testFleet {
 	t.Helper()
 	cfg, err := core.NewConfig([]radix.System{radix.MustNew(4, 4)}, nil)
 	if err != nil {
@@ -246,7 +252,11 @@ func startFleet(t *testing.T, n int, models []string, setCfg SetConfig) *testFle
 			cancel()
 		}
 	})
-	rt, err := NewRouter(RouterConfig{Addr: "127.0.0.1:0", Backends: addrs, Replicas: 2, Set: setCfg})
+	rcfg := RouterConfig{Addr: "127.0.0.1:0", Backends: addrs, Replicas: 2, Set: setCfg}
+	if mutate != nil {
+		mutate(&rcfg)
+	}
+	rt, err := NewRouter(rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

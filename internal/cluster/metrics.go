@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"github.com/radix-net/radixnet/internal/obs"
 )
 
 // routerMetrics counts the router's own activity; per-backend forwarding
@@ -141,9 +143,19 @@ func writeRouterMetrics(w io.Writer, met *routerMetrics, backends []*Backend, up
 // "name{backend=\"id\"} 3"; "name{model=\"m\"} 3" becomes
 // "name{model=\"m\",backend=\"id\"} 3". The exposition format's optional
 // trailing timestamp ("name 3 1712345678000") survives untouched: the
-// label set is located by brace, not by field position. Lines it cannot
-// parse are returned unchanged.
+// label set is located by brace, not by field position. An exemplar
+// annotation is split off first — its own {trace_id=...} braces would
+// otherwise be mistaken for the series label block — and reattached
+// untouched. Lines it cannot parse are returned unchanged.
 func injectBackendLabel(line, backend string) string {
+	line, exemplar := obs.SplitExemplar(line)
+	if exemplar != "" {
+		return injectBackendLabelBare(line, backend) + " # " + exemplar
+	}
+	return injectBackendLabelBare(line, backend)
+}
+
+func injectBackendLabelBare(line, backend string) string {
 	if open := strings.IndexByte(line, '{'); open >= 0 {
 		// After the label block only value (and optional timestamp) follow,
 		// so the line's last '}' closes the labels even when label values

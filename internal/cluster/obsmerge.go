@@ -23,6 +23,8 @@ var histMergeFamilies = []struct{ src, dst, help string }{
 		"Fleet-merged class-queue wait by model and class (bucket-wise sum across backends)."},
 	{"radixserve_execute_seconds", "radixrouter_model_execute_seconds",
 		"Fleet-merged engine execute time by model (bucket-wise sum across backends)."},
+	{"radixserve_class_request_latency_seconds", "radixrouter_model_class_request_latency_seconds",
+		"Fleet-merged end-to-end request latency by model and class (bucket-wise sum across backends)."},
 }
 
 // mergedHist accumulates one fleet-merged series: the canonical label
@@ -33,6 +35,10 @@ type mergedHist struct {
 	cum    map[string]uint64 // le string → summed cumulative count
 	sum    float64
 	count  uint64
+	// exemplar keeps the last exemplar annotation seen per le across the
+	// scrapes, so a merged bucket still names a request that landed in it
+	// (trace IDs are fleet-wide: the router minted or relayed them).
+	exemplar map[string]string
 }
 
 // writeFleetHistograms re-emits the serve tier's histogram families from
@@ -63,7 +69,11 @@ func writeFleetHistograms(w io.Writer, scrapes []string) {
 			}
 			sort.Slice(les, func(i, j int) bool { return leValue(les[i]) < leValue(les[j]) })
 			for _, le := range les {
-				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", fam.dst, mh.labels, le, mh.cum[le])
+				if ex := mh.exemplar[le]; ex != "" {
+					fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d # %s\n", fam.dst, mh.labels, le, mh.cum[le], ex)
+				} else {
+					fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", fam.dst, mh.labels, le, mh.cum[le])
+				}
 			}
 			fmt.Fprintf(w, "%s_sum{%s} %g\n", fam.dst, mh.labels, mh.sum)
 			fmt.Fprintf(w, "%s_count{%s} %d\n", fam.dst, mh.labels, mh.count)
@@ -79,6 +89,7 @@ func collectHistFamily(scrape, family string, out map[string]*mergedHist) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		_, exemplar := obs.SplitExemplar(line)
 		name, labelBody, valStr, ok := obs.SplitSeries(line)
 		if !ok {
 			continue
@@ -99,7 +110,7 @@ func collectHistFamily(scrape, family string, out map[string]*mergedHist) {
 		key := canonicalLabels(labels)
 		mh := out[key]
 		if mh == nil {
-			mh = &mergedHist{labels: key, cum: map[string]uint64{}}
+			mh = &mergedHist{labels: key, cum: map[string]uint64{}, exemplar: map[string]string{}}
 			out[key] = mh
 		}
 		v, err := strconv.ParseFloat(valStr, 64)
@@ -110,6 +121,9 @@ func collectHistFamily(scrape, family string, out map[string]*mergedHist) {
 		case "bucket":
 			if le != "" {
 				mh.cum[le] += uint64(v)
+				if exemplar != "" {
+					mh.exemplar[le] = exemplar
+				}
 			}
 		case "sum":
 			mh.sum += v

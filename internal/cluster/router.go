@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/radix-net/radixnet/internal/obs"
+	"github.com/radix-net/radixnet/internal/obs/slo"
 	"github.com/radix-net/radixnet/internal/serve"
 )
 
@@ -71,6 +72,11 @@ type RouterConfig struct {
 	TraceDepth int
 	// Logger receives slow-request records. Nil selects slog.Default().
 	Logger *slog.Logger
+	// SLO configures burn-rate objectives the router evaluates against
+	// the FLEET-merged histogram families (the whole fleet's traffic, not
+	// one backend's) on GET /v1/slo and as radixrouter_slo_* gauges; no
+	// objectives disables both.
+	SLO slo.Config
 	// Set tunes health probing (interval, timeout, ejection threshold,
 	// ring vnodes).
 	Set SetConfig
@@ -99,6 +105,7 @@ type Router struct {
 	traces       *obs.TraceRing
 	slow         time.Duration
 	log          *slog.Logger
+	slo          *slo.Engine // nil = no objectives configured
 }
 
 // DefaultClassRetries is the per-class backend-attempt budget used when
@@ -166,6 +173,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		traces:       obs.NewTraceRing(cfg.TraceDepth),
 		slow:         cfg.SlowRequest,
 		log:          logger,
+		slo:          slo.New(cfg.SLO),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", rt.handleInfer)
@@ -175,6 +183,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("DELETE /v1/models/{name}", rt.handleAdminUnregister)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/slo", rt.handleSLO)
 	mux.Handle("GET /debug/traces", rt.traces.Handler())
 	if cfg.Pprof {
 		obs.RegisterPprof(mux)
@@ -579,6 +588,18 @@ func (rt *Router) tryBackend(w http.ResponseWriter, r *http.Request, b *Backend,
 			b.forwarded.Add(1)
 			fwd.status = resp.StatusCode
 			fwd.backend = b.id
+			// Stitch: the backend's span breakdown arrives in the response
+			// header with offsets relative to ITS arrival time; rebasing by
+			// the winning attempt's start grafts admission→queue→execute
+			// under attempt:<id> on the router's own time base, so one
+			// /debug/traces entry tells the whole cross-tier story. A
+			// malformed header is dropped, never trusted.
+			if enc := resp.Header.Get(obs.HeaderSpans); enc != "" {
+				if bspans, err := obs.DecodeSpans(enc); err == nil {
+					base := float64(attemptStart.Sub(fwd.t0).Nanoseconds()) / 1e6
+					fwd.spans = append(fwd.spans, obs.RebaseSpans(bspans, base)...)
+				}
+			}
 			relay(w, resp, b.id)
 			return forwardDone
 		}
@@ -954,10 +975,10 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
-// handleMetrics merges /metrics across the fleet: the router's own
-// radixrouter_* series first, then every healthy backend's scrape with
-// each series labeled backend=id and HELP/TYPE headers deduplicated.
-func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// scrapeBackends fetches /metrics from every healthy backend concurrently
+// (each bounded by the probe timeout), returning the backends and their
+// scrape texts index-aligned; unhealthy or failed backends leave "".
+func (rt *Router) scrapeBackends(ctx context.Context) ([]*Backend, []string) {
 	backends := rt.set.Backends()
 	scrapes := make([]string, len(backends))
 	var wg sync.WaitGroup
@@ -968,7 +989,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, b *Backend) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(r.Context(), rt.set.cfg.ProbeTimeout)
+			ctx, cancel := context.WithTimeout(ctx, rt.set.cfg.ProbeTimeout)
 			defer cancel()
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/metrics", nil)
 			if err != nil {
@@ -988,6 +1009,38 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}(i, b)
 	}
 	wg.Wait()
+	return backends, scrapes
+}
+
+// sloRecord feeds the router's SLO engine one cumulative fleet-merged
+// sample per model (aggregate) and per model×class, derived from the
+// backend scrapes — the router's objectives judge the whole fleet's
+// traffic, not any single node's.
+func (rt *Router) sloRecord(scrapes []string, now time.Time) {
+	for _, fs := range collectFleetSLOSamples(scrapes) {
+		rt.slo.Record(fs.model, fs.class, fs.sample, now)
+	}
+}
+
+// handleSLO is GET /v1/slo: scrape the fleet, merge the histogram and
+// outcome-counter families, and evaluate every configured objective
+// against the merged view. 404 when no objectives are configured.
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if rt.slo == nil {
+		writeJSON(w, http.StatusNotFound, serve.ErrorResponse{Error: "no SLO objectives configured"})
+		return
+	}
+	_, scrapes := rt.scrapeBackends(r.Context())
+	now := time.Now()
+	rt.sloRecord(scrapes, now)
+	writeJSON(w, http.StatusOK, rt.slo.ViewOf(now))
+}
+
+// handleMetrics merges /metrics across the fleet: the router's own
+// radixrouter_* series first, then every healthy backend's scrape with
+// each series labeled backend=id and HELP/TYPE headers deduplicated.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	backends, scrapes := rt.scrapeBackends(r.Context())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	writeRouterMetrics(w, &rt.met, backends, time.Since(rt.start).Seconds())
 	// Fleet-level latency distributions: every backend exports the same
@@ -995,6 +1048,11 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// per-le sum across the scrapes — quantiles of the merged histogram
 	// are true fleet quantiles, not averages of per-node quantiles.
 	writeFleetHistograms(w, scrapes)
+	if rt.slo != nil {
+		now := time.Now()
+		rt.sloRecord(scrapes, now)
+		serve.WriteSLOMetrics(w, "radixrouter", rt.slo.Evaluate(now))
+	}
 	obs.WriteRuntimeMetrics(w, "radixrouter")
 	seenMeta := make(map[string]bool)
 	for i, b := range backends {

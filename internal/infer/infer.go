@@ -31,6 +31,7 @@ import (
 	"math"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/nn"
@@ -60,6 +61,11 @@ type Engine struct {
 	pool     *parallel.Pool
 	step     func(lo, hi int) // bound once; dispatched per layer on the pool
 	inUse    atomic.Bool      // single-flight guard for the shared scratch
+
+	// prof, when non-nil, samples per-layer kernel timings (see
+	// profile.go). Shared across clones so a warm pool aggregates into
+	// one set of tallies; nil costs one atomic load per Infer.
+	prof atomic.Pointer[Profiler]
 
 	// Reusable per-batch state, sized by ensure. The caller's batch is read
 	// directly (and only read) by the first layer step — Infer never writes
@@ -439,6 +445,10 @@ func (e *Engine) infer(y0 *sparse.Dense) (*sparse.Dense, error) {
 	inW := w0
 	out := e.bufA
 	other := e.bufB
+	// One pointer load decides whether this batch is profiled; when it
+	// is, each layer's kernel dispatch is timed individually.
+	prof := e.prof.Load()
+	profiled := prof != nil && prof.sample()
 	for l, kern := range e.kernels {
 		outW := kern.Cols()
 		b := e.bias[l]
@@ -460,7 +470,14 @@ func (e *Engine) infer(y0 *sparse.Dense) (*sparse.Dense, error) {
 		if e.cur.rk != nil {
 			grain = 8
 		}
-		e.pool.Run(len(e.active), grain, e.step)
+		if profiled {
+			rows := len(e.active)
+			t0 := time.Now()
+			e.pool.Run(rows, grain, e.step)
+			prof.record(l, rows, e.layers[l].NNZ(), time.Since(t0))
+		} else {
+			e.pool.Run(len(e.active), grain, e.step)
+		}
 
 		if b > 0 {
 			// A positive bias resurrects all-zero rows: their image is the
@@ -659,6 +676,7 @@ func (e *Engine) Clone() *Engine {
 	c := &Engine{layers: e.layers, bias: e.bias, cap: e.cap, kernels: e.kernels,
 		radix: e.radix, stockham: e.stockham, kind: e.kind, pool: e.pool}
 	c.step = c.layerStep
+	c.prof.Store(e.prof.Load()) // clones aggregate into the parent's profiler
 	return c
 }
 

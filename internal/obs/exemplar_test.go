@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	var h Histogram
+	h.EnableExemplars()
+	slow := int64(200 * time.Millisecond)
+	h.ObserveTraced(int64(time.Millisecond), "aaaa0000aaaa0000aaaa0000aaaa0000")
+	h.ObserveTraced(slow, "bbbb0000bbbb0000bbbb0000bbbb0000")
+
+	var buf bytes.Buffer
+	h.Snapshot().WriteTo(&buf, "x_seconds", `model="m"`, 1e9)
+	text := buf.String()
+	if !strings.Contains(text, `# {trace_id="bbbb0000bbbb0000bbbb0000bbbb0000"}`) {
+		t.Fatalf("exposition missing the slow bucket's exemplar:\n%s", text)
+	}
+
+	// Exemplar annotations must not break scrape-side parsing, and the
+	// annotated value must name the raw observation in the export unit.
+	sh, ok := ParseHistogram(text, "x_seconds", nil)
+	if !ok {
+		t.Fatalf("ParseHistogram failed on exemplar-annotated exposition:\n%s", text)
+	}
+	if sh.Count != 2 {
+		t.Fatalf("parsed count %d, want 2", sh.Count)
+	}
+	var annotated string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, `trace_id="bbbb`) {
+			annotated = line
+		}
+	}
+	rest, exemplar := SplitExemplar(annotated)
+	if exemplar == "" {
+		t.Fatalf("SplitExemplar found no annotation on %q", annotated)
+	}
+	if _, _, _, ok := SplitSeries(rest); !ok {
+		t.Fatalf("series part %q no longer parses", rest)
+	}
+	if !strings.HasSuffix(exemplar, " 0.2") {
+		t.Fatalf("exemplar %q should carry the raw observation 0.2s", exemplar)
+	}
+}
+
+func TestHistogramExemplarLastWriterWins(t *testing.T) {
+	var h Histogram
+	h.EnableExemplars()
+	h.ObserveTraced(1000, "first000first000first000first000")
+	h.ObserveTraced(1001, "second00second00second00second00") // same bucket
+	var buf bytes.Buffer
+	h.Snapshot().WriteTo(&buf, "x", "", 1)
+	if strings.Contains(buf.String(), "first000") || !strings.Contains(buf.String(), "second00") {
+		t.Fatalf("bucket exemplar should be the most recent observation:\n%s", buf.String())
+	}
+}
+
+func TestObserveTracedDisabledOrUntraced(t *testing.T) {
+	var h Histogram
+	h.ObserveTraced(123, "cccc0000cccc0000cccc0000cccc0000") // exemplars never enabled
+	var buf bytes.Buffer
+	h.Snapshot().WriteTo(&buf, "x", "", 1)
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("exemplar emitted without EnableExemplars:\n%s", buf.String())
+	}
+	if h.Snapshot().Count != 1 {
+		t.Fatal("ObserveTraced lost the observation with exemplars disabled")
+	}
+}
+
+// TestObserveAllocsWithExemplarsEnabled pins the hot-path contract: the
+// plain Observe path stays allocation-free even after exemplar capture
+// has been switched on (only traced observations pay the Exemplar box).
+func TestObserveAllocsWithExemplarsEnabled(t *testing.T) {
+	var h Histogram
+	h.EnableExemplars()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe with exemplars enabled allocates %v/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		h.ObserveTraced(12345, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced ObserveTraced allocates %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserveExemplarsEnabled(b *testing.B) {
+	var h Histogram
+	h.EnableExemplars()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveTraced(b *testing.B) {
+	var h Histogram
+	h.EnableExemplars()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveTraced(int64(i), "feedface00000000feedface00000000")
+	}
+}
+
+func FuzzParseHistogram(f *testing.F) {
+	var h Histogram
+	h.EnableExemplars()
+	h.ObserveTraced(int64(5*time.Millisecond), "aaaa0000aaaa0000aaaa0000aaaa0000")
+	h.Observe(int64(3 * time.Second))
+	var buf bytes.Buffer
+	h.Snapshot().WriteTo(&buf, "x_seconds", `model="m"`, 1e9)
+	f.Add(buf.String())
+	f.Add(`x_seconds_bucket{le="0.001"} 1` + "\n" + `x_seconds_count 1`)
+	f.Add(`x_seconds_bucket{le="0.001"} 1 # {trace_id="zz"} 0.0005`)
+	f.Add("x_seconds_bucket{le=\"0.001\"} NaN\nx_seconds_sum{} nope")
+	f.Add("# HELP x_seconds broken\nx_seconds_bucket{le=} }{")
+	f.Fuzz(func(t *testing.T, text string) {
+		// Must never panic, whatever the scrape contains.
+		sh, ok := ParseHistogram(text, "x_seconds", nil)
+		if ok {
+			if len(sh.Les) != len(sh.Cum) {
+				t.Fatalf("ragged parse: %d les, %d cums from:\n%s", len(sh.Les), len(sh.Cum), text)
+			}
+			for i := 1; i < len(sh.Les); i++ {
+				if sh.Les[i] <= sh.Les[i-1] {
+					t.Fatalf("accepted unsorted le ladder %v from:\n%s", sh.Les, text)
+				}
+			}
+		}
+		for _, line := range strings.Split(text, "\n") {
+			SplitExemplar(line)
+			SplitSeries(line)
+			ParseLabels(line)
+		}
+	})
+}

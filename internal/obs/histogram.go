@@ -48,6 +48,25 @@ type Histogram struct {
 	buckets [NumBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sum     atomic.Int64
+
+	// exemplars is nil until EnableExemplars; the indirection keeps the
+	// non-exemplar Observe path untouched (no per-bucket pointer slots
+	// to initialize, no extra cache lines in the common case).
+	exemplars atomic.Pointer[exemplarSet]
+}
+
+// Exemplar links a histogram bucket to the most recent traced
+// observation that landed in it: the trace ID names the request, Value
+// is the raw (unscaled) observation. /metrics emits it as an
+// OpenMetrics-style "# {trace_id=...}" annotation so a slow bucket
+// resolves to its stitched trace via /debug/traces?trace=<id>.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	Value   int64  `json:"value"`
+}
+
+type exemplarSet struct {
+	slots [NumBuckets]atomic.Pointer[Exemplar]
 }
 
 // bucketOf maps an observation to its bucket index: the smallest i with
@@ -76,7 +95,38 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
-// Snapshot copies the current counters into a mergeable value.
+// EnableExemplars switches on per-bucket exemplar capture. Safe to call
+// concurrently and more than once; a no-op after the first call.
+func (h *Histogram) EnableExemplars() {
+	if h.exemplars.Load() == nil {
+		h.exemplars.CompareAndSwap(nil, &exemplarSet{})
+	}
+}
+
+// ObserveTraced records one value like Observe and, when exemplars are
+// enabled and traceID is non-empty, publishes {traceID, v} as the
+// containing bucket's exemplar with a single atomic pointer swap
+// (last-writer-wins — "the most recent request that landed here").
+// With exemplars disabled or an empty traceID it degrades to exactly
+// Observe's cost.
+func (h *Histogram) ObserveTraced(v int64, traceID string) {
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID == "" {
+		return
+	}
+	if ex := h.exemplars.Load(); ex != nil {
+		ex.slots[b].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Snapshot copies the current counters into a mergeable value. When
+// exemplars are enabled, the per-bucket exemplars ride along.
 func (h *Histogram) Snapshot() HistSnapshot {
 	var s HistSnapshot
 	for i := range h.buckets {
@@ -84,6 +134,14 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	s.Count = h.count.Load()
 	s.Sum = h.sum.Load()
+	if ex := h.exemplars.Load(); ex != nil {
+		s.Exemplars = make([]Exemplar, NumBuckets)
+		for i := range ex.slots {
+			if e := ex.slots[i].Load(); e != nil {
+				s.Exemplars[i] = *e
+			}
+		}
+	}
 	return s
 }
 
@@ -93,15 +151,32 @@ type HistSnapshot struct {
 	Buckets [NumBuckets]uint64
 	Count   uint64
 	Sum     int64
+
+	// Exemplars, when non-nil, has NumBuckets entries; an entry with an
+	// empty TraceID means that bucket has no exemplar. Merge and Sub
+	// carry exemplars through best-effort (counters are the contract).
+	Exemplars []Exemplar
 }
 
-// Merge adds o's counters into s (bucket-wise).
+// Merge adds o's counters into s (bucket-wise). Exemplars merge
+// per-bucket, preferring o's (the merged-in snapshot is treated as
+// newer); a bucket keeps s's exemplar when o has none.
 func (s *HistSnapshot) Merge(o HistSnapshot) {
 	for i := range s.Buckets {
 		s.Buckets[i] += o.Buckets[i]
 	}
 	s.Count += o.Count
 	s.Sum += o.Sum
+	if o.Exemplars != nil {
+		if s.Exemplars == nil {
+			s.Exemplars = make([]Exemplar, NumBuckets)
+		}
+		for i := range o.Exemplars {
+			if o.Exemplars[i].TraceID != "" {
+				s.Exemplars[i] = o.Exemplars[i]
+			}
+		}
+	}
 }
 
 // Sub subtracts an earlier snapshot of the same histogram, yielding the
@@ -182,20 +257,39 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 // it may be empty. The caller is responsible for emitting the # HELP
 // and # TYPE <name> histogram header once per family.
 func (s HistSnapshot) WriteTo(w io.Writer, name, labels string, scale float64) {
+	s.WriteToRange(w, name, labels, scale, minExpoBucket, maxExpoBucket)
+}
+
+// WriteToRange is WriteTo with an explicit exposition window: buckets
+// lo..hi (log2 indices) form the le ladder, everything below lo folds
+// into the first emitted bucket and everything above hi into +Inf.
+// The default window suits nanosecond latencies; small-integer
+// histograms (batch sizes) pass a low window instead.
+func (s HistSnapshot) WriteToRange(w io.Writer, name, labels string, scale float64, lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= NumBuckets {
+		hi = NumBuckets - 1
+	}
 	sep := ""
 	if labels != "" {
 		sep = ","
 	}
 	var cum uint64
-	for i := 0; i <= maxExpoBucket; i++ {
+	for i := 0; i <= hi; i++ {
 		cum += s.Buckets[i]
-		if i < minExpoBucket {
+		if i < lo {
 			continue
 		}
 		le := strconv.FormatFloat(float64(BucketBound(i))/scale, 'g', -1, 64)
-		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d", name, labels, sep, le, cum)
+		s.writeExemplar(w, i, i == lo, lo, scale)
+		io.WriteString(w, "\n")
 	}
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d", name, labels, sep, s.Count)
+	s.writeInfExemplar(w, hi, scale)
+	io.WriteString(w, "\n")
 	if labels == "" {
 		fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/scale)
 		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
@@ -203,6 +297,51 @@ func (s HistSnapshot) WriteTo(w io.Writer, name, labels string, scale float64) {
 		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(s.Sum)/scale)
 		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
 	}
+}
+
+// writeExemplar appends an OpenMetrics-style exemplar annotation
+// (" # {trace_id=\"...\"} <value>") for exposition bucket i, if one is
+// present. Buckets folded into the first emitted line (i < lo) surface
+// on that line when first is true, newest observation winning.
+func (s HistSnapshot) writeExemplar(w io.Writer, i int, first bool, lo int, scale float64) {
+	if s.Exemplars == nil {
+		return
+	}
+	e := s.Exemplars[i]
+	if first {
+		// The first exposition bucket also covers every sub-resolution
+		// bucket below it.
+		for j := 0; j < lo; j++ {
+			if s.Exemplars[j].TraceID != "" {
+				e = s.Exemplars[j]
+			}
+		}
+		if s.Exemplars[i].TraceID != "" {
+			e = s.Exemplars[i]
+		}
+	}
+	if e.TraceID == "" {
+		return
+	}
+	fmt.Fprintf(w, " # {trace_id=%q} %g", e.TraceID, float64(e.Value)/scale)
+}
+
+// writeInfExemplar emits the exemplar for observations past the
+// exposition window (folded into the +Inf bucket).
+func (s HistSnapshot) writeInfExemplar(w io.Writer, hi int, scale float64) {
+	if s.Exemplars == nil {
+		return
+	}
+	var e Exemplar
+	for j := hi + 1; j < NumBuckets; j++ {
+		if s.Exemplars[j].TraceID != "" {
+			e = s.Exemplars[j]
+		}
+	}
+	if e.TraceID == "" {
+		return
+	}
+	fmt.Fprintf(w, " # {trace_id=%q} %g", e.TraceID, float64(e.Value)/scale)
 }
 
 // WindowedMax tracks a running maximum over scrape windows: Observe

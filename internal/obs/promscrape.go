@@ -162,12 +162,25 @@ func ParseHistogram(text, family string, want map[string]string) (ScrapedHist, b
 	return h, true
 }
 
+// SplitExemplar splits an optional OpenMetrics-style exemplar
+// annotation (" # {trace_id=\"...\"} value") off a sample line,
+// returning the bare sample and the annotation (without the " # "
+// separator, empty when absent). Exposition in this stack never puts
+// a bare " # " inside a label value, so a simple cut is exact.
+func SplitExemplar(line string) (rest, exemplar string) {
+	if i := strings.Index(line, " # "); i >= 0 {
+		return line[:i], strings.TrimSpace(line[i+3:])
+	}
+	return line, ""
+}
+
 // SplitSeries splits one exposition sample line — "name{labels} value"
-// or "name value", with an optional trailing timestamp — into its parts.
-// Exposed for the router's bucket-wise fleet merge, which scans backend
-// scrapes for histogram families outside ParseHistogram's
-// one-family-at-a-time view.
+// or "name value", with an optional trailing timestamp or exemplar
+// annotation (both dropped) — into its parts. Exposed for the router's
+// bucket-wise fleet merge, which scans backend scrapes for histogram
+// families outside ParseHistogram's one-family-at-a-time view.
 func SplitSeries(line string) (name, labels, value string, ok bool) {
+	line, _ = SplitExemplar(line)
 	if br := strings.IndexByte(line, '{'); br >= 0 {
 		end := strings.LastIndexByte(line, '}')
 		if end < br {
@@ -188,6 +201,57 @@ func SplitSeries(line string) (name, labels, value string, ok bool) {
 		value = f[0] // drop optional timestamp
 	}
 	return name, labels, value, value != ""
+}
+
+// Scraped converts a local HistSnapshot into the le-ladder form a
+// /metrics scrape of the same histogram would parse to, dividing
+// observations by scale on the way (1e9 for ns→s) — the shared
+// currency between locally-held histograms and fleet-merged scrapes
+// that lets one SLO evaluator consume both.
+func (s HistSnapshot) Scraped(scale float64) ScrapedHist {
+	h := ScrapedHist{
+		Les:   make([]float64, 0, maxExpoBucket-minExpoBucket+1),
+		Cum:   make([]uint64, 0, maxExpoBucket-minExpoBucket+1),
+		Count: s.Count,
+		Sum:   float64(s.Sum) / scale,
+	}
+	var cum uint64
+	for i := 0; i <= maxExpoBucket; i++ {
+		cum += s.Buckets[i]
+		if i < minExpoBucket {
+			continue
+		}
+		h.Les = append(h.Les, float64(BucketBound(i))/scale)
+		h.Cum = append(h.Cum, cum)
+	}
+	return h
+}
+
+// CountBelow estimates how many observations were at or below bound
+// (in the exported unit), linearly interpolating within the straddling
+// bucket — the "good event" counter for latency SLOs.
+func (h ScrapedHist) CountBelow(bound float64) float64 {
+	if h.Count == 0 || len(h.Les) == 0 || bound <= 0 {
+		return 0
+	}
+	prevCum := uint64(0)
+	prevLe := 0.0
+	for i, le := range h.Les {
+		if bound <= le {
+			n := float64(h.Cum[i] - prevCum)
+			width := le - prevLe
+			if width <= 0 {
+				return float64(h.Cum[i])
+			}
+			frac := (bound - prevLe) / width
+			return float64(prevCum) + frac*n
+		}
+		prevCum = h.Cum[i]
+		prevLe = le
+	}
+	// Bound above the ladder: everything in finite buckets counts, and
+	// +Inf overflow does not.
+	return float64(h.Cum[len(h.Cum)-1])
 }
 
 // Sub subtracts an earlier scrape of the same family (identical le

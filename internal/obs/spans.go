@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// HeaderSpans carries a backend's span breakdown on the HTTP response
+// wire in the compact form produced by EncodeSpans. The router decodes
+// it and grafts the backend spans into its own trace under the winning
+// attempt span, so one /debug/traces entry tells the whole story.
+const HeaderSpans = "X-Radix-Spans"
+
+// Wire-format bounds. A span breakdown is a handful of pipeline stages,
+// so anything past these limits is malformed or hostile and is rejected
+// rather than buffered.
+const (
+	// MaxWireSpans bounds how many spans EncodeSpans emits and
+	// DecodeSpans accepts.
+	MaxWireSpans = 64
+	// maxWireBytes bounds the encoded header length DecodeSpans parses.
+	maxWireBytes = 8 << 10
+)
+
+// EncodeSpans renders spans as a single header-safe string:
+// records separated by ';', each record "name|start_ms|duration_ms"
+// with the name percent-encoded (so names containing '|', ';' or
+// non-ASCII survive the round trip). At most MaxWireSpans spans are
+// encoded; the rest are dropped (they would be sub-µs bookkeeping
+// stages, never the story).
+func EncodeSpans(spans []Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	if len(spans) > MaxWireSpans {
+		spans = spans[:MaxWireSpans]
+	}
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(url.QueryEscape(s.Name))
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(s.StartMs, 'f', 3, 64))
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(s.DurMs, 'f', 3, 64))
+	}
+	return b.String()
+}
+
+// DecodeSpans parses EncodeSpans output. It never panics on malformed
+// input: any record that does not parse, any non-finite or negative
+// timing, an over-long header, or more than MaxWireSpans records
+// yields an error and a nil slice.
+func DecodeSpans(s string) ([]Span, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if len(s) > maxWireBytes {
+		return nil, fmt.Errorf("obs: span header too long (%d bytes)", len(s))
+	}
+	records := strings.Split(s, ";")
+	if len(records) > MaxWireSpans {
+		return nil, fmt.Errorf("obs: too many spans (%d)", len(records))
+	}
+	out := make([]Span, 0, len(records))
+	for _, rec := range records {
+		parts := strings.Split(rec, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("obs: malformed span record %q", rec)
+		}
+		name, err := url.QueryUnescape(parts[0])
+		if err != nil || name == "" {
+			return nil, fmt.Errorf("obs: malformed span name %q", parts[0])
+		}
+		start, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || start < 0 || start != start || start > 1e12 {
+			return nil, fmt.Errorf("obs: malformed span start %q", parts[1])
+		}
+		dur, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || dur < 0 || dur != dur || dur > 1e12 {
+			return nil, fmt.Errorf("obs: malformed span duration %q", parts[2])
+		}
+		out = append(out, Span{Name: name, StartMs: start, DurMs: dur})
+	}
+	return out, nil
+}
+
+// RebaseSpans returns a copy of spans with every StartMs shifted by
+// baseMs — used by the router to graft backend-relative span offsets
+// under the attempt span that produced them, so all offsets in the
+// stitched trace share the router trace's time base.
+func RebaseSpans(spans []Span, baseMs float64) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	for i, s := range spans {
+		s.StartMs += baseMs
+		out[i] = s
+	}
+	return out
+}

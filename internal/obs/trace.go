@@ -135,6 +135,24 @@ func (r *TraceRing) Slowest(n int) []*Trace {
 	return out
 }
 
+// Find returns the retained trace with the given ID (the newest, if
+// the ID somehow repeats), or nil. It scans the ring — O(depth), fine
+// for a debug endpoint, never for a hot path.
+func (r *TraceRing) Find(id string) *Trace {
+	if id == "" {
+		return nil
+	}
+	var best *Trace
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil && t.ID == id {
+			if best == nil || t.seq > best.seq {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
 // tracesView is the GET /debug/traces response body.
 type tracesView struct {
 	Total   uint64   `json:"total"`
@@ -142,22 +160,66 @@ type tracesView struct {
 	Slowest []*Trace `json:"slowest"`
 }
 
-// Handler serves the ring as JSON: {"total", "recent", "slowest"}.
-// Query parameter n bounds the recent view (default 32, max ring
-// depth); the slowest view always holds up to 8 entries.
+// traceView is the GET /debug/traces?trace=<id> response body.
+type traceView struct {
+	Total uint64 `json:"total"`
+	Trace *Trace `json:"trace"`
+}
+
+func filterMinMs(traces []*Trace, minMs float64) []*Trace {
+	if minMs <= 0 {
+		return traces
+	}
+	out := traces[:0]
+	for _, t := range traces {
+		if t.TotalMs >= minMs {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Handler serves the ring as JSON. The default view is {"total",
+// "recent", "slowest"}: up to n recent traces (query ?n=, default 32,
+// clamped to the ring depth) and the 8 slowest retained traces.
+// ?min_ms=<f> drops traces faster than the threshold from both views.
+// ?trace=<id> instead looks up one trace by ID — the jump target for
+// histogram exemplar annotations — answering {"total", "trace"} or
+// 404 if the ID is no longer (or never was) retained. Responses are
+// always application/json and bounded by the ring depth.
 func (r *TraceRing) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		q := req.URL.Query()
+		if id := q.Get("trace"); id != "" {
+			t := r.Find(id)
+			if t == nil {
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]string{"error": "trace not retained: " + id})
+				return
+			}
+			json.NewEncoder(w).Encode(traceView{Total: r.Len(), Trace: t})
+			return
+		}
 		n := 32
-		if v := req.URL.Query().Get("n"); v != "" {
+		if v := q.Get("n"); v != "" {
 			if p, err := strconv.Atoi(v); err == nil && p > 0 {
 				n = p
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
+		if n > len(r.slots) {
+			n = len(r.slots)
+		}
+		var minMs float64
+		if v := q.Get("min_ms"); v != "" {
+			if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+				minMs = f
+			}
+		}
 		json.NewEncoder(w).Encode(tracesView{
 			Total:   r.Len(),
-			Recent:  r.Recent(n),
-			Slowest: r.Slowest(8),
+			Recent:  filterMinMs(r.Recent(n), minMs),
+			Slowest: filterMinMs(r.Slowest(8), minMs),
 		})
 	})
 }

@@ -81,6 +81,7 @@ type pending struct {
 	enq      time.Time
 	class    int           // class id in the registry's qosSet
 	deadline time.Time     // zero = none; checked at dequeue
+	trace    string        // request trace ID, stamped on histogram exemplars
 	wait     time.Duration // enqueue → engine dispatch, set before done
 	exec     time.Duration // engine invocation elapsed, set before done
 
@@ -386,6 +387,7 @@ func (b *batcher) execute(reqs []*pending) {
 	b.met.BatchedRows.Add(int64(n))
 	b.met.ExecNs.Add(execDur.Nanoseconds())
 	b.met.ExecHist.Observe(execDur.Nanoseconds())
+	b.met.BatchHist.Observe(int64(n))
 	now := time.Now()
 	var deliverDur time.Duration
 	if !execEnd.IsZero() {
@@ -400,10 +402,12 @@ func (b *batcher) execute(reqs []*pending) {
 			b.met.Failed.Add(1)
 		} else {
 			b.met.Completed.Add(1)
-			b.met.observe(now.Sub(p.enq).Nanoseconds())
+			lat := now.Sub(p.enq).Nanoseconds()
+			b.met.observe(lat, p.trace)
 			cm := b.met.class(p.class)
 			cm.Completed.Add(1)
-			cm.observeWait(p.wait.Nanoseconds())
+			cm.LatencyHist.ObserveTraced(lat, p.trace)
+			cm.observeWait(p.wait.Nanoseconds(), p.trace)
 		}
 		close(p.done)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/obs"
 )
 
@@ -30,9 +31,12 @@ type Metrics struct {
 	// LatencyHist buckets every completed row's enqueue→delivery latency
 	// (ns); ExecHist buckets engine invocation time per batch. Both are
 	// lock-free log2 histograms exported as Prometheus histogram families,
-	// the distribution view behind the sums/maxima above.
+	// the distribution view behind the sums/maxima above. BatchHist
+	// buckets the rows-per-engine-invocation distribution (unit: rows),
+	// the shape behind the MeanBatch point value.
 	LatencyHist obs.Histogram
 	ExecHist    obs.Histogram
+	BatchHist   obs.Histogram
 	// WinLatency is the scrape-windowed worst latency: unlike MaxLatency
 	// it rotates on scrape, so long-lived fleets stop reporting an
 	// all-time worst forever.
@@ -53,14 +57,18 @@ type ClassMetrics struct {
 	// WaitHist buckets queue waits (ns) for quantile extraction — the
 	// distribution the 25ms interactive p99 invariant and the Retry-After
 	// hint are read from. WinWait is the scrape-windowed worst wait.
-	WaitHist obs.Histogram
-	WinWait  obs.WindowedMax
+	// LatencyHist buckets the class's end-to-end enqueue→delivery latency
+	// (ns) — the per-model×class distribution latency SLOs evaluate.
+	WaitHist    obs.Histogram
+	WinWait     obs.WindowedMax
+	LatencyHist obs.Histogram
 }
 
-// observeWait records one dispatched row's enqueue→dispatch queue wait.
-func (c *ClassMetrics) observeWait(ns int64) {
+// observeWait records one dispatched row's enqueue→dispatch queue wait,
+// stamping the wait bucket's exemplar with the row's trace ID.
+func (c *ClassMetrics) observeWait(ns int64, traceID string) {
 	c.QueueWaitNs.Add(ns)
-	c.WaitHist.Observe(ns)
+	c.WaitHist.ObserveTraced(ns, traceID)
 	c.WinWait.Observe(ns)
 	for {
 		old := c.MaxWaitNs.Load()
@@ -156,10 +164,11 @@ func (m *Model) ClassSnapshots() []ClassSnapshot {
 	return out
 }
 
-// observe records one delivered row's enqueue→delivery latency.
-func (m *Metrics) observe(ns int64) {
+// observe records one delivered row's enqueue→delivery latency,
+// stamping the latency bucket's exemplar with the row's trace ID.
+func (m *Metrics) observe(ns int64, traceID string) {
 	m.LatencyNs.Add(ns)
-	m.LatencyHist.Observe(ns)
+	m.LatencyHist.ObserveTraced(ns, traceID)
 	m.WinLatency.Observe(ns)
 	for {
 		old := m.MaxLatency.Load()
@@ -263,6 +272,18 @@ func writePrometheus(w io.Writer, models []*Model) {
 				fmt.Sprintf("model=%q,class=%q", m.name, m.qos.name(c)), 1e9)
 		}
 	}
+	fmt.Fprintf(w, "# HELP radixserve_class_request_latency_seconds Enqueue-to-delivery latency of completed rows, per class.\n# TYPE radixserve_class_request_latency_seconds histogram\n")
+	for _, m := range models {
+		for c := 0; c < m.qos.size(); c++ {
+			m.met.class(c).LatencyHist.Snapshot().WriteTo(w, "radixserve_class_request_latency_seconds",
+				fmt.Sprintf("model=%q,class=%q", m.name, m.qos.name(c)), 1e9)
+		}
+	}
+	fmt.Fprintf(w, "# HELP radixserve_batch_rows Rows per coalesced engine invocation.\n# TYPE radixserve_batch_rows histogram\n")
+	for _, m := range models {
+		// Window 0..12: le ladder 1..4096 rows, the plausible batch range.
+		m.met.BatchHist.Snapshot().WriteToRange(w, "radixserve_batch_rows", fmt.Sprintf("model=%q", m.name), 1, 0, 12)
+	}
 	fmt.Fprintf(w, "# HELP radixserve_queue_depth Pending rows in the request queues (all classes).\n# TYPE radixserve_queue_depth gauge\n")
 	for _, m := range models {
 		fmt.Fprintf(w, "radixserve_queue_depth{model=%q} %d\n", m.name, m.bat.depth())
@@ -274,5 +295,64 @@ func writePrometheus(w io.Writer, models []*Model) {
 	fmt.Fprintf(w, "# HELP radixserve_model_generation Engine-pool generation (1 at registration, +1 per reload).\n# TYPE radixserve_model_generation gauge\n")
 	for _, m := range models {
 		fmt.Fprintf(w, "radixserve_model_generation{model=%q} %d\n", m.name, m.Generation())
+	}
+	writeEngineMetrics(w, models)
+}
+
+// writeEngineMetrics renders the engine-level observability families:
+// warm-pool utilization gauges for every model, and — for models with
+// layer profiling enabled — the per-layer sampled kernel tallies with
+// derived Gedges/s, the serving-stack view of the paper's per-layer
+// edges/second metric.
+func writeEngineMetrics(w io.Writer, models []*Model) {
+	fmt.Fprintf(w, "# HELP radixserve_engine_pool_engines Warm engines in the model's current generation.\n# TYPE radixserve_engine_pool_engines gauge\n")
+	for _, m := range models {
+		engines, _ := m.PoolStats()
+		fmt.Fprintf(w, "radixserve_engine_pool_engines{model=%q} %d\n", m.name, engines)
+	}
+	fmt.Fprintf(w, "# HELP radixserve_engine_pool_leased Engines currently leased out (executing or being checked out).\n# TYPE radixserve_engine_pool_leased gauge\n")
+	for _, m := range models {
+		_, leased := m.PoolStats()
+		fmt.Fprintf(w, "radixserve_engine_pool_leased{model=%q} %d\n", m.name, leased)
+	}
+
+	type profiled struct {
+		m    *Model
+		snap infer.ProfileSnapshot
+	}
+	var profs []profiled
+	for _, m := range models {
+		if snap, ok := m.Profile(); ok {
+			profs = append(profs, profiled{m, snap})
+		}
+	}
+	if len(profs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP radixserve_engine_profile_every Sampling stride of the engine-layer profiler (every Nth batch is timed).\n# TYPE radixserve_engine_profile_every gauge\n")
+	for _, p := range profs {
+		fmt.Fprintf(w, "radixserve_engine_profile_every{model=%q} %d\n", p.m.name, p.snap.Every)
+	}
+	fmt.Fprintf(w, "# HELP radixserve_engine_layer_seconds_total Sampled kernel time per layer.\n# TYPE radixserve_engine_layer_seconds_total counter\n")
+	for _, p := range profs {
+		for _, l := range p.snap.Layers {
+			fmt.Fprintf(w, "radixserve_engine_layer_seconds_total{model=%q,layer=\"%d\"} %g\n", p.m.name, l.Layer, float64(l.Ns)/1e9)
+		}
+	}
+	fmt.Fprintf(w, "# HELP radixserve_engine_layer_edges_total Sampled edges (rows x layer nnz) per layer.\n# TYPE radixserve_engine_layer_edges_total counter\n")
+	for _, p := range profs {
+		for _, l := range p.snap.Layers {
+			fmt.Fprintf(w, "radixserve_engine_layer_edges_total{model=%q,layer=\"%d\"} %d\n", p.m.name, l.Layer, l.Edges)
+		}
+	}
+	fmt.Fprintf(w, "# HELP radixserve_engine_layer_gedges_per_sec Sampled per-layer throughput in Gedges/s (edges/ns over sampled batches).\n# TYPE radixserve_engine_layer_gedges_per_sec gauge\n")
+	for _, p := range profs {
+		for _, l := range p.snap.Layers {
+			fmt.Fprintf(w, "radixserve_engine_layer_gedges_per_sec{model=%q,layer=\"%d\"} %g\n", p.m.name, l.Layer, l.GedgesPerSec)
+		}
+	}
+	fmt.Fprintf(w, "# HELP radixserve_engine_gedges_per_sec Whole-stack sampled throughput in Gedges/s.\n# TYPE radixserve_engine_gedges_per_sec gauge\n")
+	for _, p := range profs {
+		fmt.Fprintf(w, "radixserve_engine_gedges_per_sec{model=%q} %g\n", p.m.name, p.snap.GedgesPerSec)
 	}
 }

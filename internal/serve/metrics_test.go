@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/radix-net/radixnet/internal/obs"
 )
 
 // promSeries is a parsed Prometheus text exposition: series (full
@@ -53,6 +55,10 @@ func parsePrometheus(t *testing.T, text string) promSeries {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
+		// An exemplar annotation rides after the value; split it off so
+		// the series itself still parses (and the annotation's own shape
+		// stays under test via obs.SplitExemplar).
+		line, _ = obs.SplitExemplar(line)
 		idx := strings.LastIndexByte(line, ' ')
 		if idx < 0 {
 			t.Fatalf("malformed series line %q", line)

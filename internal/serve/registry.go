@@ -69,13 +69,18 @@ type enginePool struct {
 // requested kernel, clones sharing its weight stack (and, on the radix
 // kernel, its compiled stride plans), and a private worker pool per engine
 // sized to a fair share of the machine.
-func newEnginePool(cfg core.Config, engines int, kind infer.KernelKind) (*enginePool, error) {
+func newEnginePool(cfg core.Config, engines int, kind infer.KernelKind, profileEvery int) (*enginePool, error) {
 	if engines < 1 {
 		engines = 1
 	}
 	base, err := infer.FromConfigKernel(cfg, kind)
 	if err != nil {
 		return nil, err
+	}
+	if profileEvery > 0 {
+		// Attach the per-layer profiler before cloning so the whole
+		// generation aggregates into one set of tallies.
+		base.EnableProfiling(profileEvery)
 	}
 	ep := &enginePool{
 		gen:     1,
@@ -181,7 +186,26 @@ type Registry struct {
 	models map[string]*Model
 	names  []string // registration order, for stable listings
 	closed bool
+
+	// profEvery, when positive, attaches a per-layer engine profiler to
+	// every generation built afterwards, sampling one in every N batches
+	// (see infer.Profiler). Zero leaves profiling off.
+	profEvery atomic.Int32
 }
+
+// SetProfileEvery configures engine-layer profiling for generations
+// built after the call (registrations and reloads): every Nth batch is
+// timed layer-by-layer. n <= 0 disables profiling for new generations.
+func (r *Registry) SetProfileEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.profEvery.Store(int32(n))
+}
+
+// ProfileEvery reports the registry's engine-profiling sample stride
+// (0 = off).
+func (r *Registry) ProfileEvery() int { return int(r.profEvery.Load()) }
 
 // NewRegistry returns an empty registry whose Register calls default to the
 // given policy (zero fields of which default per Policy's docs), with the
@@ -272,7 +296,7 @@ func (r *Registry) RegisterWithPolicyKernel(name string, cfg core.Config, engine
 
 	// Build outside the lock: generation is the expensive part and must not
 	// serialize against lookups.
-	ep, err := newEnginePool(cfg, engines, kind)
+	ep, err := newEnginePool(cfg, engines, kind, int(r.profEvery.Load()))
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", name, err)
 	}
@@ -286,6 +310,14 @@ func (r *Registry) RegisterWithPolicyKernel(name string, cfg core.Config, engine
 		dispC: newDispClient(pol.Share),
 	}
 	m.met.classes = make([]ClassMetrics, r.qos.size())
+	// Exemplar capture on every latency-bearing histogram: one atomic
+	// pointer swap per traced observation, and /metrics buckets resolve
+	// to the trace that landed in them.
+	m.met.LatencyHist.EnableExemplars()
+	for i := range m.met.classes {
+		m.met.classes[i].WaitHist.EnableExemplars()
+		m.met.classes[i].LatencyHist.EnableExemplars()
+	}
 	m.bufs.New = func() any {
 		s := make([]float64, pol.MaxBatch*m.inW)
 		return &s
@@ -391,7 +423,7 @@ func (r *Registry) reload(name string, cfg core.Config, engines int, kind infer.
 
 	// The expensive build happens with no locks held and the old pool
 	// still serving traffic.
-	ep, err := newEnginePool(cfg, engines, kind)
+	ep, err := newEnginePool(cfg, engines, kind, int(r.profEvery.Load()))
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", name, err)
 	}
@@ -574,6 +606,35 @@ func (m *Model) Info() ModelInfo {
 	}
 }
 
+// Profile snapshots the current generation's engine-layer profiler:
+// per-layer kernel time and Gedges/s over the sampled batches,
+// aggregated across the whole warm pool (the profiler is shared by
+// every engine of the generation). ok is false when profiling is off.
+func (m *Model) Profile() (infer.ProfileSnapshot, bool) {
+	ep := m.pool.Load()
+	if len(ep.all) == 0 {
+		return infer.ProfileSnapshot{}, false
+	}
+	return ep.all[0].Profile()
+}
+
+// PoolStats reports the current generation's warm-pool size and how
+// many engines are leased out right now (the utilization gauge pair on
+// /metrics). Leased is clamped to [0, engines]: the lease counter
+// transiently includes leases-in-progress.
+func (m *Model) PoolStats() (engines, leased int) {
+	ep := m.pool.Load()
+	engines = len(ep.all)
+	l := int(ep.leases.Load())
+	if l < 0 {
+		l = 0
+	}
+	if l > engines {
+		l = engines
+	}
+	return engines, l
+}
+
 // Lease checks a warm engine out of the current generation's pool, blocking
 // until one is free. The caller owns the engine exclusively until Release;
 // the batcher leases one per batch, and direct callers may lease around the
@@ -754,6 +815,7 @@ func (m *Model) Do(ctx context.Context, req *Request) (*Response, error) {
 			enq:      time.Now(),
 			class:    class,
 			deadline: req.Deadline,
+			trace:    req.TraceID,
 		}
 		if err := m.bat.submit(p); err != nil {
 			firstErr = err

@@ -582,8 +582,8 @@ func TestMetricsSnapshotDerived(t *testing.T) {
 	m.Batches.Store(4)
 	m.BatchedRows.Store(10)
 	m.Completed.Store(10)
-	m.observe(int64(2 * time.Millisecond))
-	m.observe(int64(6 * time.Millisecond))
+	m.observe(int64(2*time.Millisecond), "")
+	m.observe(int64(6*time.Millisecond), "")
 	s := m.Snapshot()
 	if s.MeanBatch != 2.5 {
 		t.Fatalf("MeanBatch = %v", s.MeanBatch)

@@ -5,16 +5,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/obs"
+	"github.com/radix-net/radixnet/internal/obs/slo"
 )
 
 // maxRequestBody bounds a POST /v1/infer body; a full MaxBatch of rows at
@@ -165,6 +168,16 @@ type Server struct {
 	traces *obs.TraceRing
 	slow   time.Duration
 	log    *slog.Logger
+
+	// scrapeMu serializes /metrics renders: the windowed-max gauges
+	// rotate their scrape window during the render, so two racing
+	// scrapers must take turns or one of them observes a half-rotated
+	// (empty) window.
+	scrapeMu sync.Mutex
+
+	// slo evaluates the configured objectives against this node's own
+	// histogram snapshots; nil when no objectives were configured.
+	slo *slo.Engine
 }
 
 // ServerOptions configures a Server's observability surface. The zero
@@ -182,6 +195,9 @@ type ServerOptions struct {
 	TraceDepth int
 	// Logger receives slow-request records; nil selects slog.Default().
 	Logger *slog.Logger
+	// SLO configures burn-rate objectives evaluated on GET /v1/slo and
+	// exported as radixserve_slo_* gauges; no objectives disables both.
+	SLO slo.Config
 }
 
 // NewServer wraps the registry in an HTTP server bound to addr (host:port;
@@ -198,6 +214,7 @@ func NewServerOpts(reg *Registry, addr string, opts ServerOptions) *Server {
 		traces: obs.NewTraceRing(opts.TraceDepth),
 		slow:   opts.SlowRequest,
 		log:    opts.Logger,
+		slo:    slo.New(opts.SLO),
 	}
 	if s.log == nil {
 		s.log = slog.Default()
@@ -210,6 +227,7 @@ func NewServerOpts(reg *Registry, addr string, opts ServerOptions) *Server {
 	mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnregister)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.Handle("GET /debug/traces", s.traces.Handler())
 	if opts.Pprof {
 		obs.RegisterPprof(mux)
@@ -450,6 +468,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			resp.Argmax[i] = best
 		}
 	}
+	// The compact span breakdown rides the response headers so an
+	// upstream router can graft this backend's queue/execute spans into
+	// its own trace (stitched distributed tracing without a collector).
+	if enc := obs.EncodeSpans(spans); enc != "" {
+		w.Header().Set(obs.HeaderSpans, enc)
+	}
 	writeJSON(w, http.StatusOK, resp)
 	finish(http.StatusOK, m.Name(), qresp.Class, len(outs), "", spans)
 }
@@ -620,12 +644,95 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// One scraper at a time: the maxwindow gauges rotate their window as
+	// they render, so concurrent scrapes must serialize or a racing
+	// scraper steals the window the other was about to read.
+	s.scrapeMu.Lock()
 	writePrometheus(w, s.reg.all())
+	s.scrapeMu.Unlock()
 	fmt.Fprintf(w, "# HELP radixserve_http_responses_total HTTP responses by status class.\n# TYPE radixserve_http_responses_total counter\n")
 	fmt.Fprintf(w, "radixserve_http_responses_total{class=\"2xx\"} %d\n", s.status2xx.Load())
 	fmt.Fprintf(w, "radixserve_http_responses_total{class=\"4xx\"} %d\n", s.status4xx.Load())
 	fmt.Fprintf(w, "radixserve_http_responses_total{class=\"5xx\"} %d\n", s.status5xx.Load())
 	fmt.Fprintf(w, "# HELP radixserve_uptime_seconds Server uptime.\n# TYPE radixserve_uptime_seconds gauge\nradixserve_uptime_seconds %g\n",
 		time.Since(s.start).Seconds())
+	if s.slo != nil {
+		WriteSLOMetrics(w, "radixserve", s.sloEvaluate())
+	}
 	obs.WriteRuntimeMetrics(w, "radixserve")
+}
+
+// sloRecord feeds the SLO engine one cumulative sample per model (the
+// aggregate series, class "") and per model×class, all from this node's
+// own lock-free histograms — the same numbers /metrics exports.
+func (s *Server) sloRecord(now time.Time) {
+	for _, m := range s.reg.all() {
+		met := &m.met
+		s.slo.Record(m.name, "", slo.Sample{
+			Hist:  met.LatencyHist.Snapshot().Scraped(1e9),
+			Bad:   uint64(max64(met.Failed.Load(), 0) + max64(met.Expired.Load(), 0) + max64(met.Rejected.Load(), 0)),
+			Total: uint64(max64(met.Accepted.Load(), 0) + max64(met.Rejected.Load(), 0)),
+		}, now)
+		for c := 0; c < m.qos.size(); c++ {
+			cm := met.class(c)
+			s.slo.Record(m.name, m.qos.name(c), slo.Sample{
+				Hist:  cm.LatencyHist.Snapshot().Scraped(1e9),
+				Bad:   uint64(max64(cm.Expired.Load(), 0) + max64(cm.Rejected.Load(), 0)),
+				Total: uint64(max64(cm.Accepted.Load(), 0) + max64(cm.Rejected.Load(), 0)),
+			}, now)
+		}
+	}
+}
+
+func max64(v, floor int64) int64 {
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// sloEvaluate records fresh samples and evaluates every objective.
+func (s *Server) sloEvaluate() []slo.Status {
+	now := time.Now()
+	s.sloRecord(now)
+	return s.slo.Evaluate(now)
+}
+
+// handleSLO is GET /v1/slo: the burn-rate evaluation of every configured
+// objective against this node's own traffic. 404 when no objectives are
+// configured (the endpoint is off, not empty).
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeError(w, http.StatusNotFound, "no SLO objectives configured")
+		return
+	}
+	now := time.Now()
+	s.sloRecord(now)
+	writeJSON(w, http.StatusOK, s.slo.ViewOf(now))
+}
+
+// WriteSLOMetrics renders one evaluation as prefix_slo_* gauge families;
+// shared with the router tier (prefix "radixrouter").
+func WriteSLOMetrics(w io.Writer, prefix string, statuses []slo.Status) {
+	type fam struct {
+		name, help string
+		value      func(st slo.Status) float64
+	}
+	fams := []fam{
+		{"slo_fast_burn", "Error-budget burn rate over the fast window (1 = sustainable).",
+			func(st slo.Status) float64 { return st.FastBurn }},
+		{"slo_slow_burn", "Error-budget burn rate over the slow window (1 = sustainable).",
+			func(st slo.Status) float64 { return st.SlowBurn }},
+		{"slo_error_budget_remaining", "Error budget fraction left at the slow window's burn (clamped at 0).",
+			func(st slo.Status) float64 { return st.BudgetRemaining }},
+		{"slo_state", "Objective state: 0 ok, 1 warn, 2 violated.",
+			func(st slo.Status) float64 { return float64(slo.StateValue(st.State)) }},
+	}
+	for _, f := range fams {
+		name := prefix + "_" + f.name
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, f.help, name)
+		for _, st := range statuses {
+			fmt.Fprintf(w, "%s{objective=%q,model=%q,class=%q} %g\n", name, st.Objective.Name, st.Model, st.Class, f.value(st))
+		}
+	}
 }

@@ -50,6 +50,7 @@ import (
 	"github.com/radix-net/radixnet/internal/graphio"
 	"github.com/radix-net/radixnet/internal/infer"
 	"github.com/radix-net/radixnet/internal/obs"
+	"github.com/radix-net/radixnet/internal/obs/slo"
 	"github.com/radix-net/radixnet/internal/radix"
 	"github.com/radix-net/radixnet/internal/serve"
 	"github.com/radix-net/radixnet/internal/sparse"
@@ -313,8 +314,9 @@ func NewRegistryQoS(pol ServePolicy, qos ServeQoSConfig) (*Registry, error) {
 func NewServer(reg *Registry, addr string) *Server { return serve.NewServer(reg, addr) }
 
 // ServerOptions tunes a Server's observability surface: opt-in pprof
-// endpoints, the slow-request log threshold, and the /debug/traces ring
-// depth. The zero value matches NewServer.
+// endpoints, the slow-request log threshold, the /debug/traces ring
+// depth, and the SLO burn-rate engine (SLOConfig). The zero value
+// matches NewServer.
 type ServerOptions = serve.ServerOptions
 
 // NewServerOpts is NewServer with explicit observability options.
@@ -350,6 +352,71 @@ const HeaderTraceID = obs.HeaderTraceID
 // NewTraceID returns a fresh 32-hex-character trace ID.
 func NewTraceID() string { return obs.NewTraceID() }
 
+// TraceExemplar is a histogram bucket's exemplar: the most recent trace
+// that landed in the bucket, annotated on /metrics in OpenMetrics style
+// so a latency spike on a panel resolves to a full span breakdown via
+// GET /debug/traces?trace=<id>.
+type TraceExemplar = obs.Exemplar
+
+// HeaderSpans is the HTTP response header carrying a backend's span
+// breakdown in compact wire form. The router decodes it, rebases the
+// offsets by the attempt's start, and grafts the spans into its own
+// trace — stitched distributed tracing with no cross-machine clock
+// agreement required.
+const HeaderSpans = obs.HeaderSpans
+
+// EncodeSpans renders a span breakdown in the HeaderSpans wire form
+// (empty for no spans; capped at 64 records).
+func EncodeSpans(spans []TraceSpan) string { return obs.EncodeSpans(spans) }
+
+// DecodeSpans parses a HeaderSpans value, rejecting malformed or
+// hostile input: bad field counts, non-finite or negative timings,
+// oversize payloads.
+func DecodeSpans(s string) ([]TraceSpan, error) { return obs.DecodeSpans(s) }
+
+// RebaseSpans returns a copy of spans with every start shifted by
+// baseMs — placing backend-local span offsets on the caller's own
+// request timeline.
+func RebaseSpans(spans []TraceSpan, baseMs float64) []TraceSpan {
+	return obs.RebaseSpans(spans, baseMs)
+}
+
+// EngineProfile is a point-in-time engine profiling snapshot: total and
+// per-layer batch timings and Gedges/s throughput, sampled every Nth
+// batch (Registry.SetProfileEvery; ServedModel.Profile reads it) and
+// exported as the radixserve_engine_* metric families.
+type EngineProfile = infer.ProfileSnapshot
+
+// EngineLayerProfile is one layer's slice of an EngineProfile.
+type EngineLayerProfile = infer.LayerProfile
+
+// SLOObjective is one service-level objective: a latency bound (or the
+// error-rate kind) with a target success ratio, scoped to a model
+// and/or QoS class ("*" or empty are wildcards).
+type SLOObjective = slo.Objective
+
+// SLOConfig arms the multi-window SLO burn-rate engine on a Server (via
+// ServerOptions.SLO) or Router (RouterConfig.SLO, evaluated against the
+// fleet-merged histograms): the objectives plus the fast/slow burn
+// windows (defaults 5 m / 1 h).
+type SLOConfig = slo.Config
+
+// SLOStatus is one objective's evaluation: fast/slow burn rates, the
+// remaining error budget, and the resulting state ("ok", "warn", or
+// "violated" — violated only when BOTH windows burn hot, so a brief
+// spike alone never pages).
+type SLOStatus = slo.Status
+
+// SLOView is the GET /v1/slo response body: the window configuration
+// and every objective's SLOStatus.
+type SLOView = slo.View
+
+// ParseSLOObjectives parses -slo style MODEL:CLASS:LATENCY:TARGET_PCT
+// specs, e.g. "*:interactive:250ms:99" or "e10::error:99.9".
+func ParseSLOObjectives(specs []string) ([]SLOObjective, error) {
+	return slo.ParseObjectives(specs)
+}
+
 // Ring is a consistent-hash ring with virtual nodes: the model-placement
 // function of a radixserve fleet. Adding or removing a backend moves only
 // ~1/N of the keyspace.
@@ -369,7 +436,8 @@ func NewRing(vnodes int) *Ring { return cluster.NewRing(vnodes) }
 type Router = cluster.Router
 
 // RouterConfig assembles a Router: listen address, backend addresses,
-// replication factor, backoff cap, and health-probing knobs.
+// replication factor, backoff cap, health-probing knobs, and the
+// fleet-scoped SLO burn-rate engine (SLOConfig).
 type RouterConfig = cluster.RouterConfig
 
 // ClusterSetConfig tunes a Router's backend set: probe cadence and
