@@ -963,7 +963,7 @@ func runControlPlanePhase(client *http.Client, url string, rt *cluster.Router, r
 	if err != nil {
 		return hr, err
 	}
-	status, body, err := cliutil.DoJSON(client, http.MethodPost, url+"/v1/models", regBody)
+	status, body, err := cliutil.DoJSON(context.Background(), client, http.MethodPost, url+"/v1/models", regBody)
 	if err != nil || status != http.StatusCreated {
 		return hr, fmt.Errorf("control plane: register: status %d err %v (%s)", status, err, body)
 	}
@@ -1037,7 +1037,7 @@ func runControlPlanePhase(client *http.Client, url string, rt *cluster.Router, r
 	}
 	for i := 0; i < reloads; i++ {
 		waitRows(int64((i + 1) * 16))
-		status, body, err := cliutil.DoJSON(client, http.MethodPut, url+"/v1/models/"+model, regBody)
+		status, body, err := cliutil.DoJSON(context.Background(), client, http.MethodPut, url+"/v1/models/"+model, regBody)
 		if err != nil || status != http.StatusOK {
 			close(stop)
 			wg.Wait()
@@ -1066,7 +1066,7 @@ func runControlPlanePhase(client *http.Client, url string, rt *cluster.Router, r
 	log.Printf("control plane: %d fleet-wide reloads × %d replicas raced %d routed requests, zero failures", reloads, len(owners), hr.Requests)
 
 	// Unregister fleet-wide; the router must then 404.
-	status, body, err = cliutil.DoJSON(client, http.MethodDelete, url+"/v1/models/"+model, nil)
+	status, body, err = cliutil.DoJSON(context.Background(), client, http.MethodDelete, url+"/v1/models/"+model, nil)
 	if err != nil || status != http.StatusOK {
 		return hr, fmt.Errorf("control plane: unregister: status %d err %v (%s)", status, err, body)
 	}

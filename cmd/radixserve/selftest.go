@@ -976,7 +976,7 @@ func runControlPlanePhase(client *http.Client, url string, cfg core.Config, engi
 	if err != nil {
 		return hr, err
 	}
-	status, body, err := cliutil.DoJSON(client, http.MethodPost, url+"/v1/models", regBody)
+	status, body, err := cliutil.DoJSON(context.Background(), client, http.MethodPost, url+"/v1/models", regBody)
 	if err != nil || status != http.StatusCreated {
 		return hr, fmt.Errorf("control plane: register: status %d err %v (%s)", status, err, body)
 	}
@@ -1046,7 +1046,7 @@ func runControlPlanePhase(client *http.Client, url string, cfg core.Config, engi
 	}
 	for i := 0; i < reloads; i++ {
 		waitRows(int64((i + 1) * 16))
-		status, body, err := cliutil.DoJSON(client, http.MethodPut, url+"/v1/models/hotswap", regBody)
+		status, body, err := cliutil.DoJSON(context.Background(), client, http.MethodPut, url+"/v1/models/hotswap", regBody)
 		if err != nil || status != http.StatusOK {
 			close(stop)
 			wg.Wait()
@@ -1070,7 +1070,7 @@ func runControlPlanePhase(client *http.Client, url string, cfg core.Config, engi
 	}
 	log.Printf("control plane: %d hot reloads raced %d requests, zero failures, generation %d", reloads, hr.Requests, gen)
 
-	status, body, err = cliutil.DoJSON(client, http.MethodDelete, url+"/v1/models/hotswap", nil)
+	status, body, err = cliutil.DoJSON(context.Background(), client, http.MethodDelete, url+"/v1/models/hotswap", nil)
 	if err != nil || status != http.StatusOK {
 		return hr, fmt.Errorf("control plane: unregister: status %d err %v (%s)", status, err, body)
 	}

@@ -1,0 +1,122 @@
+package analysis
+
+// analysistest.go is the golang.org/x/tools-style expectation harness for
+// the radixvet analyzers, dependency-free. A testdata package marks each
+// line where it expects a diagnostic with a trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comment. CheckExpectations loads the directory as a single package,
+// runs the analyzers, and reports every mismatch: a diagnostic with no
+// matching want, a want with no matching diagnostic, or a want whose
+// regexp fails to compile.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// wantRe matches one quoted expectation: backquoted (the common form —
+// regexp metacharacters need no escaping) or double-quoted with strconv
+// escapes.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// parseExpectations scans every .go file under dir for want comments.
+func parseExpectations(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, spec, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			quoted := wantRe.FindAllString(spec, -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment (no quoted regexp)", path, i+1)
+			}
+			for _, q := range quoted {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want quoting %s: %v", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re, raw: pat})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckExpectations runs analyzers over the single-package directory dir
+// (resolving imports against the module rooted at moduleDir) and matches
+// the diagnostics against the package's want comments. The returned slice
+// is empty when every diagnostic was expected and every expectation fired.
+func CheckExpectations(moduleDir, dir string, analyzers []*Analyzer) ([]string, error) {
+	prog, err := LoadDir(moduleDir, dir)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", dir, err)
+	}
+	diags, err := Run(prog, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := parseExpectations(dir)
+	if err != nil {
+		return nil, err
+	}
+	byLine := make(map[string][]*expectation)
+	for _, w := range wants {
+		key := w.file + ":" + strconv.Itoa(w.line)
+		byLine[key] = append(byLine[key], w)
+	}
+	var problems []string
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		matched := false
+		for _, w := range byLine[key] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicHygiene reports mixed atomic/non-atomic access to the same memory —
+// the bug class behind PR 8's scrape-window race, where a field written
+// under sync/atomic in one place was read bare in another and the race
+// detector only caught it under the right interleaving.
+//
+// Two field styles are policed:
+//
+//   - Typed atomics (atomic.Int64, atomic.Uint64, atomic.Bool,
+//     atomic.Pointer[T], atomic.Value, ...): the only legal uses of such a
+//     field are method calls (f.Load(), f.Store(x), ...) and taking its
+//     address to pass the atomic along. Copying the value — y := x.f,
+//     x.f = other.f, embedding it in a composite literal — is reported:
+//     a copy carries a go vet-visible nocopy sentinel for a reason, and a
+//     copied atomic is a fork of the counter, not the counter.
+//
+//   - Old-style bare fields driven through the sync/atomic functions
+//     (atomic.AddInt64(&s.n, 1), ...): every field that appears as the
+//     pointer operand of an atomic call anywhere in the program is
+//     recorded, and after all packages are visited, every *other* plain
+//     read or write of that same field object is reported. Cross-package
+//     detection is why this analyzer has an End hook: the field may be
+//     atomically updated in one package and leaked bare in another, and
+//     the shared type-check universe makes the types.Object identity line
+//     up across both.
+//
+// A deliberate unsynchronized access (a constructor before publication, a
+// post-join accessor) is suppressed by putting //radix:atomic-ok on the
+// same line.
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "report non-atomic access to fields that are accessed atomically elsewhere",
+	Run:  runAtomicHygiene,
+	End:  endAtomicHygiene,
+}
+
+// atomicFuncs is the sync/atomic free-function surface keyed by name; all
+// of them take the target address as their first argument.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// atomicState accumulates cross-package facts under Program.State.
+type atomicState struct {
+	// atomicAt maps a field/var object to the first position where it was
+	// used through a sync/atomic function.
+	atomicAt map[types.Object]token.Position
+	// plainAt maps the same objects to every bare (non-atomic) access.
+	plainAt map[types.Object][]token.Position
+	// suppressed holds "file:line" keys carrying //radix:atomic-ok.
+	suppressed map[string]bool
+}
+
+func getAtomicState(prog *Program) *atomicState {
+	st, ok := prog.State["atomichygiene"].(*atomicState)
+	if !ok {
+		st = &atomicState{
+			atomicAt:   make(map[types.Object]token.Position),
+			plainAt:    make(map[types.Object][]token.Position),
+			suppressed: make(map[string]bool),
+		}
+		prog.State["atomichygiene"] = st
+	}
+	return st
+}
+
+func runAtomicHygiene(pass *Pass) error {
+	st := getAtomicState(pass.Prog)
+	info := pass.Pkg.Info
+	fset := pass.Prog.Fset
+
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//radix:atomic-ok") {
+					p := fset.Position(c.Pos())
+					st.suppressed[suppressKey(p)] = true
+				}
+			}
+		}
+	}
+
+	walk(pass.Pkg.Files, func(stack []ast.Node, n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// atomic.AddInt64(&s.n, 1): record s.n as atomically-driven and
+			// prune the argument so the selector inside isn't also counted
+			// as a plain access.
+			if obj := atomicCallTarget(info, n); obj != nil {
+				if _, seen := st.atomicAt[obj]; !seen {
+					st.atomicAt[obj] = fset.Position(n.Pos())
+				}
+			}
+		case *ast.SelectorExpr:
+			checkAtomicSelector(pass, st, stack, n)
+		case *ast.Ident:
+			// Bare vars (package-level or local) driven through atomic calls.
+			if obj, ok := info.Uses[n]; ok {
+				if v, isVar := obj.(*types.Var); isVar && !v.IsField() && v.Pkg() != nil && isAtomicEligible(v.Type()) {
+					if !isAtomicOperand(info, stack, n) {
+						st.plainAt[obj] = append(st.plainAt[obj], fset.Position(n.Pos()))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// atomicCallTarget returns the field/var object addressed by the first
+// argument of a sync/atomic call, or nil.
+func atomicCallTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !atomicFuncs[sel.Sel.Name] {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return addressedObject(info, u.X)
+}
+
+// addressedObject resolves &expr's target to a field or variable object.
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		if obj, ok := info.Uses[e.Sel]; ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[e]; ok {
+			return obj
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: elements aren't tracked per-object; ignore.
+	}
+	return nil
+}
+
+// isAtomicEligible filters to the types sync/atomic free functions accept —
+// recording every int field in the program would bloat plainAt for nothing.
+func isAtomicEligible(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+			return true
+		}
+	case *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// isAtomicOperand reports whether the node (an ident or selector) is the
+// &-operand of a sync/atomic call, judged from the ancestor stack.
+func isAtomicOperand(info *types.Info, stack []ast.Node, n ast.Node) bool {
+	// Expected shape: ... CallExpr > UnaryExpr(&) > [ParenExpr...] > n
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			if s.Op != token.AND {
+				return false
+			}
+			if i > 0 {
+				for j := i - 1; j >= 0; j-- {
+					if _, ok := stack[j].(*ast.ParenExpr); ok {
+						continue
+					}
+					call, ok := stack[j].(*ast.CallExpr)
+					return ok && atomicCallTarget(info, call) != nil
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkAtomicSelector handles both field styles for one selector use.
+func checkAtomicSelector(pass *Pass, st *atomicState, stack []ast.Node, n *ast.SelectorExpr) {
+	info := pass.Pkg.Info
+	sel, ok := info.Selections[n]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	obj := sel.Obj()
+	ftype := obj.Type()
+
+	if isTypedAtomic(ftype) {
+		// Legal: method call receiver (parent is a SelectorExpr choosing a
+		// method) or address-of. Everything else copies the atomic.
+		if len(stack) > 0 {
+			switch p := stack[len(stack)-1].(type) {
+			case *ast.SelectorExpr:
+				if p.X == ast.Expr(n) {
+					return // x.f.Load() — method or nested-field access
+				}
+			case *ast.UnaryExpr:
+				if p.Op == token.AND {
+					return // &x.f handed to something operating in place
+				}
+			}
+		}
+		p := pass.Prog.Fset.Position(n.Pos())
+		if !st.suppressed[suppressKey(p)] {
+			pass.Reportf(n.Pos(), "%s value of field %s is copied; use Load/Store or pass &%s",
+				typeShort(ftype), obj.Name(), obj.Name())
+		}
+		return
+	}
+
+	if isAtomicEligible(ftype) && !isAtomicOperand(info, stack, n) {
+		st.plainAt[obj] = append(st.plainAt[obj], pass.Prog.Fset.Position(n.Pos()))
+	}
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's struct types
+// (including instantiated atomic.Pointer[T]).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func suppressKey(p token.Position) string {
+	return p.Filename + ":" + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func endAtomicHygiene(prog *Program, report func(Diagnostic)) error {
+	st := getAtomicState(prog)
+	for obj, atPos := range st.atomicAt {
+		for _, plain := range st.plainAt[obj] {
+			if st.suppressed[plain.Filename+":"+itoa(plain.Line)] {
+				continue
+			}
+			report(Diagnostic{
+				Pos: plain,
+				Message: "field " + obj.Name() + " is accessed with sync/atomic at " +
+					atPos.String() + " but read/written directly here (//radix:atomic-ok to waive)",
+			})
+		}
+	}
+	return nil
+}

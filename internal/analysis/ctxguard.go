@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxGuard enforces context propagation below the server layer.
+//
+// The serving path threads one context from the HTTP handler through the
+// batcher, the engine lease, and (router-side) the per-attempt forward —
+// cancellation correctness (PR 4's mis-charging fix) and deadline-aware
+// shedding both depend on no link in that chain minting a fresh root.
+// Inside library packages (anything that is not package main) the analyzer
+// reports:
+//
+//   - context.Background() and context.TODO() — a library function has a
+//     caller, and the caller has the context;
+//   - http.NewRequest and the context-less convenience helpers (http.Get,
+//     (*http.Client).Post, ...) — use http.NewRequestWithContext.
+//
+// Package main is exempt wholesale: cmd binaries own the process-lifetime
+// roots (signal.NotifyContext, shutdown timeouts). A library function that
+// legitimately mints a root — the health prober's per-probe timeout runs
+// on the prober's own goroutine with no inbound request above it — opts
+// out by carrying //radix:ctx-root in its doc comment.
+var CtxGuard = &Analyzer{
+	Name: "ctxguard",
+	Doc:  "forbid new context roots and context-less HTTP requests below the server layer",
+	Run:  runCtxGuard,
+}
+
+// ctxlessHTTPFuncs are net/http package functions that build requests
+// without a context.
+var ctxlessHTTPFuncs = map[string]bool{
+	"NewRequest": true, "Get": true, "Post": true, "Head": true, "PostForm": true,
+}
+
+func runCtxGuard(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	walk(pass.Pkg.Files, func(stack []ast.Node, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel]
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "context":
+			if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+				if !inCtxRoot(stack) {
+					pass.Reportf(call.Pos(), "context.%s() below the server layer: propagate the caller's ctx (//radix:ctx-root on the function to waive)", sel.Sel.Name)
+				}
+			}
+		case "net/http":
+			if ctxlessHTTPFuncs[sel.Sel.Name] && !inCtxRoot(stack) {
+				if isClientHelper(info, sel) {
+					pass.Reportf(call.Pos(), "http.%s builds a request with no context: use http.NewRequestWithContext with the caller's ctx", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isClientHelper distinguishes the request-building package functions and
+// (*http.Client) convenience methods from unrelated selectors that happen
+// to share a name (e.g. url.Values.Get).
+func isClientHelper(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return strings.HasSuffix(recv.Type().String(), "net/http.Client")
+	}
+	return true
+}
+
+// inCtxRoot reports whether the innermost enclosing FuncDecl carries a
+// //radix:ctx-root doc directive.
+func inCtxRoot(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, "//radix:ctx-root") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}

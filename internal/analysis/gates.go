@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The compiler-diagnostic gates. The AST analyzers approximate what the
+// compiler will do; these gates ask the compiler itself. Both run a real
+// `go build` with diagnostic gcflags, parse the emitted stderr, and check
+// it against the manifest. The Go build cache replays a cached compile's
+// stderr, so a warm gate run costs one cache probe per package, not a
+// rebuild.
+
+// compilerDiag is one parsed `file:line:col: message` line of compiler
+// output.
+type compilerDiag struct {
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+// parseCompilerDiags extracts position-prefixed diagnostics from `go build`
+// stderr. Non-diagnostic lines (the `# package` headers, linker chatter)
+// are skipped. baseDir resolves relative paths the compiler printed.
+func parseCompilerDiags(output string, baseDir string) []compilerDiag {
+	var out []compilerDiag
+	for _, line := range strings.Split(output, "\n") {
+		d, ok := parseDiagLine(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(d.File) {
+			d.File = filepath.Join(baseDir, d.File)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func parseDiagLine(line string) (compilerDiag, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return compilerDiag{}, false
+	}
+	// file.go:12:34: message — split on the first three colons, tolerating
+	// a leading "./".
+	rest := line
+	ci := strings.Index(rest, ".go:")
+	if ci < 0 {
+		return compilerDiag{}, false
+	}
+	file := rest[:ci+3]
+	rest = rest[ci+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return compilerDiag{}, false
+	}
+	lineNo, err1 := strconv.Atoi(parts[0])
+	colNo, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return compilerDiag{}, false
+	}
+	return compilerDiag{
+		File:    strings.TrimPrefix(file, "./"),
+		Line:    lineNo,
+		Col:     colNo,
+		Message: strings.TrimSpace(parts[2]),
+	}, true
+}
+
+// isHeapEscape reports whether an escape-analysis message states that a
+// value was heap-allocated: "x escapes to heap" and "moved to heap: x".
+// Parameter-flow notes ("leaking param: x") describe where pointers go,
+// not allocations, and stay exempt.
+func isHeapEscape(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap:")
+}
+
+// buildWithFlags compiles the packages with extra gcflags and returns the
+// compiler's stderr. The build itself must succeed — a gate can't judge
+// output from a failed compile.
+func buildWithFlags(moduleDir string, gcflags string, pkgs []string) (string, error) {
+	args := append([]string{"build", "-o", os.DevNull, "-gcflags", gcflags}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build -gcflags=%s: %w\n%s", gcflags, err, out)
+	}
+	return string(out), nil
+}
+
+// EscapeGate asserts that no function in the manifest's noescape list
+// heap-allocates, per the compiler's own escape analysis (-gcflags=-m).
+// Diagnostics are attributed to functions by the declaration line spans in
+// the loaded program, so the manifest needs no line numbers.
+func EscapeGate(prog *Program, m *Manifest, moduleDir string) ([]Diagnostic, error) {
+	type span struct {
+		entry      NoEscapeEntry
+		start, end int
+	}
+	spansByFile := make(map[string][]span)
+	pkgSet := map[string]bool{}
+
+	byPkg := make(map[string]map[string]NoEscapeEntry) // pkg -> func -> entry
+	for _, e := range m.NoEscape {
+		if byPkg[e.Package] == nil {
+			byPkg[e.Package] = make(map[string]NoEscapeEntry)
+		}
+		byPkg[e.Package][e.Func] = e
+		pkgSet[e.Package] = true
+	}
+	for _, pkg := range prog.Targets {
+		want := byPkg[pkg.ImportPath]
+		if want == nil {
+			continue
+		}
+		for _, hf := range hotpathFuncs(prog, pkg, nil) {
+			e, ok := want[hf.Name]
+			if !ok {
+				continue
+			}
+			spansByFile[hf.File] = append(spansByFile[hf.File], span{entry: e, start: hf.Line, end: hf.EndLine})
+		}
+	}
+
+	out, err := buildWithFlags(moduleDir, "-m", sortedKeys(pkgSet))
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, d := range parseCompilerDiags(out, moduleDir) {
+		if !isHeapEscape(d.Message) {
+			continue
+		}
+		for _, s := range spansByFile[d.File] {
+			if d.Line >= s.start && d.Line <= s.end {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: d.File, Line: d.Line, Column: d.Col},
+					Analyzer: "escape-gate",
+					Message: fmt.Sprintf("%s.%s is declared //radix:hotpath but the compiler reports %q (annotate allow=alloc if intentional)",
+						s.entry.Package, s.entry.Func, d.Message),
+				})
+			}
+		}
+	}
+	return diags, nil
+}
+
+// BCEGate asserts the marker-delimited regions compile without bounds
+// checks beyond their declared allowance, per the SSA pass's own output
+// (-d=ssa/check_bce/debug=1). IsInBounds is a per-element index check;
+// IsSliceInBounds is the O(1)-per-window check a reslice costs — regions
+// that earn unit-stride inner loops by reslicing allow the latter.
+func BCEGate(prog *Program, m *Manifest, moduleDir string) ([]Diagnostic, error) {
+	type liveRegion struct {
+		entry BCERegionEntry
+		reg   bceRegion
+	}
+	var regions []liveRegion
+	pkgSet := map[string]bool{}
+	byKey := make(map[string]BCERegionEntry)
+	for _, e := range m.BCERegions {
+		byKey[e.Package+"\x00"+e.File+"\x00"+e.Region] = e
+		pkgSet[e.Package] = true
+	}
+	for _, pkg := range prog.Targets {
+		rs, err := bceRegions(prog, pkg)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			if e, ok := byKey[pkg.ImportPath+"\x00"+filepath.Base(r.File)+"\x00"+r.Name]; ok {
+				regions = append(regions, liveRegion{entry: e, reg: r})
+			}
+		}
+	}
+	if len(regions) == 0 {
+		return nil, nil
+	}
+
+	out, err := buildWithFlags(moduleDir, "-d=ssa/check_bce/debug=1", sortedKeys(pkgSet))
+	if err != nil {
+		return nil, err
+	}
+	diags := parseCompilerDiags(out, moduleDir)
+
+	var found []Diagnostic
+	for _, lr := range regions {
+		indexChecks := 0
+		for _, d := range diags {
+			if d.File != lr.reg.File || d.Line < lr.reg.StartLine || d.Line > lr.reg.EndLine {
+				continue
+			}
+			pos := token.Position{Filename: d.File, Line: d.Line, Column: d.Col}
+			switch d.Message {
+			case "Found IsInBounds":
+				indexChecks++
+				if indexChecks > lr.entry.AllowIndex {
+					found = append(found, Diagnostic{
+						Pos:      pos,
+						Analyzer: "bce-gate",
+						Message: fmt.Sprintf("bounds check in //radix:bce region %q (%d found, %d allowed): restructure the access or raise the region's index allowance",
+							lr.entry.Region, indexChecks, lr.entry.AllowIndex),
+					})
+				}
+			case "Found IsSliceInBounds":
+				if !lr.entry.AllowSlice {
+					found = append(found, Diagnostic{
+						Pos:      pos,
+						Analyzer: "bce-gate",
+						Message: fmt.Sprintf("slice-bounds check in //radix:bce region %q: reslice outside the region or annotate allow=slice",
+							lr.entry.Region),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i].Pos, found[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return found, nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

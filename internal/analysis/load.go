@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -json` for the patterns and returns the
+// packages in dependency order (dependencies before dependents — the order
+// the type-checker needs). CGO is disabled so every listed file set is
+// pure Go; the stdlib's cgo users (net, os/user) all carry pure-Go
+// fallbacks, and this repo has no cgo at all.
+func goList(dir string, patterns ...string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// mapImporter resolves imports from the universe built so far.
+type mapImporter struct {
+	pkgs map[string]*types.Package
+	// importMap applies the importing package's vendor/ImportMap remapping
+	// before lookup; set per package during checking.
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not in universe", path)
+}
+
+// LoadPackages lists the patterns with the go tool, parses every package in
+// the dependency closure, and type-checks them oldest-dependency-first into
+// one shared universe. Packages named by the patterns become targets: they
+// keep full syntax and types.Info for the analyzers; dependencies (the
+// standard library included) are checked API-only (function bodies
+// skipped), which keeps a whole-repo load under a few seconds.
+func LoadPackages(dir string, patterns ...string) (*Program, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), State: make(map[string]any)}
+	imp := &mapImporter{pkgs: make(map[string]*types.Package)}
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		pkg, err := checkPackage(prog.Fset, imp, lp)
+		if err != nil {
+			if !lp.Standard && !lp.DepOnly {
+				return nil, err
+			}
+			// A dependency that fails to check still registers whatever
+			// partial package came out, so dependents can limp along; the
+			// analyzers only ever inspect targets.
+			if pkg == nil || pkg.Types == nil {
+				continue
+			}
+		}
+		imp.pkgs[lp.ImportPath] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		if pkg.Target {
+			prog.Targets = append(prog.Targets, pkg)
+		}
+	}
+	if len(prog.Targets) == 0 {
+		return nil, fmt.Errorf("no target packages matched %s", strings.Join(patterns, " "))
+	}
+	return prog, nil
+}
+
+// checkPackage parses and type-checks one listed package against the
+// universe. Targets get full bodies and a populated types.Info.
+func checkPackage(fset *token.FileSet, imp *mapImporter, lp *listPkg) (*Package, error) {
+	target := !lp.Standard && !lp.DepOnly
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Standard:   lp.Standard,
+		Target:     target,
+	}
+	mode := parser.SkipObjectResolution
+	if target {
+		mode |= parser.ParseComments
+	}
+	var firstErr error
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if f != nil {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if firstErr != nil && target {
+		return pkg, fmt.Errorf("%s: %w", lp.ImportPath, firstErr)
+	}
+	conf := types.Config{
+		Importer:         imp,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		IgnoreFuncBodies: !target,
+		Error:            func(err error) { /* collected via firstErr below */ },
+	}
+	var typeErr error
+	conf.Error = func(err error) {
+		if typeErr == nil {
+			typeErr = err
+		}
+	}
+	if target {
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	imp.importMap = lp.ImportMap
+	tpkg, _ := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if typeErr != nil && target {
+		return pkg, fmt.Errorf("%s: type checking: %w", lp.ImportPath, typeErr)
+	}
+	return pkg, nil
+}
+
+// LoadDir type-checks a bare directory of Go files (an analysistest
+// testdata package, not part of any module's package graph) as a single
+// target package. Its imports — standard library or in-module — are
+// resolved by loading their dependency closure API-only first. moduleDir
+// anchors `go list` so in-module import paths resolve; pass the repo root.
+func LoadDir(moduleDir, dir string) (*Program, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, e.Name())
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	prog := &Program{Fset: fset, State: make(map[string]any)}
+	imp := &mapImporter{pkgs: make(map[string]*types.Package)}
+	if len(imports) > 0 {
+		var pats []string
+		for p := range imports {
+			pats = append(pats, p)
+		}
+		listed, err := goList(moduleDir, pats...)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.ImportPath == "unsafe" {
+				continue
+			}
+			lp.DepOnly = true // deps of the testdata package: API-only
+			pkg, err := checkPackage(fset, imp, lp)
+			if err != nil || pkg.Types == nil {
+				continue
+			}
+			imp.pkgs[lp.ImportPath] = pkg.Types
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	pkg := &Package{
+		ImportPath: "testdata/" + filepath.Base(dir),
+		Name:       files[0].Name.Name,
+		Dir:        dir,
+		Target:     true,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	imp.importMap = nil
+	tpkg, _ := conf.Check(pkg.ImportPath, fset, files, pkg.Info)
+	pkg.Types = tpkg
+	if typeErr != nil {
+		return nil, fmt.Errorf("%s (%s): type checking: %w", dir, strings.Join(names, ","), typeErr)
+	}
+	prog.Pkgs = append(prog.Pkgs, pkg)
+	prog.Targets = []*Package{pkg}
+	return prog, nil
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Manifest is the checked-in contract the compiler-diagnostic gates
+// enforce (hotpath_manifest.json). It is derived mechanically from source
+// annotations — //radix:hotpath doc directives and //radix:bce region
+// markers — and pinned in the repo so that *removing* an annotation is as
+// loud as violating one: the gate diffs the manifest against the live
+// annotations and fails on drift, pointing at `radixvet -regen-manifest`.
+//
+// Line numbers are deliberately absent. Regions are delimited by source
+// markers and functions by their parsed declaration spans, both resolved
+// at gate time, so ordinary edits above a kernel don't invalidate the
+// manifest.
+type Manifest struct {
+	// GeneratedBy documents the regeneration command for humans.
+	GeneratedBy string `json:"generated_by"`
+	// NoEscape lists functions the escape gate asserts heap-allocation-free
+	// (every //radix:hotpath function not annotated allow=alloc).
+	NoEscape []NoEscapeEntry `json:"noescape"`
+	// BCERegions lists marker-delimited spans the BCE gate asserts
+	// bounds-check-free, up to each region's declared allowance.
+	BCERegions []BCERegionEntry `json:"bce_regions"`
+}
+
+// NoEscapeEntry names one gated function.
+type NoEscapeEntry struct {
+	Package string `json:"package"` // import path
+	File    string `json:"file"`    // base name within the package
+	Func    string `json:"func"`    // receiver-qualified, e.g. (*Histogram).Observe
+}
+
+// BCERegionEntry names one gated source region.
+type BCERegionEntry struct {
+	Package string `json:"package"`
+	File    string `json:"file"`
+	Region  string `json:"region"`
+	// AllowSlice permits IsSliceInBounds checks: O(1)-per-window slice
+	// formation (reslicing) is how the kernels *earn* check-free inner
+	// loops, so windowed kernels allow it while straight-line tap blocks
+	// don't.
+	AllowSlice bool `json:"allow_slice,omitempty"`
+	// AllowIndex permits up to N IsInBounds checks for inherently
+	// data-dependent accesses (the CSC gather's in[rowIdx[i]]).
+	AllowIndex int `json:"allow_index,omitempty"`
+}
+
+func (e NoEscapeEntry) key() string { return e.Package + "\x00" + e.File + "\x00" + e.Func }
+func (e BCERegionEntry) key() string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00slice=%t\x00index=%d", e.Package, e.File, e.Region, e.AllowSlice, e.AllowIndex)
+}
+
+// LoadManifest reads a manifest from disk.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Save writes the manifest with stable ordering and trailing newline.
+func (m *Manifest) Save(path string) error {
+	m.sort()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func (m *Manifest) sort() {
+	sort.Slice(m.NoEscape, func(i, j int) bool { return m.NoEscape[i].key() < m.NoEscape[j].key() })
+	sort.Slice(m.BCERegions, func(i, j int) bool { return m.BCERegions[i].key() < m.BCERegions[j].key() })
+}
+
+// DeriveManifest rebuilds the manifest from the live source annotations of
+// the loaded program.
+func DeriveManifest(prog *Program) (*Manifest, error) {
+	m := &Manifest{GeneratedBy: "go run ./cmd/radixvet -regen-manifest"}
+	for _, pkg := range prog.Targets {
+		for _, hf := range hotpathFuncs(prog, pkg, nil) {
+			if hf.Allow["alloc"] {
+				continue
+			}
+			m.NoEscape = append(m.NoEscape, NoEscapeEntry{
+				Package: pkg.ImportPath,
+				File:    filepath.Base(hf.File),
+				Func:    hf.Name,
+			})
+		}
+		regions, err := bceRegions(prog, pkg)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range regions {
+			m.BCERegions = append(m.BCERegions, BCERegionEntry{
+				Package:    pkg.ImportPath,
+				File:       filepath.Base(r.File),
+				Region:     r.Name,
+				AllowSlice: r.AllowSlice,
+				AllowIndex: r.AllowIndex,
+			})
+		}
+	}
+	m.sort()
+	return m, nil
+}
+
+// DiffManifest compares the checked-in manifest against the live
+// annotations; any difference is reported as drift (annotation added,
+// removed, or its allowance changed without regenerating).
+func DiffManifest(checked, derived *Manifest) []string {
+	var drift []string
+	drift = append(drift, diffSets("noescape", keysNE(checked.NoEscape), keysNE(derived.NoEscape))...)
+	drift = append(drift, diffSets("bce region", keysBCE(checked.BCERegions), keysBCE(derived.BCERegions))...)
+	return drift
+}
+
+func keysNE(es []NoEscapeEntry) map[string]string {
+	out := make(map[string]string, len(es))
+	for _, e := range es {
+		out[e.key()] = e.Package + " " + e.Func
+	}
+	return out
+}
+
+func keysBCE(es []BCERegionEntry) map[string]string {
+	out := make(map[string]string, len(es))
+	for _, e := range es {
+		out[e.key()] = fmt.Sprintf("%s %s region=%s allow_slice=%t allow_index=%d",
+			e.Package, e.File, e.Region, e.AllowSlice, e.AllowIndex)
+	}
+	return out
+}
+
+func diffSets(kind string, checked, derived map[string]string) []string {
+	var drift []string
+	for k, desc := range derived {
+		if _, ok := checked[k]; !ok {
+			drift = append(drift, fmt.Sprintf("%s %s is annotated in source but missing from the manifest", kind, desc))
+		}
+	}
+	for k, desc := range checked {
+		if _, ok := derived[k]; !ok {
+			drift = append(drift, fmt.Sprintf("%s %s is in the manifest but its source annotation is gone or changed", kind, desc))
+		}
+	}
+	sort.Strings(drift)
+	return drift
+}
+
+// bceRegion is one marker-delimited span resolved to current line numbers.
+type bceRegion struct {
+	Name       string
+	File       string // absolute path
+	StartLine  int
+	EndLine    int
+	AllowSlice bool
+	AllowIndex int
+}
+
+// bceRegions scans a package's comments for //radix:bce markers:
+//
+//	//radix:bce region=csc-gather allow=slice,index:1
+//	...gated code...
+//	//radix:bce end
+//
+// Regions must open and close in the same file and may not nest.
+func bceRegions(prog *Program, pkg *Package) ([]bceRegion, error) {
+	var out []bceRegion
+	for _, f := range pkg.Files {
+		var open *bceRegion
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//radix:bce")
+				if !ok {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) > 0 && fields[0] == "end" {
+					if open == nil {
+						return nil, fmt.Errorf("%s: //radix:bce end with no open region", pos)
+					}
+					open.EndLine = pos.Line
+					out = append(out, *open)
+					open = nil
+					continue
+				}
+				if open != nil {
+					return nil, fmt.Errorf("%s: //radix:bce region opened inside region %q (no nesting)", pos, open.Name)
+				}
+				r := bceRegion{File: pos.Filename, StartLine: pos.Line}
+				for _, field := range fields {
+					switch {
+					case strings.HasPrefix(field, "region="):
+						r.Name = strings.TrimPrefix(field, "region=")
+					case strings.HasPrefix(field, "allow="):
+						for _, tok := range strings.Split(strings.TrimPrefix(field, "allow="), ",") {
+							switch {
+							case tok == "slice":
+								r.AllowSlice = true
+							case strings.HasPrefix(tok, "index:"):
+								n, err := strconv.Atoi(strings.TrimPrefix(tok, "index:"))
+								if err != nil || n < 0 {
+									return nil, fmt.Errorf("%s: bad //radix:bce index allowance %q", pos, tok)
+								}
+								r.AllowIndex = n
+							default:
+								return nil, fmt.Errorf("%s: unknown //radix:bce allow token %q (want slice, index:N)", pos, tok)
+							}
+						}
+					default:
+						return nil, fmt.Errorf("%s: malformed //radix:bce directive field %q", pos, field)
+					}
+				}
+				if r.Name == "" {
+					return nil, fmt.Errorf("%s: //radix:bce marker missing region=NAME", pos)
+				}
+				open = &r
+			}
+		}
+		if open != nil {
+			return nil, fmt.Errorf("%s: //radix:bce region %q never closed (missing //radix:bce end)", open.File, open.Name)
+		}
+	}
+	return out, nil
+}

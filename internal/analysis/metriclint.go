@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricLint polices the Prometheus exposition surface. Fleet merge
+// exactness (the router sums backend histogram buckets into
+// radixrouter_model_* families) and dashboard stability both hinge on the
+// metric names being machine-predictable, so every name literal that
+// reaches a writer is checked against the project convention:
+//
+//	radix(serve|router)_[a-z0-9_]+
+//
+// Writer contexts — and only writer contexts, so the router's *parser*
+// (slomerge.go matches backend series by the same literals in switch
+// cases) is never flagged:
+//
+//   - the name argument of obs.HistSnapshot.WriteTo / WriteToRange
+//     (validated unconditionally: these always take complete family names);
+//   - calls to helpers whose signature has string parameters named "name"
+//     and "help" (the router's counter closure, gauge helpers);
+//   - composite literals of structs with "name" and "help" fields
+//     (promMetric tables);
+//   - radix(serve|router)_-prefixed tokens inside fmt format/value string
+//     literals (# HELP/# TYPE lines and hand-rolled series lines).
+//
+// Helper-call and struct-literal contexts only validate literals that
+// already start with "radix": tables of name *suffixes* composed with a
+// prefix at write time (WriteSLOMetrics' slo_* families) are legitimate.
+//
+// The shared-ladder rules ride along: a latency family (name ending
+// _seconds) must be exposed through WriteTo — the full shared bucket
+// ladder — never a truncated WriteToRange window, and must use the
+// nanoseconds-to-seconds scale 1e9; otherwise bucket-wise fleet merge
+// silently stops being exact.
+var MetricLint = &Analyzer{
+	Name: "metriclint",
+	Doc:  "check metric-name literals and bucket-ladder usage at exposition writers",
+	Run:  runMetricLint,
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^radix(serve|router)_[a-z0-9_]*[a-z0-9]$`)
+	// metricTokenRe finds candidate metric tokens inside format strings.
+	// The charset is deliberately wider than the convention so malformed
+	// names (uppercase, dashes) are captured whole and then rejected.
+	metricTokenRe = regexp.MustCompile(`radix(serve|router)_[A-Za-z0-9_-]*`)
+)
+
+func runMetricLint(pass *Pass) error {
+	info := pass.Pkg.Info
+	walk(pass.Pkg.Files, func(stack []ast.Node, n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			lintMetricCall(pass, info, n)
+		case *ast.CompositeLit:
+			lintMetricComposite(pass, info, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// lintMetricCall covers the three call-shaped writer contexts.
+func lintMetricCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	// fmt format/value strings: scan radix-prefixed tokens.
+	if isFmtWriter(info, call) {
+		for _, arg := range call.Args {
+			if lit := stringLit(arg); lit != nil {
+				text, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				for _, tok := range metricTokenRe.FindAllString(text, -1) {
+					if !metricNameRe.MatchString(tok) {
+						pass.Reportf(lit.Pos(), "metric name %q violates radix(serve|router)_[a-z0-9_]+ convention", tok)
+					}
+				}
+			}
+		}
+		return
+	}
+
+	sig, ok := calleeSignature(info, call)
+	if !ok || sig.Variadic() {
+		return
+	}
+	nameIdx := paramIndex(sig, "name")
+	if nameIdx < 0 || nameIdx >= len(call.Args) {
+		return
+	}
+	helpIdx := paramIndex(sig, "help")
+	labelsIdx := paramIndex(sig, "labels")
+	if helpIdx < 0 && labelsIdx < 0 {
+		return
+	}
+	lit := stringLit(call.Args[nameIdx])
+	if lit == nil {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+
+	snapshotWriter := labelsIdx >= 0 && isHistSnapshotMethod(info, call)
+	if !metricNameRe.MatchString(name) {
+		// Helper tables may hold suffixes; the histogram writers never do.
+		if snapshotWriter || strings.HasPrefix(name, "radix") {
+			pass.Reportf(lit.Pos(), "metric name %q violates radix(serve|router)_[a-z0-9_]+ convention", name)
+		}
+	}
+	if snapshotWriter && strings.HasSuffix(name, "_seconds") {
+		if methodName(call) == "WriteToRange" {
+			pass.Reportf(call.Pos(), "latency family %q exposed via WriteToRange: truncated windows break bucket-wise fleet merge, use WriteTo (shared ladder)", name)
+		}
+		if scaleIdx := paramIndex(sig, "scale"); scaleIdx >= 0 && scaleIdx < len(call.Args) {
+			if sl := ast.Unparen(call.Args[scaleIdx]); sl != nil {
+				if v, isLit := floatLitValue(info, sl); isLit && v != 1e9 {
+					pass.Reportf(sl.Pos(), "latency family %q written with scale %g: the fleet records nanoseconds and exposes seconds, scale must be 1e9", name, v)
+				}
+			}
+		}
+	}
+}
+
+// lintMetricComposite validates the "name" element of promMetric-style
+// struct literals (structs with both "name" and "help" string fields).
+func lintMetricComposite(pass *Pass, info *types.Info, cl *ast.CompositeLit) {
+	tv, ok := info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	nameField, helpField := -1, -1
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "name":
+			nameField = i
+		case "help":
+			helpField = i
+		}
+	}
+	if nameField < 0 || helpField < 0 {
+		return
+	}
+	var nameExpr ast.Expr
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "name" {
+				nameExpr = kv.Value
+			}
+		} else if i == nameField {
+			nameExpr = elt
+		}
+	}
+	lit := stringLit(nameExpr)
+	if lit == nil {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if strings.HasPrefix(name, "radix") && !metricNameRe.MatchString(name) {
+		pass.Reportf(lit.Pos(), "metric name %q violates radix(serve|router)_[a-z0-9_]+ convention", name)
+	}
+}
+
+// isFmtWriter reports whether the call is one of fmt's formatting or
+// printing functions.
+func isFmtWriter(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt"
+}
+
+// isHistSnapshotMethod reports whether the call's receiver is
+// internal/obs.HistSnapshot.
+func isHistSnapshotMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "HistSnapshot" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+}
+
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// calleeSignature resolves the signature a call dispatches through,
+// covering functions, methods, and closure-typed variables alike.
+func calleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func paramIndex(sig *types.Signature, name string) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func stringLit(e ast.Expr) *ast.BasicLit {
+	if e == nil {
+		return nil
+	}
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	return lit
+}
+
+// floatLitValue evaluates a constant numeric expression.
+func floatLitValue(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(tv.Value.String(), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,58 @@
+// Package atomichygiene exercises the atomichygiene analyzer: fields and
+// package variables touched through sync/atomic must never be accessed
+// plainly, and typed atomics must not be copied by value.
+package atomichygiene
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	gauge  atomic.Int64
+}
+
+func (c *counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counter) Skew() int64 {
+	h := c.hits  // want `field hits is accessed with sync/atomic at .* but read/written directly here`
+	c.misses = 0 // want `field misses is accessed with sync/atomic at .* but read/written directly here`
+	return h
+}
+
+// Waived reads hits plainly but waives the finding: single-goroutine
+// construction-time access.
+func (c *counter) Waived() int64 {
+	return c.hits //radix:atomic-ok
+}
+
+// Copy copies a typed atomic by value — always wrong, no pairing needed.
+func (c *counter) Copy() int64 {
+	g := c.gauge // want `atomic\.Int64 value of field gauge is copied`
+	return g.Load()
+}
+
+// Touch uses the typed atomic correctly: method calls and address-of.
+func (c *counter) Touch() int64 {
+	c.gauge.Add(1)
+	p := &c.gauge
+	return p.Load()
+}
+
+var seq int64
+
+func Next() int64 { return atomic.AddInt64(&seq, 1) }
+
+func Reset() {
+	seq = 0 // want `field seq is accessed with sync/atomic at .* but read/written directly here`
+}
+
+// clean is only ever accessed plainly: no pairing, no diagnostics.
+var clean int64
+
+func Bump() int64 {
+	clean++
+	return clean
+}

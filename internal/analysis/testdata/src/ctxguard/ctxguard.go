@@ -1,0 +1,59 @@
+// Package ctxguard exercises the ctxguard analyzer: below the server
+// layer every context must descend from the caller's, and HTTP requests
+// must carry one.
+package ctxguard
+
+import (
+	"context"
+	"net/http"
+)
+
+func fetch(client *http.Client, url string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0) // want `context\.Background\(\) below the server layer`
+	defer cancel()
+	req, err := http.NewRequest("GET", url, nil) // want `http\.NewRequest builds a request with no context`
+	if err != nil {
+		return nil, err
+	}
+	_ = ctx
+	return client.Do(req)
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) below the server layer`
+}
+
+func lazyGet(url string) (*http.Response, error) {
+	return http.Get(url) // want `http\.Get builds a request with no context`
+}
+
+func clientGet(c *http.Client, url string) (*http.Response, error) {
+	return c.Get(url) // want `http\.Get builds a request with no context`
+}
+
+// probe runs on its own goroutine with no inbound request: it may mint a
+// root context, and the directive waives the findings.
+//
+//radix:ctx-root
+func probe(client *http.Client, url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// propagate is the approved shape: context flows in.
+func propagate(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}

@@ -1,0 +1,59 @@
+// Package hotpath exercises the hotpath analyzer: every construct a
+// //radix:hotpath function must not use, plus the allow= waivers.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+type ring struct {
+	buf  []int
+	next int
+}
+
+//radix:hotpath
+func (r *ring) Add(v int) {
+	r.buf[r.next%len(r.buf)] = v
+	r.next++
+}
+
+//radix:hotpath
+func Bad(m map[string]int, s string) int {
+	fmt.Println(s)               // want `Bad: calls fmt\.Println in hot path`
+	now := time.Now()            // want `Bad: time\.Now in hot path`
+	b := make([]int, 4)          // want `Bad: make allocates in hot path`
+	defer release()              // want `Bad: defer in hot path`
+	go release()                 // want `Bad: go statement in hot path`
+	f := func() int { return 1 } // want `Bad: closure literal in hot path may allocate`
+	_ = s + "suffix"             // want `Bad: string concatenation allocates in hot path`
+	t := 0
+	for _, v := range m { // want `Bad: range over map in hot path`
+		t += v
+	}
+	_ = map[int]int{}          // want `Bad: map literal allocates in hot path`
+	_ = []int{1, 2}            // want `Bad: slice literal allocates in hot path`
+	p := &ring{}               // want `Bad: &.*ring\{\.\.\.\} in hot path likely escapes`
+	var i interface{} = any(t) // want `Bad: conversion to .* boxes int in hot path`
+	_, _, _, _, _ = now, b, f, p, i
+	return t
+}
+
+// Allowed waives the allocation and clock rules; only the un-waivable
+// fmt call should fire.
+//
+//radix:hotpath allow=alloc,time,defer
+func Allowed(n int) []int {
+	defer release()
+	_ = time.Now()
+	out := make([]int, n)
+	fmt.Println(n) // want `Allowed: calls fmt\.Println in hot path`
+	return out
+}
+
+func release() {}
+
+// Cold is unannotated: nothing in it may be reported.
+func Cold() string {
+	return fmt.Sprintf("%d", time.Now().UnixNano())
+}

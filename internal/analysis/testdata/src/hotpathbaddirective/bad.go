@@ -1,0 +1,10 @@
+// Package hotpathbaddirective holds malformed //radix:hotpath directives.
+// The diagnostics land on the directive comment lines themselves, where a
+// want comment cannot ride along, so the unit test checks them directly.
+package hotpathbaddirective
+
+//radix:hotpath allow=speed
+func BadToken() {}
+
+//radix:hotpath fast
+func BadDirective() {}

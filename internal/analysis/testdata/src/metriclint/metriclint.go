@@ -1,0 +1,55 @@
+// Package metriclint exercises the metriclint analyzer: exposition name
+// hygiene at fmt writers, metric-emitting helpers, histogram snapshot
+// writers (including the shared-ladder rules), and metric descriptor
+// literals.
+package metriclint
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/radix-net/radixnet/internal/obs"
+)
+
+func writeCounters(w io.Writer, v int64) {
+	fmt.Fprintf(w, "# TYPE radixserve_requests_total counter\n")
+	fmt.Fprintf(w, "radixserve_requests_total %d\n", v)
+	fmt.Fprintf(w, "radixserve_Bad-Total %d\n", v)    // want `metric name "radixserve_Bad-Total" violates`
+	fmt.Fprintf(w, "radixrouter_UPPER_total %d\n", v) // want `metric name "radixrouter_UPPER_total" violates`
+}
+
+// counter has the (name, help) metric-helper shape the analyzer keys on.
+func counter(name, help string, v int64) {}
+
+func emit() {
+	counter("radixserve_batches_total", "batches executed", 1)
+	counter("radixserve_batchesTotal", "bad name", 1) // want `metric name "radixserve_batchesTotal" violates`
+	// Non-radix names in helper position belong to other namespaces and
+	// are left alone.
+	counter("queue_depth", "unprefixed", 1)
+}
+
+func writeHists(w io.Writer, h *obs.Histogram) {
+	s := h.Snapshot()
+	s.WriteTo(w, "radixserve_exec_seconds", "", 1e9)
+	s.WriteTo(w, "exec_seconds", "", 1e9)                      // want `metric name "exec_seconds" violates`
+	s.WriteTo(w, "radixserve_lat_seconds", "", 1e6)            // want `latency family "radixserve_lat_seconds" written with scale 1e\+06`
+	s.WriteToRange(w, "radixserve_lat_seconds", "", 1e9, 0, 8) // want `latency family "radixserve_lat_seconds" exposed via WriteToRange`
+	// Range exposition of a non-latency family is fine.
+	s.WriteToRange(w, "radixserve_batch_rows", "", 1, 0, 8)
+}
+
+// desc mirrors the repo's metric descriptor tables.
+type desc struct {
+	name string
+	help string
+}
+
+var metrics = []desc{
+	{name: "radixserve_queue_depth", help: "rows queued"},
+	{name: "radixserve_Queue_Depth", help: "bad name"}, // want `metric name "radixserve_Queue_Depth" violates`
+	{"radixrouter_picks_total", "positional is checked too"},
+	{"radixrouter_picks-total", "bad positional"}, // want `metric name "radixrouter_picks-total" violates`
+	// Suffix tables (names completed by a prefix elsewhere) are exempt.
+	{name: "slo_fast_burn", help: "suffix, not a full name"},
+}

@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,13 +25,13 @@ import (
 // DoJSON issues one HTTP request with an optional JSON body and returns
 // the status code plus the raw response body. Shared by the cmd selftests'
 // model-control-plane drivers (register/reload/unregister verbs against
-// radixserve and radixrouter).
-func DoJSON(client *http.Client, method, url string, body []byte) (int, []byte, error) {
+// radixserve and radixrouter). The context bounds the whole exchange.
+func DoJSON(ctx context.Context, client *http.Client, method, url string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, url, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -282,7 +282,10 @@ func (s *BackendSet) probeLoop(b *Backend) {
 
 // probe hits one backend's /healthz and applies the ejection/re-admission
 // rules: FailAfter consecutive failures take it out of rotation, one good
-// probe puts it back.
+// probe puts it back. The prober runs on its own goroutine with no inbound
+// request above it, so each probe legitimately mints its own timeout root.
+//
+//radix:ctx-root
 func (s *BackendSet) probe(b *Backend) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
 	defer cancel()

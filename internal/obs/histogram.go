@@ -71,6 +71,8 @@ type exemplarSet struct {
 
 // bucketOf maps an observation to its bucket index: the smallest i with
 // v <= 2^i, clamped to the table.
+//
+//radix:hotpath
 func bucketOf(v int64) int {
 	if v <= 1 {
 		return 0
@@ -86,6 +88,8 @@ func bucketOf(v int64) int {
 func BucketBound(i int) int64 { return int64(1) << uint(i) }
 
 // Observe records one value. Negative values clamp to zero.
+//
+//radix:hotpath
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -109,6 +113,12 @@ func (h *Histogram) EnableExemplars() {
 // (last-writer-wins — "the most recent request that landed here").
 // With exemplars disabled or an empty traceID it degrades to exactly
 // Observe's cost.
+//
+// allow=alloc: the one &Exemplar per traced observation IS the publication
+// mechanism — readers hold the previous immutable value while the swap
+// lands. Everything else in here must stay allocation-free.
+//
+//radix:hotpath allow=alloc
 func (h *Histogram) ObserveTraced(v int64, traceID string) {
 	if v < 0 {
 		v = 0
@@ -356,6 +366,8 @@ type WindowedMax struct {
 }
 
 // Observe folds v into the current window.
+//
+//radix:hotpath
 func (m *WindowedMax) Observe(v int64) {
 	for {
 		old := m.cur.Load()

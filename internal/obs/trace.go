@@ -96,6 +96,8 @@ func NewTraceRing(n int) *TraceRing {
 }
 
 // Add publishes t into the ring. t must not be mutated afterwards.
+//
+//radix:hotpath
 func (r *TraceRing) Add(t *Trace) {
 	seq := r.next.Add(1)
 	t.seq = seq

@@ -116,6 +116,10 @@ type batcher struct {
 	closed bool
 	sched  *classSched
 
+	// fullErr holds one pre-wrapped ErrQueueFull per class, built at
+	// construction so the submit hot path rejects without formatting.
+	fullErr []error
+
 	notify chan struct{} // capacity 1; pinged whenever queued work may exist
 	done   chan struct{} // closed by close()
 	wg     sync.WaitGroup
@@ -131,6 +135,10 @@ func newBatcher(m *Model, pol Policy, qos *qosSet, disp *dispatcher) *batcher {
 		sched:  newClassSched(qos, pol.QueueDepth),
 		notify: make(chan struct{}, 1),
 		done:   make(chan struct{}),
+	}
+	b.fullErr = make([]error, qos.size())
+	for c := range b.fullErr {
+		b.fullErr[c] = fmt.Errorf("%w (class %q)", ErrQueueFull, qos.name(c))
 	}
 	b.wg.Add(pol.Workers)
 	for i := 0; i < pol.Workers; i++ {
@@ -151,7 +159,10 @@ func (b *batcher) ping() {
 }
 
 // submit enqueues one row without blocking: ErrQueueFull when the row's
-// class queue is at capacity, ErrClosed after close.
+// class queue is at capacity, ErrClosed after close. Rejections return the
+// class's pre-wrapped error so the full-queue path never formats.
+//
+//radix:hotpath
 func (b *batcher) submit(p *pending) error {
 	b.mu.Lock()
 	if b.closed {
@@ -169,7 +180,7 @@ func (b *batcher) submit(p *pending) error {
 		b.inflight.Add(-1)
 		b.met.Rejected.Add(1)
 		b.met.class(p.class).Rejected.Add(1)
-		return fmt.Errorf("%w (class %q)", ErrQueueFull, b.qos.name(p.class))
+		return b.fullErr[p.class]
 	}
 	b.mu.Unlock()
 	b.met.Accepted.Add(1)
@@ -326,6 +337,8 @@ func (b *batcher) companyPossible(held int) bool {
 
 // expire completes rows shed at dequeue for a passed deadline: never
 // executed, failed with ErrDeadlineExceeded, counted per class.
+//
+//radix:hotpath
 func (b *batcher) expire(shed []*pending) {
 	if len(shed) == 0 {
 		return
@@ -344,7 +357,10 @@ func (b *batcher) expire(shed []*pending) {
 // coalesced batch, copies each row's output into its pending slot, and
 // completes every request. Output rows are copied out of the engine's
 // ping-pong view before the engine is released, so the view is never read
-// after the next lease-holder overwrites it.
+// after the next lease-holder overwrites it. Clock reads and the quota
+// defer are per batch, not per row, hence the allowances.
+//
+//radix:hotpath allow=time,defer
 func (b *batcher) execute(reqs []*pending) {
 	m := b.model
 	n := len(reqs)
@@ -352,7 +368,8 @@ func (b *batcher) execute(reqs []*pending) {
 		b.disp.acquire(&m.dispC)
 		defer b.disp.release()
 	}
-	buf := m.batchBuf()
+	bufp := m.batchBuf()
+	buf := *bufp
 	for i, p := range reqs {
 		copy(buf[i*m.inW:(i+1)*m.inW], p.row)
 	}
@@ -382,7 +399,7 @@ func (b *batcher) execute(reqs []*pending) {
 		execEnd = execStart.Add(execDur)
 		m.Release(eng)
 	}
-	m.putBatchBuf(buf)
+	m.putBatchBuf(bufp)
 	b.met.Batches.Add(1)
 	b.met.BatchedRows.Add(int64(n))
 	b.met.ExecNs.Add(execDur.Nanoseconds())

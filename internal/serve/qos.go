@@ -210,6 +210,7 @@ type classQ struct {
 	head, n int
 }
 
+//radix:hotpath
 func (q *classQ) push(p *pending) bool {
 	if q.n == len(q.buf) {
 		return false
@@ -219,6 +220,7 @@ func (q *classQ) push(p *pending) bool {
 	return true
 }
 
+//radix:hotpath
 func (q *classQ) pop() *pending {
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
@@ -247,6 +249,8 @@ func newClassSched(qos *qosSet, depth int) *classSched {
 // enqueue appends a row to its class queue; ErrQueueFull when that class is
 // at its bound (each class has its own QueueDepth, so a background flood
 // can never crowd interactive rows out of queue space).
+//
+//radix:hotpath
 func (s *classSched) enqueue(p *pending) error {
 	if !s.classes[p.class].push(p) {
 		return ErrQueueFull
@@ -267,6 +271,12 @@ func (s *classSched) enqueue(p *pending) error {
 // least w rows per full round-robin cycle, so with total weight W it waits
 // at most ~W dispatched rows for its next turn, regardless of how
 // adversarially the other classes arrive.
+//
+// allow=alloc: got grows into the caller's reusable dst (amortized to zero
+// once the worker's slice reaches MaxBatch) and shed only allocates on the
+// deadline-miss path.
+//
+//radix:hotpath allow=alloc
 func (s *classSched) take(dst []*pending, max int, now time.Time) (got, shed []*pending) {
 	got = dst
 	for s.pending > 0 && len(got) < max {

@@ -671,11 +671,12 @@ func (m *Model) Release(e *infer.Engine) {
 }
 
 // batchBuf takes a MaxBatch×InputWidth staging buffer from the model's
-// buffer pool.
-func (m *Model) batchBuf() []float64 { return *m.bufs.Get().(*[]float64) }
+// buffer pool. The pointer, not the slice, round-trips through the pool:
+// re-boxing the header on put would cost one heap allocation per batch.
+func (m *Model) batchBuf() *[]float64 { return m.bufs.Get().(*[]float64) }
 
 // putBatchBuf returns a staging buffer to the pool.
-func (m *Model) putBatchBuf(b []float64) { m.bufs.Put(&b) }
+func (m *Model) putBatchBuf(b *[]float64) { m.bufs.Put(b) }
 
 // ResolveClass canonicalizes a request class name ("" → the registry's
 // default class), or fails with ErrUnknownClass. The HTTP layer uses it to

@@ -116,6 +116,13 @@ func (k *Kernel) NNZ() int { return len(k.vals) }
 // active-row tracking (0 means the row is dead) and the per-row
 // gather/scatter choice at the next layer. in must have length Rows() and
 // out length Cols(); out is fully overwritten. It does not allocate.
+//
+// The inner loop walks same-length value/index windows resliced per
+// column, so the compiler proves w[j]/ri[j] in bounds and the only check
+// left per element is the inherent data-dependent gather in[ri[j]] (the
+// BCE gate pins exactly that budget).
+//
+//radix:hotpath
 func (k *Kernel) FusedGatherRow(out, in []float64, bias, cap float64) int {
 	in = in[:k.rows]
 	out = out[:k.cols]
@@ -123,13 +130,17 @@ func (k *Kernel) FusedGatherRow(out, in []float64, bias, cap float64) int {
 		return k.fusedGatherRowRegular(out, in, bias, cap)
 	}
 	colPtr, rowIdx, vals := k.colPtr, k.rowIdx, k.vals
+	cp := colPtr[1 : len(out)+1]
 	nnz := 0
 	lo := colPtr[0]
+	//radix:bce region=csc-gather allow=slice,index:1
 	for c := range out {
-		hi := colPtr[c+1]
+		hi := cp[c]
 		var acc float64
-		for i := lo; i < hi; i++ {
-			acc += vals[i] * in[rowIdx[i]]
+		w := vals[lo:hi]
+		ri := rowIdx[lo:hi][:len(w)]
+		for j, wv := range w {
+			acc += wv * in[ri[j]]
 		}
 		lo = hi
 		v := acc + bias
@@ -143,6 +154,7 @@ func (k *Kernel) FusedGatherRow(out, in []float64, bias, cap float64) int {
 		}
 		out[c] = v
 	}
+	//radix:bce end
 	return nnz
 }
 
@@ -151,23 +163,33 @@ func (k *Kernel) FusedGatherRow(out, in []float64, bias, cap float64) int {
 // chains, hiding the floating-point add latency that the single-chain loop
 // serializes on. Each column still accumulates its own in-edges in the
 // same ascending order, so results are bit-identical to the scalar loop.
+// Each column's value/index windows are resliced to w0's length so the
+// compiler drops their per-tap bounds checks; only the data-dependent
+// in[...] gathers keep theirs.
+//
+//radix:hotpath
 func (k *Kernel) fusedGatherRowRegular(out, in []float64, bias, cap float64) int {
 	deg := k.colDeg
 	rowIdx, vals := k.rowIdx, k.vals
 	nnz := 0
 	c := 0
+	//radix:bce region=csc-gather-regular allow=slice,index:4
 	for ; c+4 <= len(out); c += 4 {
 		base := c * deg
-		i0 := base
-		i1 := base + deg
-		i2 := base + 2*deg
-		i3 := base + 3*deg
+		w0 := vals[base : base+deg]
+		r0 := rowIdx[base : base+deg][:len(w0)]
+		w1 := vals[base+deg : base+2*deg][:len(w0)]
+		r1 := rowIdx[base+deg : base+2*deg][:len(w0)]
+		w2 := vals[base+2*deg : base+3*deg][:len(w0)]
+		r2 := rowIdx[base+2*deg : base+3*deg][:len(w0)]
+		w3 := vals[base+3*deg : base+4*deg][:len(w0)]
+		r3 := rowIdx[base+3*deg : base+4*deg][:len(w0)]
 		var a0, a1, a2, a3 float64
-		for j := 0; j < deg; j++ {
-			a0 += vals[i0+j] * in[rowIdx[i0+j]]
-			a1 += vals[i1+j] * in[rowIdx[i1+j]]
-			a2 += vals[i2+j] * in[rowIdx[i2+j]]
-			a3 += vals[i3+j] * in[rowIdx[i3+j]]
+		for j := range w0 {
+			a0 += w0[j] * in[r0[j]]
+			a1 += w1[j] * in[r1[j]]
+			a2 += w2[j] * in[r2[j]]
+			a3 += w3[j] * in[r3[j]]
 		}
 		v0 := a0 + bias
 		v1 := a1 + bias
@@ -205,16 +227,21 @@ func (k *Kernel) fusedGatherRowRegular(out, in []float64, bias, cap float64) int
 			}
 			nnz++
 		}
-		out[c] = v0
-		out[c+1] = v1
-		out[c+2] = v2
-		out[c+3] = v3
+		o := out[c : c+4 : c+4]
+		o[0] = v0
+		o[1] = v1
+		o[2] = v2
+		o[3] = v3
 	}
+	//radix:bce end
+	// Tail columns (at most three) run outside the gated region.
 	for ; c < len(out); c++ {
 		base := c * deg
+		w := vals[base : base+deg]
+		ri := rowIdx[base : base+deg][:len(w)]
 		var acc float64
-		for j := 0; j < deg; j++ {
-			acc += vals[base+j] * in[rowIdx[base+j]]
+		for j, wv := range w {
+			acc += wv * in[ri[j]]
 		}
 		v := acc + bias
 		if v <= 0 {
@@ -278,7 +305,11 @@ func (m *Matrix) FusedScatterRow(out, in []float64, bias, cap float64) int {
 // Every row accumulates its own in-edges in the same ascending order as
 // FusedGatherRow, so per-row results are bit-identical to four single-row
 // calls. nnz receives the per-row positive-activation counts. It does not
-// allocate.
+// allocate. The value/index windows are resliced per column like
+// FusedGatherRow's, leaving only the data-dependent in-row gathers
+// bounds-checked.
+//
+//radix:hotpath
 func (k *Kernel) FusedGatherRow4(out0, out1, out2, out3, in0, in1, in2, in3 []float64, bias, cap float64, nnz *[4]int) {
 	in0 = in0[:k.rows]
 	in1 = in1[:k.rows]
@@ -289,18 +320,23 @@ func (k *Kernel) FusedGatherRow4(out0, out1, out2, out3, in0, in1, in2, in3 []fl
 	out2 = out2[:k.cols]
 	out3 = out3[:k.cols]
 	colPtr, rowIdx, vals := k.colPtr, k.rowIdx, k.vals
+	cp := colPtr[1 : len(out0)+1]
 	var n0, n1, n2, n3 int
 	lo := colPtr[0]
+	// One IsInBounds: after in0[r] is checked the compiler proves in1..in3
+	// (all resliced to k.rows) share its bound.
+	//radix:bce region=csc-gather4 allow=slice,index:1
 	for c := range out0 {
-		hi := colPtr[c+1]
+		hi := cp[c]
 		var a0, a1, a2, a3 float64
-		for i := lo; i < hi; i++ {
-			w := vals[i]
-			r := rowIdx[i]
-			a0 += w * in0[r]
-			a1 += w * in1[r]
-			a2 += w * in2[r]
-			a3 += w * in3[r]
+		w := vals[lo:hi]
+		ri := rowIdx[lo:hi][:len(w)]
+		for j, wv := range w {
+			r := ri[j]
+			a0 += wv * in0[r]
+			a1 += wv * in1[r]
+			a2 += wv * in2[r]
+			a3 += wv * in3[r]
 		}
 		lo = hi
 		v0 := a0 + bias
@@ -344,6 +380,7 @@ func (k *Kernel) FusedGatherRow4(out0, out1, out2, out3, in0, in1, in2, in3 []fl
 		out2[c] = v2
 		out3[c] = v3
 	}
+	//radix:bce end
 	nnz[0], nnz[1], nnz[2], nnz[3] = n0, n1, n2, n3
 }
 

@@ -147,6 +147,8 @@ func (rk *RadixKernel) Cols() int { return rk.plan.cols }
 // It does not allocate.
 // In Stockham mode in and out use the packed layouts given by
 // Plan().InPackPos and Plan().OutPackPos.
+//
+//radix:hotpath
 func (rk *RadixKernel) FusedGatherRow(out, in []float64, bias, cap float64) int {
 	if rk.stVals != nil {
 		return rk.fusedGatherRowST(out, in, bias, cap)
@@ -694,6 +696,8 @@ func (rk *RadixKernel) fusedGatherRow4ST(out0, out1, out2, out3, in0, in1, in2, 
 // zero index loads, and the eight independent accumulator chains keep the
 // FMA pipes saturated: nine sequential loads per eight edge-ops against the
 // CSC quad's twelve (four of them strided index-dependent gathers).
+//
+//radix:hotpath
 func (rk *RadixKernel) fusedGatherRow8ST(outs, ins *[8][]float64, bias, cap float64, nnz *[8]int) {
 	p := rk.plan
 	if p.radix == 8 {
@@ -876,6 +880,8 @@ func (rk *RadixKernel) fusedGatherRow8ST(outs, ins *[8][]float64, bias, cap floa
 // straight-line with constant in-window offsets, so the hot path has no loop
 // overhead and no bounds checks at all. Per-lane accumulation order is the
 // same ascending-tap chain as the generic loop — results stay bit-identical.
+//
+//radix:hotpath
 func (rk *RadixKernel) fusedGatherRow8ST8(outs, ins *[8][]float64, bias, cap float64, nnz *[8]int) {
 	p := rk.plan
 	rows, cols := p.rows, p.cols
@@ -896,6 +902,11 @@ func (rk *RadixKernel) fusedGatherRow8ST8(outs, ins *[8][]float64, bias, cap flo
 		for up := 0; up < mp; up++ {
 			t := up*8 + k
 			var a0, a1, a2, a3, a4, a5, a6, a7 float64
+			// The 64-tap block below is the kernel's inner loop; the only
+			// checks the compiler may keep are the O(1)-per-column window
+			// formations (IsSliceInBounds). Per-element IsInBounds in here
+			// is a regression the bce-gate fails.
+			//radix:bce region=radix8-taps allow=slice
 			if t >= 7 || m == 8 {
 				s := base
 				if t >= 7 {
@@ -1013,6 +1024,7 @@ func (rk *RadixKernel) fusedGatherRow8ST8(outs, ins *[8][]float64, bias, cap flo
 					a7 += wv * b7[j]
 				}
 			}
+			//radix:bce end
 			v0 := a0 + bias
 			v1 := a1 + bias
 			v2 := a2 + bias
