@@ -13,7 +13,11 @@
 //	PUT    /v1/models/{name}  hot-reload the model on every backend
 //	                          reporting it
 //	DELETE /v1/models/{name}  unregister the model fleet-wide
-//	GET    /healthz           router + per-backend health
+//	GET    /v1/autoscale      replica control-loop state: per-model load
+//	                          signals, stability counters, recent actuations
+//	                          (404 unless -autoscale)
+//	GET    /healthz           router + per-backend health (incl. each
+//	                          backend's self-reported zone)
 //	GET    /metrics           radixrouter_* series — including fleet-merged
 //	                          radixrouter_model_* latency histograms (backend
 //	                          histograms summed bucket-wise) and per-backend
@@ -35,6 +39,19 @@
 // get one backend attempt and no 429 backoff wait, so low-priority floods
 // cannot burn the failover budget interactive traffic needs).
 //
+// Placement is zone-aware: backends self-report a failure domain on
+// /healthz (radixserve -zone), or get one seeded via -zones ID=ZONE,...;
+// each model's R replicas then spread across min(R, zones) distinct zones,
+// with failover preferring yet another zone. With -autoscale the router
+// also runs a replica control loop: every -autoscale-interval it derives
+// per-model queue-wait p90 (from the fleet-merged histograms), 429 rate,
+// and SLO burn state, and scales each model's replica count through the
+// register/unregister fan-out — bounded by hysteresis (-autoscale-up-p90 /
+// -autoscale-down-p90 bands, -autoscale-up-after debounce,
+// -autoscale-min-samples evidence gate), cooldown, step, and min/max; an
+// SLO violated at the replica ceiling sheds -autoscale-shed-class as a
+// last resort. Live state is on GET /v1/autoscale.
+//
 // With -selftest the binary instead builds an in-process fleet (-backends
 // radixserve instances plus the router on ephemeral ports), shards models
 // across it, verifies routed outputs bit-identical to direct Engine.Infer,
@@ -51,6 +68,8 @@
 //	radixrouter -backend host1:8080 -backend host2:8080 [-addr :8090]
 //	            [-replicas 2] [-vnodes 128] [-probe-interval 2s]
 //	            [-probe-timeout 1s] [-fail-after 3] [-max-backoff 1s]
+//	            [-zones host1:8080=zone-a,host2:8080=zone-b]
+//	            [-autoscale] [-autoscale-interval 5s] [-autoscale-max 8]
 //	            [-pprof] [-slow-request 250ms] [-trace-depth 512]
 //	radixrouter -selftest [-backends 3] [-bench-json BENCH_cluster.json]
 package main
@@ -66,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/radix-net/radixnet/internal/autoscale"
 	"github.com/radix-net/radixnet/internal/cliutil"
 	"github.com/radix-net/radixnet/internal/cluster"
 	"github.com/radix-net/radixnet/internal/obs/slo"
@@ -115,6 +135,18 @@ func main() {
 		traceDepth    = flag.Int("trace-depth", 0, "recent request traces retained for GET /debug/traces (0: default 512)")
 		sloFast       = flag.Duration("slo-fast-window", 0, "SLO fast burn-rate window (0: default 5m)")
 		sloSlow       = flag.Duration("slo-slow-window", 0, "SLO slow burn-rate window (0: default 1h)")
+		zoneSeeds     = flag.String("zones", "", "static backend zone seeds, ID=ZONE,... (backends self-reporting a zone on /healthz override these); zones spread each model's replicas across failure domains")
+		autoOn        = flag.Bool("autoscale", false, "run the replica autoscale control loop (queue-wait p90, 429 rate, and SLO burn state drive per-model replica counts)")
+		autoInterval  = flag.Duration("autoscale-interval", 0, "autoscale evaluation period (0: default 5s)")
+		autoMin       = flag.Int("autoscale-min", 0, "autoscale floor on per-model replicas (0: default 1)")
+		autoMax       = flag.Int("autoscale-max", 0, "autoscale ceiling on per-model replicas (0: the fleet size)")
+		autoStep      = flag.Int("autoscale-step", 0, "max replicas one autoscale decision adds or removes (0: default 1)")
+		autoCooldown  = flag.Int("autoscale-cooldown", 0, "evaluation intervals a model is frozen after an actuation (0: default 3)")
+		autoUpAfter   = flag.Int("autoscale-up-after", 0, "consecutive above-band intervals before a model scales out; SLO-violated pressure is exempt (0: default 1)")
+		autoMinSamp   = flag.Int("autoscale-min-samples", 0, "fewest queue-wait observations an evaluation window needs before its p90 may trigger scale-out; 429 rate and SLO burn still actuate (0: gate off)")
+		autoUpP90     = flag.Duration("autoscale-up-p90", 0, "queue-wait p90 above which a model scales out (0: default 50ms)")
+		autoDownP90   = flag.Duration("autoscale-down-p90", 0, "queue-wait p90 below which a model counts toward scale-in; must stay below -autoscale-up-p90 (0: default up-p90/4)")
+		autoShedClass = flag.String("autoscale-shed-class", "", "QoS class shed when an SLO stays violated at the replica ceiling (default background)")
 		selftest      = flag.Bool("selftest", false, "run the in-process fleet selftest and exit")
 		nBackends     = flag.Int("backends", 3, "selftest: in-process radixserve backends to spin up")
 		benchJSON     = flag.String("bench-json", "BENCH_cluster.json", "selftest: append the throughput record to this file")
@@ -151,6 +183,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	zones := map[string]string{}
+	for _, pair := range strings.Split(*zoneSeeds, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		id, zone, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || zone == "" {
+			log.Fatalf("bad -zones entry %q: want ID=ZONE", pair)
+		}
+		zones[id] = zone
+	}
+	var autoPol *autoscale.Policy
+	if *autoOn {
+		autoPol = &autoscale.Policy{
+			Interval:     *autoInterval,
+			MinReplicas:  *autoMin,
+			MaxReplicas:  *autoMax,
+			MaxStep:      *autoStep,
+			Cooldown:     *autoCooldown,
+			UpAfter:      *autoUpAfter,
+			MinSamples:   *autoMinSamp,
+			ScaleUpP90:   *autoUpP90,
+			ScaleDownP90: *autoDownP90,
+			ShedClass:    *autoShedClass,
+		}
+	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
 		Addr:           *addr,
 		Backends:       backends,
@@ -162,11 +220,13 @@ func main() {
 		SlowRequest:    *slowReq,
 		TraceDepth:     *traceDepth,
 		SLO:            slo.Config{Objectives: objectives, FastWindow: *sloFast, SlowWindow: *sloSlow},
+		Autoscale:      autoPol,
 		Set: cluster.SetConfig{
 			ProbeInterval: *probeInterval,
 			ProbeTimeout:  *probeTimeout,
 			FailAfter:     *failAfter,
 			Vnodes:        *vnodes,
+			Zones:         zones,
 		},
 	})
 	if err != nil {

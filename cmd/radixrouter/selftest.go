@@ -519,7 +519,11 @@ func runSelftest(benchPath string, nBackends, replicas int) error {
 		return err
 	}
 	log.Printf("bench: appended record %d to %s", n, benchPath)
-	return nil
+
+	// Phase 5 — the autoscale control loop, on its own larger fleet:
+	// zipfian popularity, static-replica baseline vs autoscaled tail
+	// latency, zone-diverse scale-out, and SLO-triggered actuation.
+	return runAutoscalePhase(benchPath)
 }
 
 // runObsPhase smokes the routed observability surface: an explicit

@@ -1,0 +1,741 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/radix-net/radixnet/internal/autoscale"
+	"github.com/radix-net/radixnet/internal/cliutil"
+	"github.com/radix-net/radixnet/internal/cluster"
+	"github.com/radix-net/radixnet/internal/core"
+	"github.com/radix-net/radixnet/internal/dataset"
+	"github.com/radix-net/radixnet/internal/graphio"
+	"github.com/radix-net/radixnet/internal/infer"
+	"github.com/radix-net/radixnet/internal/obs/slo"
+	"github.com/radix-net/radixnet/internal/radix"
+	"github.com/radix-net/radixnet/internal/serve"
+	"github.com/radix-net/radixnet/internal/sparse"
+)
+
+// autoscaleBenchRecord is the "autoscale" entry appended to
+// BENCH_cluster.json: a static-replica baseline against the autoscaled
+// fleet under the same zipfian load, plus the control loop's convergence
+// and SLO-actuation measurements.
+type autoscaleBenchRecord struct {
+	Benchmark  string  `json:"benchmark"`
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GitSHA     string  `json:"git_sha"`
+	Backends   int     `json:"backends"`
+	Zones      int     `json:"zones"`
+	Models     int     `json:"models"`
+	Workers    int     `json:"load_workers"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// BaselineHotP99Ms/AutoscaledHotP99Ms are the hottest model's
+	// client-observed queue-wait p99 with every model pinned at one
+	// replica vs under the control loop: each phase is the median p99
+	// across equal-length sub-windows of the clients' per-response
+	// samples (autoscaled: post-convergence tail only), which rejects
+	// host-scheduler stall bursts symmetrically.
+	BaselineHotP99Ms   float64 `json:"baseline_hot_queue_wait_p99_ms"`
+	AutoscaledHotP99Ms float64 `json:"autoscaled_hot_queue_wait_p99_ms"`
+	TailReduction      float64 `json:"tail_reduction_x"`
+	HotReplicas        int     `json:"hot_model_replicas"`
+	HotZones           int     `json:"hot_model_zones"`
+	ScaleUps           int64   `json:"scale_ups"`
+	ScaleDowns         int64   `json:"scale_downs"`
+	Requests           int64   `json:"requests"`
+	Failed             int64   `json:"failed"`
+	MinStableIntervals int     `json:"min_stable_intervals"`
+	// SLOScaleOutMs is how long after the SLO-violating traffic started the
+	// control loop issued its scale-out decision (bound: two evaluation
+	// windows).
+	SLOScaleOutMs float64 `json:"slo_scale_out_ms"`
+}
+
+// runAutoscalePhase proves the replica control loop end to end on its own
+// fleet: 24 backends across 4 zones, 8 models under zipfian popularity,
+// a static-1-replica baseline vs the autoscaled run (same load, same
+// duration). Acceptance: zero failed or divergent requests through every
+// scaling transition, every model's replica count stable for >= 3
+// evaluation intervals at the end, the hot model's queue-wait p99 cut at
+// least 2x vs the baseline, its replicas spread across zones, and a
+// deliberately violated SLO triggering scale-out within two evaluation
+// windows.
+func runAutoscalePhase(benchPath string) error {
+	const (
+		nBackends  = 24
+		nZones     = 4
+		nModels    = 8
+		nWorkers   = 32
+		rowsPerReq = 16
+		maxBatch   = 16
+		baseRows   = 64
+		interval   = time.Second
+		// subWindow slices each measurement phase into equal intervals of
+		// client-observed queue waits; the phase figure is the MEDIAN of
+		// the sub-window p99s. minWindowReqs is the fewest hot-model
+		// requests a sub-window must hold for its p99 to count (p99 over a
+		// handful of requests is a single sample in disguise).
+		subWindow     = 500 * time.Millisecond
+		minWindowReqs = 8
+	)
+	// The fleet is heterogeneous on purpose. The hot model is three fully
+	// dense radix-768 layers (~1.8M multiply-adds per row): heavy enough
+	// that ONE replica is structurally over capacity under the hot share
+	// of the load — not marginally, which an earlier two-layer version
+	// proved is a coin flip (the backlog only formed in the runs where
+	// enough same-model draws clustered early) — so its queue holds a
+	// standing backlog of closed-loop requests and every hot request pays
+	// backlog-over-drain-rate: hundreds of milliseconds, far above the
+	// box's scheduling-noise floor. In that regime the baseline-to-
+	// converged ratio is simply the converged replica count (a closed
+	// loop's wait scales as one over drain rate), so the 2x criterion is
+	// met with margin by construction once the controller settles at
+	// three replicas or more. The other seven models are a light
+	// mixed-radix 96x8 layer at the same width (768, so every model
+	// shares one request corpus) that a single replica drains at the
+	// floor. An earlier homogeneous
+	// version left it to zipf burst clustering to decide which batcher
+	// tipped into backlog, and the answer was metastable — some runs
+	// starved pop-1 instead of pop-0, some starved nothing. Structural
+	// asymmetry makes the controller's target deterministic. Each request
+	// is exactly one batch (rowsPerReq == MaxBatch), so all measured
+	// queue-wait is CROSS-request queueing, which added replicas
+	// genuinely absorb; a request split across several batches would wait
+	// behind its own companions on one replica no matter how far the
+	// model is scaled out. The flip side of a heavy model is heavy engine
+	// builds: a scale-out stalls the loaded box for seconds, which is why
+	// the policy below debounces scale-outs (UpAfter) and freezes each
+	// model long enough for its builds to finish and their queue spike to
+	// flush (Cooldown) — otherwise every actuation manufactures the next
+	// one's trigger. Scale-out helps because each replica brings its own
+	// single-worker batcher: a hot model's execution share grows with its
+	// replica count.
+	hotCfg, err := core.NewConfig([]radix.System{radix.MustNew(768), radix.MustNew(768), radix.MustNew(768)}, nil)
+	if err != nil {
+		return err
+	}
+	coldCfg, err := core.NewConfig([]radix.System{radix.MustNew(96, 8)}, nil)
+	if err != nil {
+		return err
+	}
+	// The whole phase — fleet, router, clients — lives in one Go heap, and
+	// the load is JSON-heavy, so on a small machine collector stalls are
+	// the dominant queue-wait noise: a mark cycle landing inside a
+	// measurement window writes tens of milliseconds into that window's
+	// p99 and masks what the scale-out changes. Rather than racing the
+	// pacer, collections are placed deterministically — background GC off
+	// (with a hard memory limit as the backstop), one forced blocking
+	// collection immediately before each measurement window opens.
+	prevGC := debug.SetGCPercent(-1)
+	prevLimit := debug.SetMemoryLimit(4 << 30)
+	defer func() {
+		debug.SetMemoryLimit(prevLimit)
+		debug.SetGCPercent(prevGC)
+		runtime.GC()
+	}()
+	width := hotCfg.LayerWidths()[0]
+	if w := coldCfg.LayerWidths()[0]; w != width {
+		return fmt.Errorf("autoscale: hot/cold model widths diverge: %d vs %d", width, w)
+	}
+	pol := serve.Policy{MaxBatch: maxBatch, MaxLatency: time.Millisecond, QueueDepth: 4096, Workers: 1}
+
+	regs := make(map[string]*serve.Registry, nBackends)
+	srvs := make(map[string]*serve.Server, nBackends)
+	zones := make(map[string]string, nBackends)
+	var addrs []string
+	for i := 0; i < nBackends; i++ {
+		reg := serve.NewRegistry(pol)
+		srv := serve.NewServer(reg, "127.0.0.1:0")
+		addr, err := srv.Start()
+		if err != nil {
+			return err
+		}
+		regs[addr] = reg
+		srvs[addr] = srv
+		zones[addr] = fmt.Sprintf("zone-%d", i%nZones)
+		addrs = append(addrs, addr)
+	}
+	defer func() {
+		for _, srv := range srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+			cancel()
+		}
+	}()
+
+	// Ground truth and pre-marshaled request bodies (8 row offsets per
+	// model) so client-side JSON work does not distort the load.
+	in, err := dataset.SparseBatch(baseRows, width, width/10, 13)
+	if err != nil {
+		return err
+	}
+	expectedFor := func(cfg core.Config) ([]float64, error) {
+		ref, err := infer.FromConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		exp := make([]float64, baseRows) // first output column per row
+		for r := 0; r < baseRows; r++ {
+			rowIn, err := sparse.DenseFromSlice(1, width, in.RowSlice(r))
+			if err != nil {
+				return nil, err
+			}
+			y, err := ref.Infer(rowIn)
+			if err != nil {
+				return nil, err
+			}
+			exp[r] = y.Data()[0]
+		}
+		return exp, nil
+	}
+	expectedHot, err := expectedFor(hotCfg)
+	if err != nil {
+		return err
+	}
+	expectedCold, err := expectedFor(coldCfg)
+	if err != nil {
+		return err
+	}
+	models := make([]string, nModels)
+	for i := range models {
+		models[i] = fmt.Sprintf("pop-%d", i)
+	}
+	hot := models[0]
+	expected := func(model string) []float64 {
+		if model == hot {
+			return expectedHot
+		}
+		return expectedCold
+	}
+	const nOffsets = 8
+	bodies := make(map[string][][]byte, nModels)
+	for _, model := range models {
+		offs := make([][]byte, nOffsets)
+		for o := 0; o < nOffsets; o++ {
+			rows := make([][]float64, rowsPerReq)
+			for i := range rows {
+				rows[i] = in.RowSlice((o*rowsPerReq + i) % baseRows)
+			}
+			body, err := json.Marshal(serve.InferRequest{Model: model, Inputs: rows})
+			if err != nil {
+				return err
+			}
+			offs[o] = body
+		}
+		bodies[model] = offs
+	}
+	firstRow := func(o int) int { return (o * rowsPerReq) % baseRows }
+
+	// Zipfian popularity (s = 1.4): pop-0 draws ~45% of the load, pop-1
+	// ~17%, the tail a few percent each — so the controller must scale the
+	// head of the distribution while holding the tail at the floor. Every
+	// worker draws its model independently per request: the random
+	// multiplexing is load-bearing, because it is the clustering of
+	// same-model draws that piles bursts onto the hot model's batcher
+	// queue. (A run with each worker pinned to one model measured hot p90
+	// under 200µs at one replica — closed-loop pinning self-paces arrivals
+	// so smoothly the queue never builds, and there is nothing left for
+	// replicas to absorb.)
+	cum := make([]float64, nModels)
+	total := 0.0
+	for r := 0; r < nModels; r++ {
+		total += math.Pow(float64(r+1), -1.4)
+		cum[r] = total
+	}
+
+	client := selftestClient()
+	hotCfgJSON, err := graphio.MarshalConfig(hotCfg)
+	if err != nil {
+		return err
+	}
+	coldCfgJSON, err := graphio.MarshalConfig(coldCfg)
+	if err != nil {
+		return err
+	}
+	registerAll := func(url string) error {
+		for _, model := range models {
+			cfgJSON := coldCfgJSON
+			if model == hot {
+				cfgJSON = hotCfgJSON
+			}
+			body, err := json.Marshal(serve.RegisterRequest{Name: model, Config: cfgJSON, Engines: 1})
+			if err != nil {
+				return err
+			}
+			status, out, err := cliutil.DoJSON(context.Background(), client, http.MethodPost, url+"/v1/models", body)
+			if err != nil || status != http.StatusCreated {
+				return fmt.Errorf("autoscale: register %s: status %d err %v (%s)", model, status, err, out)
+			}
+		}
+		return nil
+	}
+
+	// runLoad drives nWorkers closed-loop zipfian clients for d. Every
+	// response is checked for status and output divergence — scaling
+	// transitions must be invisible to clients. Each worker also keeps the
+	// hot model's queue waits as the backends reported them per response
+	// (QueueWaitMs), stamped with the completion time: the p99 comparison
+	// is built from these client-held samples, so measuring costs the
+	// loaded box nothing.
+	type waitSample struct {
+		t  time.Time
+		ms float64
+	}
+	runLoad := func(url string, d time.Duration) (requests, rows, failed int64, hotWaits []waitSample, firstErr error) {
+		var req, fail atomic.Int64
+		var errv atomic.Value
+		perWorker := make([][]waitSample, nWorkers)
+		deadline := time.Now().Add(d)
+		var wg sync.WaitGroup
+		for w := 0; w < nWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + w)))
+				for time.Now().Before(deadline) {
+					u := rng.Float64() * total
+					model := models[nModels-1]
+					for r := 0; r < nModels; r++ {
+						if u <= cum[r] {
+							model = models[r]
+							break
+						}
+					}
+					o := rng.Intn(nOffsets)
+					status, _, resp, err := postBody(client, url, bodies[model][o])
+					req.Add(1)
+					if err != nil || status != http.StatusOK || len(resp.Outputs) != rowsPerReq {
+						fail.Add(1)
+						errv.CompareAndSwap(nil, fmt.Errorf("%s: status %d err %v", model, status, err))
+						continue
+					}
+					if resp.Outputs[0][0] != expected(model)[firstRow(o)] {
+						fail.Add(1)
+						errv.CompareAndSwap(nil, fmt.Errorf("%s offset %d diverged during scaling", model, o))
+					}
+					if model == hot {
+						perWorker[w] = append(perWorker[w], waitSample{time.Now(), resp.QueueWaitMs})
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if e := errv.Load(); e != nil {
+			firstErr = e.(error)
+		}
+		for _, s := range perWorker {
+			hotWaits = append(hotWaits, s...)
+		}
+		return req.Load(), req.Load() * rowsPerReq, fail.Load(), hotWaits, firstErr
+	}
+	// Both phases are measured identically: the client-held hot-model
+	// samples between from and to are sliced into subWindow-long
+	// intervals and the phase's figure is the MEDIAN of the sub-window
+	// p99s — the typical tail a hot request saw over the phase. The box
+	// shares one core with its host, whose scheduling bursts stall every
+	// in-flight request for tens of milliseconds at once, enough to own
+	// the p99 of whichever window they land in regardless of queue depth;
+	// the median discards such poisoned windows as long as they stay a
+	// minority, and it discards them symmetrically — for the baseline to
+	// read high, MOST of its windows must carry real queueing mass, and
+	// for the autoscaled tail to read low, MOST of its windows must be
+	// burst-free. (The extremes fail here: a minimum rewards the one
+	// lucky window where even a saturated baseline drained; a whole-phase
+	// p99 hands the figure to the unluckiest stall on either side.)
+	phaseP99 := func(samples []waitSample, from, to time.Time) (time.Duration, []string, error) {
+		n := int(to.Sub(from) / subWindow)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("autoscale: measurement window %v shorter than one sub-window", to.Sub(from))
+		}
+		buckets := make([][]float64, n)
+		for _, s := range samples {
+			if i := int(s.t.Sub(from) / subWindow); i >= 0 && i < n && !s.t.Before(from) {
+				buckets[i] = append(buckets[i], s.ms)
+			}
+		}
+		detail := make([]string, 0, n)
+		var winP99s []float64
+		for i, b := range buckets {
+			if len(b) < minWindowReqs {
+				detail = append(detail, fmt.Sprintf("w%d n=%d skipped", i, len(b)))
+				continue
+			}
+			sort.Float64s(b)
+			p := b[(len(b)*99+99)/100-1]
+			winP99s = append(winP99s, p)
+			detail = append(detail, fmt.Sprintf("w%d n=%d p99=%v", i, len(b),
+				time.Duration(p*float64(time.Millisecond)).Round(time.Microsecond)))
+		}
+		if len(winP99s) == 0 {
+			return 0, detail, fmt.Errorf("autoscale: no sub-window held >= %d hot-model requests", minWindowReqs)
+		}
+		sort.Float64s(winP99s)
+		med := winP99s[len(winP99s)/2]
+		if n := len(winP99s); n%2 == 0 {
+			med = (winP99s[n/2-1] + winP99s[n/2]) / 2
+		}
+		return time.Duration(med * float64(time.Millisecond)), detail, nil
+	}
+
+	// Baseline: every model pinned at 1 replica, no control loop. The
+	// measurement window skips the first 500ms of connection warmup.
+	rtA, err := cluster.NewRouter(cluster.RouterConfig{
+		Addr: "127.0.0.1:0", Backends: addrs, Replicas: 1,
+		Set: cluster.SetConfig{ProbeInterval: 200 * time.Millisecond, FailAfter: 3, Zones: zones},
+	})
+	if err != nil {
+		return err
+	}
+	boundA, err := rtA.Start()
+	if err != nil {
+		return err
+	}
+	urlA := "http://" + boundA
+	if err := registerAll(urlA); err != nil {
+		return err
+	}
+	const baseDur = 7500 * time.Millisecond
+	// Observation parity: the autoscaled run pays for its own control loop
+	// — one fleet scrape and merge per evaluation interval — and on a small
+	// box that observation cost is itself a real load. A production fleet
+	// pays it no matter who owns the replicas (Prometheus scrapes a static
+	// deployment just the same), so the baseline is scraped at the same
+	// cadence; without this the comparison would credit the static fleet
+	// for not being measured.
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			case <-t.C:
+				scrapeMetricsText(client, urlA) //nolint:errcheck // parity load only
+			}
+		}
+	}()
+	runtime.GC() // fresh heap: no collection lands inside the window
+	baseStart := time.Now()
+	baseReqs, _, baseFailed, baseWaits, baseErr := runLoad(urlA, baseDur)
+	baseEnd := time.Now()
+	close(stopScrape)
+	scrapeWG.Wait()
+	if baseErr != nil || baseFailed > 0 {
+		return fmt.Errorf("autoscale: baseline load: %d/%d failed (first: %v)", baseFailed, baseReqs, baseErr)
+	}
+	// The measurement skips the first second of connection warmup.
+	baseP99, baseDetail, err := phaseP99(baseWaits, baseStart.Add(time.Second), baseEnd)
+	if err != nil {
+		return err
+	}
+	for _, model := range models {
+		status, out, err := cliutil.DoJSON(context.Background(), client, http.MethodDelete, urlA+"/v1/models/"+model, nil)
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("autoscale: baseline unregister %s: status %d err %v (%s)", model, status, err, out)
+		}
+	}
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := rtA.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("autoscale: baseline router shutdown: %w", err)
+		}
+	}
+	log.Printf("autoscale: baseline (1 replica): %d requests, hot-model queue-wait p99 %v",
+		baseReqs, baseP99.Round(time.Microsecond))
+
+	// Autoscaled run: same fleet, same load, control loop on. The 1µs
+	// objective on slo-probe stays silent until the SLO phase sends it
+	// traffic.
+	objectives, err := slo.ParseObjectives([]string{"slo-probe::1us:99"})
+	if err != nil {
+		return err
+	}
+	rtB, err := cluster.NewRouter(cluster.RouterConfig{
+		Addr: "127.0.0.1:0", Backends: addrs, Replicas: 1,
+		SLO: slo.Config{Objectives: objectives},
+		Autoscale: &autoscale.Policy{
+			Interval:     interval,
+			MinReplicas:  1,
+			MaxStep:      2,
+			Cooldown:     4,
+			UpAfter:      2,
+			DownAfter:    4,
+			ScaleUpP90:   100 * time.Millisecond,
+			ScaleDownP90: 50 * time.Microsecond,
+			MinSamples:   100,
+		},
+		Set: cluster.SetConfig{ProbeInterval: 200 * time.Millisecond, FailAfter: 3, Zones: zones},
+	})
+	if err != nil {
+		return err
+	}
+	boundB, err := rtB.Start()
+	if err != nil {
+		return err
+	}
+	urlB := "http://" + boundB
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rtB.Shutdown(ctx); err != nil {
+			log.Printf("autoscale: router shutdown: %v", err)
+		}
+	}()
+	if err := registerAll(urlB); err != nil {
+		return err
+	}
+	runtime.GC() // fresh heap: with background GC off, no cycle during the load
+	// The load runs 24s. The convergence criterion is polled in-band: every
+	// model's replica count stable for >= 3 consecutive evaluation
+	// intervals, with the hot model scaled out. (One end-of-run snapshot
+	// would race the controller's own late scale-ins — each resets that
+	// model's stability counter for a few intervals.) The steady-state
+	// measurement opens at the moment convergence is first observed plus a
+	// short settle, and runs to the end of the load, so the baseline
+	// comparison never charges the autoscaled run for its own ramp-up or
+	// the engine builds the scale-outs perform.
+	const loadDur = 36 * time.Second
+	type loadRes struct {
+		reqs, rows, failed int64
+		waits              []waitSample
+		err                error
+	}
+	resCh := make(chan loadRes, 1)
+	start := time.Now()
+	go func() {
+		reqs, rows, failed, waits, err := runLoad(urlB, loadDur)
+		resCh <- loadRes{reqs, rows, failed, waits, err}
+	}()
+	var st cluster.AutoscaleStatus
+	minStable, hotReplicas := -1, 0
+	converged := false
+	// Leave at least 3s of load after convergence for the tail window.
+	for time.Since(start) < loadDur-3*time.Second && !converged {
+		if err := getJSON(client, urlB+"/v1/autoscale", &st); err != nil {
+			return err
+		}
+		minStable, hotReplicas = -1, 0
+		for _, m := range st.Models {
+			if minStable < 0 || m.StableIntervals < minStable {
+				minStable = m.StableIntervals
+			}
+			if m.Model == hot {
+				hotReplicas = m.Replicas
+			}
+		}
+		converged = len(st.Models) >= nModels && minStable >= 3 && hotReplicas >= 2
+		if !converged {
+			time.Sleep(400 * time.Millisecond)
+		}
+	}
+	// Settle before opening the tail window: the last actuation's engine
+	// builds and the backlog they delayed both flush their queue-wait
+	// samples shortly after convergence is first observed, and those
+	// belong to the ramp, not the steady state.
+	time.Sleep(1500 * time.Millisecond)
+	tailStart := time.Now()
+	res := <-resCh
+	tailEnd := time.Now()
+	autoReqs, autoRows, autoFailed, autoErr := res.reqs, res.rows, res.failed, res.err
+	elapsed := time.Since(start)
+	if autoErr != nil || autoFailed > 0 {
+		return fmt.Errorf("autoscale: %d/%d requests failed during scaling (first: %v)", autoFailed, autoReqs, autoErr)
+	}
+	if !converged {
+		return fmt.Errorf("autoscale: not converged — min stable intervals %d, hot replicas %d at load end (%+v)",
+			minStable, hotReplicas, st.Models)
+	}
+	autoP99, tailDetail, err := phaseP99(res.waits, tailStart, tailEnd)
+	if err != nil {
+		return err
+	}
+	met := rtB.Metrics()
+	if met.ScaleUps == 0 {
+		return fmt.Errorf("autoscale: no scale-up actuations recorded")
+	}
+	hotZones := map[string]bool{}
+	hotPlacement := rtB.Placement(hot)
+	for _, id := range hotPlacement {
+		hotZones[zones[id]] = true
+	}
+	// The convergence poll's replica snapshot can trail a scale-up that
+	// landed during the measured tail; the live placement is the truth.
+	hotReplicas = len(hotPlacement)
+	if wantZones := min(hotReplicas, nZones); len(hotZones) < wantZones {
+		return fmt.Errorf("autoscale: %d replicas of %s span only %d zones, want %d (placement not zone-diverse)",
+			hotReplicas, hot, len(hotZones), wantZones)
+	}
+	if baseP99 < 2*autoP99 {
+		var end cluster.AutoscaleStatus
+		getJSON(client, urlB+"/v1/autoscale", &end) //nolint:errcheck // debug
+		return fmt.Errorf("autoscale: hot-model queue-wait p99 %v autoscaled vs %v baseline — less than the required 2x reduction\nbaseline windows: %s\ntail windows: %s\nups %d downs %d\nrecent %+v",
+			autoP99.Round(time.Microsecond), baseP99.Round(time.Microsecond),
+			strings.Join(baseDetail, ", "), strings.Join(tailDetail, ", "),
+			met.ScaleUps, met.ScaleDowns, end.Recent)
+	}
+	log.Printf("autoscale: converged in-band (min stable intervals %d); hot model %s at %d replicas across %d zones; queue-wait p99 %v → %v (%.1fx); %d ups %d downs, %d requests zero failures",
+		minStable, hot, hotReplicas, len(hotZones), baseP99.Round(time.Microsecond), autoP99.Round(time.Microsecond),
+		float64(baseP99)/float64(autoP99), met.ScaleUps, met.ScaleDowns, autoReqs)
+
+	// SLO actuation: slo-probe's 1µs objective is unmeetable, so its first
+	// traffic flips the fleet-evaluated SLO to violated and the control
+	// loop must scale it out within two evaluation windows.
+	probeBody, err := json.Marshal(serve.RegisterRequest{Name: "slo-probe", Config: coldCfgJSON, Engines: 1})
+	if err != nil {
+		return err
+	}
+	if status, out, err := cliutil.DoJSON(context.Background(), client, http.MethodPost, urlB+"/v1/models", probeBody); err != nil || status != http.StatusCreated {
+		return fmt.Errorf("autoscale: register slo-probe: status %d err %v (%s)", status, err, out)
+	}
+	// Detection latency is only meaningful against a loop that is free to
+	// evaluate: a scale-out actuation left over from the main phase blocks
+	// the loop for the length of its engine builds, and every window that
+	// elapses meanwhile is skipped, not evaluated. Wait until the loop has
+	// evaluated recently and its newest actuation has aged past the bound
+	// before starting the clock.
+	for quiesceBy := time.Now().Add(30 * time.Second); time.Now().Before(quiesceBy); {
+		var st cluster.AutoscaleStatus
+		if err := getJSON(client, urlB+"/v1/autoscale", &st); err != nil {
+			return err
+		}
+		newest := time.Time{}
+		for _, d := range st.Recent {
+			if d.Time.After(newest) {
+				newest = d.Time
+			}
+		}
+		if time.Since(st.LastEval) < 2*interval && time.Since(newest) > 2*interval {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	sloStart := time.Now()
+	for i := 0; i < 16; i++ {
+		status, _, _, err := postBody(client, urlB, bodies[hot][0]) // warm the scrape path
+		_ = status
+		if err != nil {
+			return err
+		}
+		probeReq, err := json.Marshal(serve.InferRequest{Model: "slo-probe", Inputs: [][]float64{in.RowSlice(i % baseRows)}})
+		if err != nil {
+			return err
+		}
+		if status, _, _, err := postBody(client, urlB, probeReq); err != nil || status != http.StatusOK {
+			return fmt.Errorf("autoscale: slo-probe request %d: status %d err %v", i, status, err)
+		}
+	}
+	// The decision must be STAMPED within two evaluation windows of the
+	// violating traffic (plus one interval of slack for the scrape that
+	// carries it into the loop), but it only becomes visible in the
+	// actuation log after the blocking scale-out — engine builds included —
+	// finishes, so the poll runs on the admin budget while the bound is
+	// checked against the decision's own timestamp.
+	bound := sloStart.Add(3 * interval)
+	deadline := sloStart.Add(3*interval + 30*time.Second)
+	var sloDecision *cluster.AppliedDecision
+	for time.Now().Before(deadline) && sloDecision == nil {
+		var st cluster.AutoscaleStatus
+		if err := getJSON(client, urlB+"/v1/autoscale", &st); err != nil {
+			return err
+		}
+		for i := range st.Recent {
+			d := &st.Recent[i]
+			if d.Model == "slo-probe" && d.To > d.From && strings.Contains(d.Reason, "slo") {
+				sloDecision = d
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sloDecision == nil {
+		return fmt.Errorf("autoscale: violated SLO did not trigger scale-out of slo-probe within two evaluation windows (%v)", 2*interval)
+	}
+	if sloDecision.Time.After(bound) {
+		return fmt.Errorf("autoscale: SLO scale-out decided %v after the violating traffic, want within %v",
+			sloDecision.Time.Sub(sloStart), bound.Sub(sloStart))
+	}
+	sloLatency := sloDecision.Time.Sub(sloStart)
+	log.Printf("autoscale: violated SLO scaled slo-probe %d → %d replicas %.0fms after first violating traffic (%q)",
+		sloDecision.From, sloDecision.To, float64(sloLatency)/float64(time.Millisecond), sloDecision.Reason)
+
+	rec := autoscaleBenchRecord{
+		Benchmark:          "autoscale",
+		Date:               time.Now().UTC().Format("2006-01-02"),
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GitSHA:             cliutil.GitSHA(),
+		Backends:           nBackends,
+		Zones:              nZones,
+		Models:             nModels,
+		Workers:            nWorkers,
+		RowsPerSec:         float64(autoRows) / elapsed.Seconds(),
+		BaselineHotP99Ms:   float64(baseP99) / float64(time.Millisecond),
+		AutoscaledHotP99Ms: float64(autoP99) / float64(time.Millisecond),
+		TailReduction:      float64(baseP99) / float64(autoP99),
+		HotReplicas:        hotReplicas,
+		HotZones:           len(hotZones),
+		ScaleUps:           met.ScaleUps,
+		ScaleDowns:         met.ScaleDowns,
+		Requests:           autoReqs,
+		Failed:             autoFailed,
+		MinStableIntervals: minStable,
+		SLOScaleOutMs:      float64(sloLatency) / float64(time.Millisecond),
+	}
+	n, err := cliutil.AppendJSONRecord(benchPath, rec)
+	if err != nil {
+		return err
+	}
+	log.Printf("autoscale: appended record %d to %s", n, benchPath)
+	return nil
+}
+
+// postBody posts a pre-marshaled inference request.
+func postBody(client *http.Client, url string, body []byte) (int, string, serve.InferResponse, error) {
+	resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", serve.InferResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out serve.InferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, "", out, err
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("X-Radix-Backend"), out, nil
+}
+
+// getJSON decodes a GET response body into out.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

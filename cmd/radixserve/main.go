@@ -160,6 +160,7 @@ func main() {
 		slowReq      = flag.Duration("slow-request", 0, "log requests slower than this with their trace ID and span breakdown (0: off)")
 		traceDepth   = flag.Int("trace-depth", 0, "recent request traces retained for GET /debug/traces (0: default 512)")
 		profEvery    = flag.Int("profile-every", 16, "time every Nth engine batch per layer (Gedges/s on /metrics; 0: off)")
+		zone         = flag.String("zone", "", "failure domain (rack/availability zone) self-reported on /healthz for the router's zone-aware placement")
 		sloFast      = flag.Duration("slo-fast-window", 0, "SLO fast burn-rate window (0: default 5m)")
 		sloSlow      = flag.Duration("slo-slow-window", 0, "SLO slow burn-rate window (0: default 1h)")
 		selftest     = flag.Bool("selftest", false, "run the end-to-end load-generator selftest and exit")
@@ -227,6 +228,7 @@ func main() {
 		SlowRequest: *slowReq,
 		TraceDepth:  *traceDepth,
 		SLO:         slo.Config{Objectives: objectives, FastWindow: *sloFast, SlowWindow: *sloSlow},
+		Zone:        *zone,
 	})
 	bound, err := srv.Start()
 	if err != nil {

@@ -89,6 +89,30 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info // non-nil for targets only
+
+	// TestFiles marks which of Files are in-package _test.go files. The
+	// loader checks them into the package so cross-cutting analyzers
+	// (atomichygiene) see test code too; production-convention analyzers
+	// (hotpath, metriclint, ctxguard) scope themselves to ProdFiles.
+	TestFiles map[*ast.File]bool
+}
+
+// ProdFiles returns the package's non-test files — the scope of analyzers
+// enforcing production-only conventions. Test code legitimately mints toy
+// metric names and context.Background() roots; only contracts that test
+// code can break for production code (atomic access hygiene) walk all
+// Files.
+func (p *Package) ProdFiles() []*ast.File {
+	if len(p.TestFiles) == 0 {
+		return p.Files
+	}
+	files := make([]*ast.File, 0, len(p.Files)-len(p.TestFiles))
+	for _, f := range p.Files {
+		if !p.TestFiles[f] {
+			files = append(files, f)
+		}
+	}
+	return files
 }
 
 // Program is a universe of packages type-checked together, plus shared

@@ -42,7 +42,7 @@ func runCtxGuard(pass *Pass) error {
 		return nil
 	}
 	info := pass.Pkg.Info
-	walk(pass.Pkg.Files, func(stack []ast.Node, n ast.Node) bool {
+	walk(pass.Pkg.ProdFiles(), func(stack []ast.Node, n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

@@ -60,7 +60,7 @@ type hotFunc struct {
 // annotation (unknown allow token) is reported through report when non-nil.
 func hotpathFuncs(prog *Program, pkg *Package, report func(pos token.Pos, format string, args ...any)) []hotFunc {
 	var out []hotFunc
-	for _, f := range pkg.Files {
+	for _, f := range pkg.ProdFiles() {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {

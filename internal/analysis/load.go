@@ -13,19 +13,26 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
 // listPkg is the slice of `go list -json` output the loader consumes.
+// TestGoFiles are the package's in-package _test.go files (package foo, not
+// the external foo_test variant) and TestImports their imports; targets get
+// them parsed and type-checked alongside GoFiles so the analyzers see test
+// code too.
 type listPkg struct {
-	ImportPath string
-	Name       string
-	Dir        string
-	GoFiles    []string
-	Imports    []string
-	ImportMap  map[string]string
-	Standard   bool
-	DepOnly    bool
+	ImportPath  string
+	Name        string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+	ImportMap   map[string]string
+	Standard    bool
+	DepOnly     bool
 }
 
 // goList runs `go list -deps -json` for the patterns and returns the
@@ -36,7 +43,7 @@ type listPkg struct {
 func goList(dir string, patterns ...string) ([]*listPkg, error) {
 	args := append([]string{
 		"list", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly",
+		"-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,Imports,TestImports,ImportMap,Standard,DepOnly",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -92,11 +99,18 @@ func (m *mapImporter) Import(path string) (*types.Package, error) {
 // LoadPackages lists the patterns with the go tool, parses every package in
 // the dependency closure, and type-checks them oldest-dependency-first into
 // one shared universe. Packages named by the patterns become targets: they
-// keep full syntax and types.Info for the analyzers; dependencies (the
-// standard library included) are checked API-only (function bodies
-// skipped), which keeps a whole-repo load under a few seconds.
+// keep full syntax and types.Info for the analyzers — including their
+// in-package _test.go files, whose extra imports (go list's TestImports,
+// absent from the -deps closure) are loaded API-only in a second listing;
+// dependencies (the standard library included) are checked API-only
+// (function bodies skipped), which keeps a whole-repo load under a few
+// seconds.
 func LoadPackages(dir string, patterns ...string) (*Program, error) {
 	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	listed, err = widenTestImports(dir, listed)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +144,90 @@ func LoadPackages(dir string, patterns ...string) (*Program, error) {
 	return prog, nil
 }
 
+// widenTestImports grows a -deps listing with the closure of the targets'
+// TestImports: packages a target's in-package test files import that its
+// non-test build does not (testing, httptest, …). The extras are marked
+// DepOnly (API-only check), and the combined list is re-sorted dependencies-
+// first — the two go list outputs are each dep-ordered, but their merge is
+// not, and the type-checker consumes the universe oldest-dependency-first.
+func widenTestImports(dir string, listed []*listPkg) ([]*listPkg, error) {
+	have := make(map[string]bool, len(listed))
+	for _, lp := range listed {
+		have[lp.ImportPath] = true
+	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		for _, imp := range lp.TestImports {
+			if mapped, ok := lp.ImportMap[imp]; ok {
+				imp = mapped
+			}
+			if imp == "unsafe" || imp == "C" || have[imp] || seen[imp] {
+				continue
+			}
+			seen[imp] = true
+			missing = append(missing, imp)
+		}
+	}
+	if len(missing) == 0 {
+		return listed, nil
+	}
+	sort.Strings(missing)
+	extra, err := goList(dir, missing...)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range extra {
+		if have[lp.ImportPath] {
+			continue
+		}
+		have[lp.ImportPath] = true
+		lp.DepOnly = true
+		listed = append(listed, lp)
+	}
+	return sortDeps(listed), nil
+}
+
+// sortDeps orders packages dependencies-before-dependents by depth-first
+// walk over Imports (plus TestImports for targets, whose test files the
+// loader checks too). Only packages present in the list participate; import
+// cycles cannot occur in valid Go package graphs, so the walk terminates.
+func sortDeps(listed []*listPkg) []*listPkg {
+	byPath := make(map[string]*listPkg, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	out := make([]*listPkg, 0, len(listed))
+	done := make(map[string]bool, len(listed))
+	var visit func(lp *listPkg)
+	visit = func(lp *listPkg) {
+		if done[lp.ImportPath] {
+			return
+		}
+		done[lp.ImportPath] = true
+		imports := lp.Imports
+		if !lp.Standard && !lp.DepOnly {
+			imports = append(append([]string{}, imports...), lp.TestImports...)
+		}
+		for _, imp := range imports {
+			if mapped, ok := lp.ImportMap[imp]; ok {
+				imp = mapped
+			}
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, lp)
+	}
+	for _, lp := range listed {
+		visit(lp)
+	}
+	return out
+}
+
 // checkPackage parses and type-checks one listed package against the
 // universe. Targets get full bodies and a populated types.Info.
 func checkPackage(fset *token.FileSet, imp *mapImporter, lp *listPkg) (*Package, error) {
@@ -145,14 +243,28 @@ func checkPackage(fset *token.FileSet, imp *mapImporter, lp *listPkg) (*Package,
 	if target {
 		mode |= parser.ParseComments
 	}
+	files := lp.GoFiles
+	nProd := len(files)
+	if target && len(lp.TestGoFiles) > 0 {
+		// In-package test files check as part of the package proper, so the
+		// analyzers cover test code too (the external foo_test variant is a
+		// different package and stays out of scope).
+		files = append(append([]string{}, files...), lp.TestGoFiles...)
+	}
 	var firstErr error
-	for _, name := range lp.GoFiles {
+	for i, name := range files {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if f != nil {
 			pkg.Files = append(pkg.Files, f)
+			if i >= nProd {
+				if pkg.TestFiles == nil {
+					pkg.TestFiles = make(map[*ast.File]bool, len(lp.TestGoFiles))
+				}
+				pkg.TestFiles[f] = true
+			}
 		}
 	}
 	if firstErr != nil && target {

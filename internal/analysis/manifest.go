@@ -182,7 +182,7 @@ type bceRegion struct {
 // Regions must open and close in the same file and may not nest.
 func bceRegions(prog *Program, pkg *Package) ([]bceRegion, error) {
 	var out []bceRegion
-	for _, f := range pkg.Files {
+	for _, f := range pkg.ProdFiles() {
 		var open *bceRegion
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {

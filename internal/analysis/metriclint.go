@@ -55,7 +55,7 @@ var (
 
 func runMetricLint(pass *Pass) error {
 	info := pass.Pkg.Info
-	walk(pass.Pkg.Files, func(stack []ast.Node, n ast.Node) bool {
+	walk(pass.Pkg.ProdFiles(), func(stack []ast.Node, n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			lintMetricCall(pass, info, n)

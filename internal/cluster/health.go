@@ -28,6 +28,7 @@ type Backend struct {
 	forwarded     atomic.Int64 // requests answered by this backend (any status)
 	failed        atomic.Int64 // forward attempts lost to transport/5xx errors
 	lastErr       atomic.Value // string: most recent probe/forward error
+	zone          atomic.Value // string: failure domain self-reported on /healthz ("" = unzoned)
 
 	// attempt records the round-trip latency (ns) of every answered
 	// forward attempt against this backend, exported on the router's
@@ -48,6 +49,20 @@ func (b *Backend) URL() string { return b.url }
 // Healthy reports whether the backend is in rotation.
 func (b *Backend) Healthy() bool { return b.healthy.Load() }
 
+// Zone returns the backend's failure domain, learned from its /healthz
+// self-report (or statically configured); "" until the first good probe of
+// a zoned backend.
+func (b *Backend) Zone() string {
+	if z, ok := b.zone.Load().(string); ok {
+		return z
+	}
+	return ""
+}
+
+// setZone records the backend's failure domain (probe self-report or static
+// configuration).
+func (b *Backend) setZone(z string) { b.zone.Store(z) }
+
 // BackendStatus is a point-in-time copy of a backend's state, the element
 // of the router's /healthz report.
 type BackendStatus struct {
@@ -60,6 +75,7 @@ type BackendStatus struct {
 	Forwarded           int64  `json:"forwarded"`
 	Failed              int64  `json:"failed"`
 	LastError           string `json:"last_error,omitempty"`
+	Zone                string `json:"zone,omitempty"`
 }
 
 // Status snapshots the backend.
@@ -73,6 +89,7 @@ func (b *Backend) Status() BackendStatus {
 		ProbeFailures:       b.probeFailures.Load(),
 		Forwarded:           b.forwarded.Load(),
 		Failed:              b.failed.Load(),
+		Zone:                b.Zone(),
 	}
 	if e, ok := b.lastErr.Load().(string); ok {
 		s.LastError = e
@@ -97,6 +114,11 @@ type SetConfig struct {
 	// Client issues probes and forwards. Default: a dedicated client with
 	// pooled keep-alive connections.
 	Client *http.Client
+	// Zones statically assigns failure domains by backend id, seeding what
+	// probes would learn from each backend's /healthz self-report (the
+	// self-report wins once a probe answers — the backend knows where it
+	// runs). Backends absent from the map start unzoned.
+	Zones map[string]string
 }
 
 func (c SetConfig) withDefaults() SetConfig {
@@ -185,6 +207,9 @@ func NewBackendSet(addrs []string, cfg SetConfig) (*BackendSet, error) {
 		}
 		b := &Backend{id: id, url: url}
 		b.healthy.Store(true)
+		if z, ok := cfg.Zones[id]; ok {
+			b.setZone(z)
+		}
 		s.backends[id] = b
 		s.order = append(s.order, id)
 		s.ring.Add(id)
@@ -222,17 +247,28 @@ func (s *BackendSet) HealthyCount() int {
 	return n
 }
 
+// zoneOf resolves a ring id to its backend's failure domain — the lookup
+// behind the zone-aware walk.
+func (s *BackendSet) zoneOf(id string) string {
+	if b, ok := s.backends[id]; ok {
+		return b.Zone()
+	}
+	return ""
+}
+
 // Owners returns key's replica set in failover order: the first replicas
-// healthy backends clockwise from the key's hash. Ejected backends are
-// skipped transparently, so the ring walk itself is the failover plan —
-// when a primary dies its successors inherit its keys without any
-// membership change.
+// healthy backends in the zone-diverse ring walk from the key's hash —
+// replicas spread across min(replicas, zones) distinct failure domains, and
+// the next failover candidate preferring yet another zone. Ejected backends
+// are skipped transparently, so the walk itself is the failover plan — when
+// a primary dies its successors inherit its keys without any membership
+// change. An unzoned fleet degrades to the plain clockwise walk.
 func (s *BackendSet) Owners(key string, replicas int) []*Backend {
 	if replicas <= 0 {
 		replicas = 1
 	}
 	owners := make([]*Backend, 0, replicas)
-	s.ring.Walk(key, func(id string) bool {
+	s.ring.WalkSpread(key, s.zoneOf, func(id string) bool {
 		if b := s.backends[id]; b.Healthy() {
 			owners = append(owners, b)
 		}
@@ -241,10 +277,11 @@ func (s *BackendSet) Owners(key string, replicas int) []*Backend {
 	return owners
 }
 
-// Placement returns key's intended owners (health ignored) — what the ring
-// assigns, as opposed to what Owners can currently route to.
+// Placement returns key's intended owners (health ignored) — what the
+// zone-diverse ring walk assigns, as opposed to what Owners can currently
+// route to.
 func (s *BackendSet) Placement(key string, replicas int) []string {
-	return s.ring.Owners(key, replicas)
+	return s.ring.OwnersSpread(key, replicas, s.zoneOf)
 }
 
 // Start launches one prober per backend, each probing immediately and then
@@ -290,10 +327,16 @@ func (s *BackendSet) probe(b *Backend) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
 	defer cancel()
 	b.probes.Add(1)
-	if _, err := serve.CheckHealth(ctx, s.cfg.Client, b.url); err != nil {
+	h, err := serve.CheckHealth(ctx, s.cfg.Client, b.url)
+	if err != nil {
 		b.probeFailures.Add(1)
 		s.noteFailure(b, err)
 		return
+	}
+	if h.Zone != "" {
+		// The backend's self-report is authoritative: it knows where it
+		// runs; a static SetConfig.Zones entry is only the pre-probe seed.
+		b.setZone(h.Zone)
 	}
 	b.consecFails.Store(0)
 	b.healthy.Store(true)

@@ -20,6 +20,9 @@ type routerMetrics struct {
 	unroutable atomic.Int64 // requests with no healthy owner (502/503)
 	deadlines  atomic.Int64 // requests whose budget expired router-side (504)
 	admin      atomic.Int64 // control-plane operations fanned out
+	shed       atomic.Int64 // requests 429'd by autoscale class shedding
+	scaleUps   atomic.Int64 // autoscale scale-out actuations applied
+	scaleDowns atomic.Int64 // autoscale scale-in actuations applied
 
 	// classes counts requests by QoS class name (unlabeled requests under
 	// "default"). Written on the request path via sync.Map so an unbounded
@@ -65,6 +68,9 @@ type RouterMetricsSnapshot struct {
 	Unroutable    int64            `json:"unroutable"`
 	Deadlines     int64            `json:"deadlines"`
 	Admin         int64            `json:"admin"`
+	Shed          int64            `json:"shed"`
+	ScaleUps      int64            `json:"scale_ups"`
+	ScaleDowns    int64            `json:"scale_downs"`
 	ClassRequests map[string]int64 `json:"class_requests,omitempty"`
 }
 
@@ -76,6 +82,9 @@ func (m *routerMetrics) snapshot() RouterMetricsSnapshot {
 		Unroutable: m.unroutable.Load(),
 		Deadlines:  m.deadlines.Load(),
 		Admin:      m.admin.Load(),
+		Shed:       m.shed.Load(),
+		ScaleUps:   m.scaleUps.Load(),
+		ScaleDowns: m.scaleDowns.Load(),
 	}
 	names, counts := m.classCounts()
 	if len(names) > 0 {
@@ -99,6 +108,9 @@ func writeRouterMetrics(w io.Writer, met *routerMetrics, backends []*Backend, up
 	counter("radixrouter_unroutable_total", "Requests dropped with no healthy owner.", met.unroutable.Load())
 	counter("radixrouter_deadlines_total", "Requests whose deadline budget expired router-side (504 without a forward).", met.deadlines.Load())
 	counter("radixrouter_admin_total", "Model control-plane operations (register/reload/unregister) fanned out.", met.admin.Load())
+	counter("radixrouter_shed_total", "Requests 429'd router-side by autoscale class shedding.", met.shed.Load())
+	counter("radixrouter_autoscale_up_total", "Autoscale scale-out actuations applied.", met.scaleUps.Load())
+	counter("radixrouter_autoscale_down_total", "Autoscale scale-in actuations applied.", met.scaleDowns.Load())
 	if names, counts := met.classCounts(); len(names) > 0 {
 		fmt.Fprintf(w, "# HELP radixrouter_class_requests_total Inference requests received, by QoS class.\n# TYPE radixrouter_class_requests_total counter\n")
 		for i, name := range names {

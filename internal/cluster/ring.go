@@ -155,6 +155,69 @@ func (r *Ring) Walk(key string, fn func(node string) bool) {
 	}
 }
 
+// WalkSpread visits the distinct nodes in zone-diverse ring order: nodes
+// are ranked by how many earlier nodes (in plain Walk order) share their
+// zone, and visited by (rank, ring position) — one node per distinct zone
+// first, then second nodes per zone, and so on. Every prefix of the visit
+// order therefore touches min(len(prefix), zones) distinct zones, which is
+// what makes the first R nodes a failure-domain-spread replica set and the
+// R+1th a cross-zone failover candidate. zoneOf maps a node id to its zone;
+// "" is itself a zone (an unzoned fleet degrades to exactly Walk order,
+// because deferral preserves ring order). The reordering is a deterministic
+// function of the walk sequence, so membership changes still move only the
+// keyspace adjacent to the affected points — the ~1/N movement property
+// survives zone awareness.
+func (r *Ring) WalkSpread(key string, zoneOf func(node string) string, fn func(node string) bool) {
+	if zoneOf == nil {
+		r.Walk(key, fn)
+		return
+	}
+	var nodes []string
+	r.Walk(key, func(node string) bool {
+		nodes = append(nodes, node)
+		return true
+	})
+	if len(nodes) == 0 {
+		return
+	}
+	ranks := make([]int, len(nodes))
+	perZone := make(map[string]int, len(nodes))
+	maxRank := 0
+	for i, node := range nodes {
+		z := zoneOf(node)
+		ranks[i] = perZone[z]
+		perZone[z]++
+		if ranks[i] > maxRank {
+			maxRank = ranks[i]
+		}
+	}
+	for rank := 0; rank <= maxRank; rank++ {
+		for i, node := range nodes {
+			if ranks[i] != rank {
+				continue
+			}
+			if !fn(node) {
+				return
+			}
+		}
+	}
+}
+
+// OwnersSpread is Owners with zone-diverse ordering: the first n nodes of
+// WalkSpread — a replica set spread across min(n, zones) distinct failure
+// domains, in cross-zone failover order.
+func (r *Ring) OwnersSpread(key string, n int, zoneOf func(node string) string) []string {
+	if n <= 0 {
+		return nil
+	}
+	owners := make([]string, 0, n)
+	r.WalkSpread(key, zoneOf, func(node string) bool {
+		owners = append(owners, node)
+		return len(owners) < n
+	})
+	return owners
+}
+
 // Owners returns the first n distinct nodes clockwise from key's hash —
 // the key's replica set in failover order. Fewer than n nodes on the ring
 // yields all of them.

@@ -14,8 +14,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/radix-net/radixnet/internal/autoscale"
 	"github.com/radix-net/radixnet/internal/obs"
 	"github.com/radix-net/radixnet/internal/obs/slo"
 	"github.com/radix-net/radixnet/internal/serve"
@@ -77,6 +79,21 @@ type RouterConfig struct {
 	// one backend's) on GET /v1/slo and as radixrouter_slo_* gauges; no
 	// objectives disables both.
 	SLO slo.Config
+	// Autoscale, when non-nil, runs the replica control loop: per-model
+	// load (fleet-merged queue-wait p90, 429 rate, throughput) and SLO burn
+	// state drive replica scale-up/down through the register/unregister
+	// fan-out, bounded by the policy's hysteresis/cooldown/step/min/max.
+	// See internal/autoscale for the policy contract. Enabling autoscale
+	// also enables SpreadReplicas — scaling out a hot model only flattens
+	// its tail if the replicas actually share the load.
+	Autoscale *autoscale.Policy
+	// SpreadReplicas rotates each request's healthy-owner walk so a
+	// model's replicas share its load round-robin instead of the default
+	// primary-owner routing (first healthy owner serves everything,
+	// successors are failover spares). The failover budget is unchanged:
+	// a request still walks every owner, just starting from a rotating
+	// offset. Implied by Autoscale.
+	SpreadReplicas bool
 	// Set tunes health probing (interval, timeout, ejection threshold,
 	// ring vnodes).
 	Set SetConfig
@@ -106,6 +123,23 @@ type Router struct {
 	slow         time.Duration
 	log          *slog.Logger
 	slo          *slo.Engine // nil = no objectives configured
+
+	// Per-model dynamic state written by the autoscale control loop (and
+	// the admin verbs): replica-count overrides consulted everywhere the
+	// static replicas default was, the last register body per model (the
+	// desired config a scale-out re-registers on new owners), and the QoS
+	// class currently shed per model (last-resort SLO actuation).
+	scaleMu     sync.RWMutex
+	repOverride map[string]int
+	regBodies   map[string][]byte
+	shedClass   map[string]string
+
+	scaler *autoscaler // nil = autoscaling disabled
+
+	// spread rotates the owner walk per request (see
+	// RouterConfig.SpreadReplicas); rr is the rotation cursor.
+	spread bool
+	rr     atomic.Uint64
 }
 
 // DefaultClassRetries is the per-class backend-attempt budget used when
@@ -174,7 +208,18 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		slow:         cfg.SlowRequest,
 		log:          logger,
 		slo:          slo.New(cfg.SLO),
+		repOverride:  make(map[string]int),
+		regBodies:    make(map[string][]byte),
+		shedClass:    make(map[string]string),
 	}
+	if cfg.Autoscale != nil {
+		scaler, err := newAutoscaler(rt, *cfg.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		rt.scaler = scaler
+	}
+	rt.spread = cfg.SpreadReplicas || cfg.Autoscale != nil
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", rt.handleInfer)
 	mux.HandleFunc("GET /v1/models", rt.handleModels)
@@ -184,6 +229,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /v1/slo", rt.handleSLO)
+	mux.HandleFunc("GET /v1/autoscale", rt.handleAutoscale)
 	mux.Handle("GET /debug/traces", rt.traces.Handler())
 	if cfg.Pprof {
 		obs.RegisterPprof(mux)
@@ -206,13 +252,149 @@ func (rt *Router) Metrics() RouterMetricsSnapshot { return rt.met.snapshot() }
 // (the data behind GET /debug/traces).
 func (rt *Router) Traces() *obs.TraceRing { return rt.traces }
 
-// Replicas returns the per-model replication factor.
+// Replicas returns the default per-model replication factor (models the
+// autoscaler has touched carry their own count — see ReplicasFor).
 func (rt *Router) Replicas() int { return rt.replicas }
+
+// ReplicasFor returns a model's effective replica count: the autoscaler's
+// override when one exists, the configured default otherwise, capped at the
+// fleet size. On the routing hot path for every inference request.
+//
+//radix:hotpath
+func (rt *Router) ReplicasFor(model string) int {
+	rt.scaleMu.RLock()
+	n, ok := rt.repOverride[model]
+	rt.scaleMu.RUnlock()
+	if !ok || n <= 0 {
+		return rt.replicas
+	}
+	if fleet := len(rt.set.backends); n > fleet {
+		return fleet
+	}
+	return n
+}
+
+// setReplicas records a model's autoscaler-decided replica count (n <= 0
+// clears the override, falling back to the configured default).
+func (rt *Router) setReplicas(model string, n int) {
+	rt.scaleMu.Lock()
+	if n <= 0 {
+		delete(rt.repOverride, model)
+	} else {
+		rt.repOverride[model] = n
+	}
+	rt.scaleMu.Unlock()
+}
+
+// registerBody returns the model's cached register request body — the
+// desired config a scale-out re-registers on new owners — or nil when the
+// model was never registered through this router.
+func (rt *Router) registerBody(model string) []byte {
+	rt.scaleMu.RLock()
+	defer rt.scaleMu.RUnlock()
+	return rt.regBodies[model]
+}
+
+// shedFor reports the QoS class currently being shed for a model ("" =
+// none). Hot path: consulted once per routed request.
+//
+//radix:hotpath
+func (rt *Router) shedFor(model string) string {
+	rt.scaleMu.RLock()
+	c := rt.shedClass[model]
+	rt.scaleMu.RUnlock()
+	return c
+}
+
+// setShed installs (class != "") or clears (class == "") a model's shed
+// class — the autoscaler's last-resort actuation when an SLO objective
+// stays violated at the replica ceiling.
+func (rt *Router) setShed(model, class string) {
+	rt.scaleMu.Lock()
+	if class == "" {
+		delete(rt.shedClass, model)
+	} else {
+		rt.shedClass[model] = class
+	}
+	rt.scaleMu.Unlock()
+}
 
 // Placement returns the ring's intended owners for a model, in failover
 // order, health ignored.
 func (rt *Router) Placement(model string) []string {
-	return rt.set.Placement(model, rt.replicas)
+	return rt.set.Placement(model, rt.ReplicasFor(model))
+}
+
+// ScaleTo moves a model to n replicas through the admin fan-out: new ring
+// owners get the model's cached register body POSTed (engines built before
+// any traffic routes to them), surplus owners get a targeted DELETE whose
+// server-side drain is lease-counted — in-flight batches finish on the old
+// replica, so a scale-down drops zero requests. The replica override is
+// raised only after scale-out registration completes and lowered before
+// scale-in draining starts, so the routing walk never widens onto a backend
+// that does not host the model yet nor keeps sending to one being drained.
+// Returns the per-backend outcomes of whichever fan-out ran.
+func (rt *Router) ScaleTo(ctx context.Context, model string, n int) ([]AdminResult, error) {
+	cur := rt.ReplicasFor(model)
+	if fleet := len(rt.set.backends); n > fleet {
+		n = fleet
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n == cur {
+		return nil, nil
+	}
+	curIDs := rt.set.Placement(model, cur)
+	newIDs := rt.set.Placement(model, n)
+	if n > cur {
+		body := rt.registerBody(model)
+		if body == nil {
+			return nil, fmt.Errorf("cluster: cannot scale out %q: no cached register config (model was not registered through this router)", model)
+		}
+		had := make(map[string]bool, len(curIDs))
+		for _, id := range curIDs {
+			had[id] = true
+		}
+		var targets []*Backend
+		for _, id := range newIDs {
+			if b, ok := rt.set.Backend(id); ok && !had[id] {
+				targets = append(targets, b)
+			}
+		}
+		results := rt.fanOut(ctx, http.MethodPost, "/v1/models", body, targets)
+		for _, res := range results {
+			// 409 means the backend already hosts the model (a previous
+			// scale-out or manual registration) — the desired state holds.
+			if (res.Status < 200 || res.Status >= 300) && res.Status != http.StatusConflict {
+				return results, fmt.Errorf("cluster: scale-out of %q to %d: backend %s answered %d %s",
+					model, n, res.Backend, res.Status, res.Error)
+			}
+		}
+		rt.setReplicas(model, n)
+		return results, nil
+	}
+	rt.setReplicas(model, n)
+	keep := make(map[string]bool, len(newIDs))
+	for _, id := range newIDs {
+		keep[id] = true
+	}
+	var targets []*Backend
+	for _, id := range curIDs {
+		if b, ok := rt.set.Backend(id); ok && !keep[id] {
+			targets = append(targets, b)
+		}
+	}
+	results := rt.fanOut(ctx, http.MethodDelete, "/v1/models/"+model, nil, targets)
+	for _, res := range results {
+		// 404 means the backend never actually hosted it (a failed earlier
+		// registration): the desired state already holds.
+		if (res.Status < 200 || res.Status >= 300) && res.Status != http.StatusNotFound {
+			return results, fmt.Errorf("cluster: scale-in of %q to %d: backend %s answered %d %s",
+				model, n, res.Backend, res.Status, res.Error)
+		}
+	}
+	return results, nil
 }
 
 // Handler returns the router's root handler (for tests and embedding).
@@ -228,6 +410,9 @@ func (rt *Router) Start() (string, error) {
 		return "", err
 	}
 	rt.set.Start()
+	if rt.scaler != nil {
+		rt.scaler.Start()
+	}
 	go func() {
 		if err := rt.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			panic(fmt.Sprintf("cluster: router http server failed: %v", err))
@@ -240,6 +425,9 @@ func (rt *Router) Start() (string, error) {
 // address until Shutdown, returning http.ErrServerClosed on a clean stop.
 func (rt *Router) ListenAndServe() error {
 	rt.set.Start()
+	if rt.scaler != nil {
+		rt.scaler.Start()
+	}
 	return rt.http.ListenAndServe()
 }
 
@@ -252,6 +440,9 @@ func (rt *Router) ListenAndServe() error {
 // StateNew conns as possibly-about-to-send).
 func (rt *Router) Shutdown(ctx context.Context) error {
 	err := rt.http.Shutdown(ctx)
+	if rt.scaler != nil {
+		rt.scaler.Stop()
+	}
 	rt.set.Stop()
 	rt.client.CloseIdleConnections()
 	return err
@@ -384,11 +575,29 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	fwd.model, fwd.class = peek.Model, peek.Class
 	rt.met.classRequest(rt.classLabel(peek.Class))
-	owners := rt.set.Owners(peek.Model, rt.replicas)
+	if shed := rt.shedFor(peek.Model); shed != "" && shed == peek.Class {
+		// Last-resort SLO actuation: the autoscaler is shedding this class
+		// at the router so the protected classes' objective can recover.
+		// Same contract as backend backpressure — 429 plus Retry-After, the
+		// client owns the pacing.
+		rt.met.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		rt.routeError(w, fwd, http.StatusTooManyRequests,
+			"class %q shed for model %q (SLO protection)", peek.Class, peek.Model)
+		return
+	}
+	owners := rt.set.Owners(peek.Model, rt.ReplicasFor(peek.Model))
 	if len(owners) == 0 {
 		rt.met.unroutable.Add(1)
 		rt.routeError(w, fwd, http.StatusServiceUnavailable, "no healthy backend for model %q", peek.Model)
 		return
+	}
+	if rt.spread && len(owners) > 1 {
+		// Replica load-spreading: start the owner walk at a rotating
+		// offset so replicas share the model's load; the full walk is
+		// preserved, so the failover budget is unchanged.
+		k := int(rt.rr.Add(1)-1) % len(owners)
+		owners = append(owners[k:len(owners):len(owners)], owners[:k]...)
 	}
 	attempts := rt.classAttempts(peek.Class, len(owners))
 	if attempts < len(owners) {
@@ -477,7 +686,7 @@ func (rt *Router) consultedIntendedOwners(model string, consulted []*Backend) bo
 	for _, b := range consulted {
 		ids[b.id] = true
 	}
-	for _, id := range rt.set.Placement(model, rt.replicas) {
+	for _, id := range rt.set.Placement(model, rt.ReplicasFor(model)) {
 		if !ids[id] {
 			return false
 		}
@@ -829,12 +1038,17 @@ func (rt *Router) handleAdminRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var targets []*Backend
-	for _, id := range rt.set.Placement(peek.Name, rt.replicas) {
+	for _, id := range rt.set.Placement(peek.Name, rt.ReplicasFor(peek.Name)) {
 		if b, ok := rt.set.Backend(id); ok {
 			targets = append(targets, b)
 		}
 	}
 	results := rt.fanOut(r.Context(), http.MethodPost, "/v1/models", body, targets)
+	// Cache the register body as the model's desired config: a later
+	// autoscale scale-out re-registers exactly this on new ring owners.
+	rt.scaleMu.Lock()
+	rt.regBodies[peek.Name] = body
+	rt.scaleMu.Unlock()
 	writeAdminFanout(w, peek.Name, "register", http.StatusCreated, targets, results, nil)
 }
 
@@ -856,6 +1070,19 @@ func (rt *Router) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := rt.fanOut(r.Context(), http.MethodPut, "/v1/models/"+name, body, targets)
+	// A reload changes the model's desired config; refresh the cached
+	// register body (the reload body is the same RegisterRequest shape with
+	// the name coming from the path) so a later scale-out builds the
+	// reloaded weights on new owners, not the originals.
+	var req serve.RegisterRequest
+	if json.Unmarshal(body, &req) == nil && len(req.Config) > 0 {
+		req.Name = name
+		if reg, err := json.Marshal(req); err == nil {
+			rt.scaleMu.Lock()
+			rt.regBodies[name] = reg
+			rt.scaleMu.Unlock()
+		}
+	}
 	writeAdminFanout(w, name, "reload", http.StatusOK, targets, results, unreachable)
 }
 
@@ -870,6 +1097,13 @@ func (rt *Router) handleAdminUnregister(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	results := rt.fanOut(r.Context(), http.MethodDelete, "/v1/models/"+name, nil, targets)
+	// The model is gone fleet-wide: drop its autoscale state so a future
+	// registration starts from the configured default again.
+	rt.scaleMu.Lock()
+	delete(rt.regBodies, name)
+	delete(rt.repOverride, name)
+	delete(rt.shedClass, name)
+	rt.scaleMu.Unlock()
 	writeAdminFanout(w, name, "unregister", http.StatusOK, targets, results, unreachable)
 }
 

@@ -23,8 +23,8 @@ func TestForGrainSmallGrainStillCovers(t *testing.T) {
 	n := 1000
 	var count int64
 	ForGrain(n, 1, func(i int) { atomic.AddInt64(&count, 1) })
-	if count != int64(n) {
-		t.Fatalf("visited %d of %d", count, n)
+	if got := atomic.LoadInt64(&count); got != int64(n) {
+		t.Fatalf("visited %d of %d", got, n)
 	}
 }
 
@@ -82,8 +82,9 @@ func TestDo(t *testing.T) {
 		func() { atomic.StoreInt32(&b, 2) },
 		func() { atomic.StoreInt32(&c, 3) },
 	)
-	if a != 1 || b != 2 || c != 3 {
-		t.Fatalf("Do did not run all thunks: %d %d %d", a, b, c)
+	av, bv, cv := atomic.LoadInt32(&a), atomic.LoadInt32(&b), atomic.LoadInt32(&c)
+	if av != 1 || bv != 2 || cv != 3 {
+		t.Fatalf("Do did not run all thunks: %d %d %d", av, bv, cv)
 	}
 	Do() // empty must not hang
 }

@@ -112,6 +112,16 @@ type batcher struct {
 	inflight atomic.Int64
 	incoming atomic.Int64
 
+	// classWait holds one EWMA per QoS class of the pure queue delay
+	// (dequeue − enqueue, nanoseconds) — the time rows actually spend
+	// waiting for a collector, NOT the enqueue→dispatch wait, which
+	// includes the deliberate collection window and would feed the window
+	// back into itself (positive feedback driving it permanently to
+	// MaxLatency). The collectors' adaptive collection window derives from
+	// the max across classes: idle models converge to the fast-path grace,
+	// saturated ones to the full MaxLatency budget.
+	classWait []atomic.Int64
+
 	mu     sync.Mutex // guards closed and sched
 	closed bool
 	sched  *classSched
@@ -140,6 +150,7 @@ func newBatcher(m *Model, pol Policy, qos *qosSet, disp *dispatcher) *batcher {
 	for c := range b.fullErr {
 		b.fullErr[c] = fmt.Errorf("%w (class %q)", ErrQueueFull, qos.name(c))
 	}
+	b.classWait = make([]atomic.Int64, qos.size())
 	b.wg.Add(pol.Workers)
 	for i := 0; i < pol.Workers; i++ {
 		go b.worker()
@@ -272,7 +283,7 @@ func (b *batcher) worker() {
 			continue
 		}
 		if !closed && len(reqs) < b.pol.MaxBatch && b.pol.MaxLatency > 0 {
-			wait := b.pol.MaxLatency
+			wait := b.collectWindow()
 			if !b.companyPossible(len(reqs)) {
 				// Single-client fast path: the batch already holds every row
 				// the system knows about, so the full latency budget cannot
@@ -321,6 +332,49 @@ func (b *batcher) worker() {
 // single client pays microseconds per row instead of the 2ms default
 // budget (the regression the fast path exists to fix).
 const fastPathGrace = 200 * time.Microsecond
+
+// waitEWMAShift is the smoothing of the per-class queue-delay EWMA:
+// new = old + (sample−old)/2^3, i.e. a ~8-batch memory — long enough to
+// ride out one anomalous batch, short enough that a load shift retunes
+// the collection window within a few batches.
+const waitEWMAShift = 3
+
+// noteQueueDelay folds one row's measured queue delay into its class's
+// EWMA. Racing updates may lose an increment; the EWMA is a tuning
+// signal, not an accounting counter, and stays within the clamp bounds
+// regardless.
+func (b *batcher) noteQueueDelay(class int, delay time.Duration) {
+	ew := &b.classWait[class]
+	old := ew.Load()
+	ew.Store(old + (delay.Nanoseconds()-old)>>waitEWMAShift)
+}
+
+// collectWindow is the adaptive collection budget: twice the worst
+// per-class queue-delay EWMA, clamped to [fastPathGrace, MaxLatency].
+// Under light load rows barely queue, the EWMA sits near zero, and short
+// batches dispatch after only the grace window — single-row latency wins.
+// Under saturation queue delay dwarfs the budget and the window opens to
+// the full MaxLatency — batch density wins exactly when it pays. The
+// clamp's upper bound is the configured MaxLatency, so the adaptive
+// window never makes any request wait longer than the static policy did.
+//
+//radix:hotpath
+func (b *batcher) collectWindow() time.Duration {
+	var worst int64
+	for c := range b.classWait {
+		if v := b.classWait[c].Load(); v > worst {
+			worst = v
+		}
+	}
+	w := time.Duration(2 * worst)
+	if w < fastPathGrace {
+		return fastPathGrace
+	}
+	if w > b.pol.MaxLatency {
+		return b.pol.MaxLatency
+	}
+	return w
+}
 
 // companyPossible reports whether a collector holding held rows has any
 // reason to wait out the full latency budget: rows in flight beyond its
@@ -378,6 +432,7 @@ func (b *batcher) execute(reqs []*pending) {
 		p.wait = dispatch.Sub(p.enq)
 		if !p.deq.IsZero() {
 			p.assemble = dispatch.Sub(p.deq)
+			b.noteQueueDelay(p.class, p.deq.Sub(p.enq))
 		}
 	}
 	var execDur, leaseDur time.Duration

@@ -16,6 +16,11 @@ type Health struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Models        int     `json:"models"`
+	// Zone is the backend's self-reported failure domain (rack,
+	// availability zone — operator-defined granularity). The router's
+	// zone-aware placement learns it from probes and spreads a model's
+	// replicas across distinct zones. Empty when the operator set none.
+	Zone string `json:"zone,omitempty"`
 }
 
 // CheckHealth probes one radixserve instance's GET /healthz. baseURL is the

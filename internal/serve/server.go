@@ -178,6 +178,9 @@ type Server struct {
 	// slo evaluates the configured objectives against this node's own
 	// histogram snapshots; nil when no objectives were configured.
 	slo *slo.Engine
+
+	// zone is the failure domain self-reported on /healthz ("" = unzoned).
+	zone string
 }
 
 // ServerOptions configures a Server's observability surface. The zero
@@ -198,6 +201,11 @@ type ServerOptions struct {
 	// SLO configures burn-rate objectives evaluated on GET /v1/slo and
 	// exported as radixserve_slo_* gauges; no objectives disables both.
 	SLO slo.Config
+	// Zone is this backend's failure domain (rack, availability zone),
+	// self-reported on GET /healthz so the cluster router's zone-aware
+	// placement can spread a model's replicas across domains. Empty opts
+	// out: the backend places like an unzoned node.
+	Zone string
 }
 
 // NewServer wraps the registry in an HTTP server bound to addr (host:port;
@@ -215,6 +223,7 @@ func NewServerOpts(reg *Registry, addr string, opts ServerOptions) *Server {
 		slow:   opts.SlowRequest,
 		log:    opts.Logger,
 		slo:    slo.New(opts.SLO),
+		zone:   opts.Zone,
 	}
 	if s.log == nil {
 		s.log = slog.Default()
@@ -630,6 +639,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Models:        len(s.reg.List()),
+		Zone:          s.zone,
 	}
 	if s.draining.Load() || s.reg.Closed() {
 		// Graceful shutdown in progress: answer probes honestly so the

@@ -44,6 +44,7 @@ import (
 	"io"
 	"math/big"
 
+	"github.com/radix-net/radixnet/internal/autoscale"
 	"github.com/radix-net/radixnet/internal/cluster"
 	"github.com/radix-net/radixnet/internal/core"
 	"github.com/radix-net/radixnet/internal/dataset"
@@ -448,6 +449,35 @@ type ClusterSetConfig = cluster.SetConfig
 // NewRouter validates the configuration, builds the fleet's ring and
 // health-probed backend set, and wires the routing front end.
 func NewRouter(cfg RouterConfig) (*Router, error) { return cluster.NewRouter(cfg) }
+
+// AutoscalePolicy bounds the router's replica control loop: evaluation
+// interval, replica floor/ceiling, per-decision step, cooldown, the
+// queue-wait-p90 hysteresis band, the 429-rate trigger, and the QoS class
+// shed when an SLO stays violated at the replica ceiling. Set on
+// RouterConfig.Autoscale (nil disables the loop); the zero value
+// validates to the documented defaults.
+type AutoscalePolicy = autoscale.Policy
+
+// AutoscaleModelStats is one model's load observation per evaluation
+// interval: fleet-merged queue-wait p90, 429 rate, throughput, replica
+// count, and SLO burn state.
+type AutoscaleModelStats = autoscale.ModelStats
+
+// AutoscaleDecision is one bounded actuation the controller emits: a
+// replica move, a shed installation, or a shed clearance, with the
+// triggering reason.
+type AutoscaleDecision = autoscale.Decision
+
+// AutoscaleController is the pure decision half of the control loop —
+// hysteresis, cooldown, bounded steps, down-streaks — with no clocks or
+// cluster state, so its convergence behavior is unit-testable.
+type AutoscaleController = autoscale.Controller
+
+// NewAutoscaleController validates the policy (filling defaults) and
+// returns a controller; the router drives one per autoscaled fleet.
+func NewAutoscaleController(pol AutoscalePolicy) (*AutoscaleController, error) {
+	return autoscale.New(pol)
+}
 
 // SearchSpec describes a desired topology: width, density, depth.
 type SearchSpec = core.SearchSpec
